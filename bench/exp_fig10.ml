@@ -1,0 +1,58 @@
+(* Figure 10 and Table 3: sensitivity to the Zipfian skew parameter
+   theta — put-only and get-only throughput at each skew, plus the
+   measured frequency of the most popular key. *)
+
+open Evendb_util
+open Evendb_ycsb
+
+let thetas = [ 0.99; 0.95; 0.90; 0.85; 0.80 ]
+
+let run_one (h : Harness.t) which dist ~items ~mix ~ops =
+  Harness.with_engine h which (fun e ->
+      let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:5 in
+      Runner.load e shared;
+      let r = Runner.run e shared mix ~ops ~threads:h.threads in
+      r.Runner.kops)
+
+let run (h : Harness.t) =
+  let bytes, _ = List.nth (Harness.dataset_sizes h) 2 in
+  let items = Harness.items_for h bytes in
+  List.iter
+    (fun (mix_name, mix) ->
+      Report.heading (Printf.sprintf "Figure 10: skew sensitivity, %s (large dataset)" mix_name);
+      Report.table
+        ~header:[ "theta"; "EvenDB simple"; "LSM simple"; "EvenDB composite"; "LSM composite" ]
+        (List.map
+           (fun theta ->
+             let evs = run_one h `Evendb (Workload.Zipf_simple theta) ~items ~mix ~ops:h.ops in
+             let ros = run_one h `Lsm (Workload.Zipf_simple theta) ~items ~mix ~ops:h.ops in
+             let evc = run_one h `Evendb (Workload.Zipf_composite theta) ~items ~mix ~ops:h.ops in
+             let roc = run_one h `Lsm (Workload.Zipf_composite theta) ~items ~mix ~ops:h.ops in
+             [
+               Printf.sprintf "%.2f" theta;
+               Report.kops evs; Report.kops ros; Report.kops evc; Report.kops roc;
+             ])
+           thetas))
+    [ ("put only", Runner.workload_p); ("get only", Runner.workload_c) ];
+  Report.heading "Table 3: frequency (%) of the most popular key per theta";
+  Report.table
+    ~header:[ "theta"; "Zipf-simple"; "Zipf-composite" ]
+    (List.map
+       (fun theta ->
+         (* Zipf-simple: exact head mass of the item distribution.
+            Zipf-composite: the head prefix's mass spread uniformly
+            over its suffixes. *)
+         let simple = Zipf.probability (Zipf.create ~theta items) 0 *. 100.0 in
+         let shared = Workload.create_shared (Workload.Zipf_composite theta) ~items ~seed:5 in
+         ignore shared;
+         let p_count = max 1 (min (1 lsl 14) (items / 64)) in
+         let per_prefix = max 1 (items / p_count) in
+         let composite =
+           Zipf.probability (Zipf.create ~theta p_count) 0 /. float_of_int per_prefix *. 100.0
+         in
+         [
+           Printf.sprintf "%.2f" theta;
+           Printf.sprintf "%.3f" simple;
+           Printf.sprintf "%.4f" composite;
+         ])
+       thetas)

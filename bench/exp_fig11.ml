@@ -1,0 +1,40 @@
+(* Figure 11: vertical scalability — EvenDB throughput vs worker
+   domains for workloads P, A, C under both Zipf distributions.
+   (On a single-core host the curve is flat; the harness still
+   exercises the concurrency paths.) *)
+
+open Evendb_ycsb
+
+let run_one (h : Harness.t) dist ~items ~mix ~ops ~threads =
+  Harness.with_engine h `Evendb (fun e ->
+      let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:11 in
+      Runner.load e shared;
+      let r = Runner.run e shared mix ~ops ~threads in
+      r.Runner.kops)
+
+let run (h : Harness.t) =
+  Report.heading "Figure 11: EvenDB scalability with worker threads (large dataset)";
+  let bytes, _ = List.nth (Harness.dataset_sizes h) 2 in
+  let items = Harness.items_for h bytes in
+  let thread_counts = [ 1; 2; 4; 8 ] in
+  let configs =
+    [
+      ("P", Runner.workload_p);
+      ("A", Runner.workload_a);
+      ("C", Runner.workload_c);
+    ]
+  in
+  Report.table
+    ~header:
+      ("workload/dist" :: List.map (fun t -> Printf.sprintf "%dT Kops" t) thread_counts)
+    (List.concat_map
+       (fun (name, mix) ->
+         List.map
+           (fun dist ->
+             (Printf.sprintf "%s %s" name (Workload.dist_name dist))
+             :: List.map
+                  (fun threads ->
+                    Report.kops (run_one h dist ~items ~mix ~ops:h.Harness.ops ~threads))
+                  thread_counts)
+           [ Workload.Zipf_composite 0.99; Workload.Zipf_simple 0.99 ])
+       configs)

@@ -1,0 +1,137 @@
+(* Figure 3 (a,b,c), Table 2 and Figure 4: ingestion of the production
+   trace at three dataset sizes, EvenDB vs the LSM baseline.
+
+   3a: throughput per dataset size; 3b: throughput dynamics (largest
+   size); 3c: write amplification; Table 2: duration / read IO / write
+   IO; Figure 4: space consumption during ingestion (with EvenDB's log
+   share). *)
+
+open Evendb_storage
+open Evendb_ycsb
+
+type ingest_result = {
+  kops : float;
+  wall : float;
+  wamp : float;
+  read_bytes : int;
+  write_bytes : int;
+  dynamics : (float * float) list; (* (time s, Kops) *)
+  space : (float * int * int) list; (* (progress %, total bytes, log bytes) *)
+}
+
+let ingest (h : Harness.t) which ~events =
+  Harness.with_engine h which (fun e ->
+      let trace = Trace.create ~apps:(2000 * h.scale) ~value_bytes:h.value_bytes ~seed:7 () in
+      let t0 = Unix.gettimeofday () in
+      let window = ref t0 in
+      let window_count = ref 0 in
+      let dynamics = ref [] in
+      let space = ref [] in
+      for i = 1 to events do
+        let k, v = Trace.next_event trace in
+        e.Engine.put k v;
+        incr window_count;
+        let now = Unix.gettimeofday () in
+        if now -. !window >= 0.5 then begin
+          dynamics := (now -. t0, float_of_int !window_count /. (now -. !window) /. 1000.0) :: !dynamics;
+          window := now;
+          window_count := 0
+        end;
+        if i mod (max 1 (events / 20)) = 0 then
+          space :=
+            (float_of_int i /. float_of_int events *. 100.0, Engine.space_used e, -1) :: !space
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      let stats = Io_stats.snapshot (Env.stats e.Engine.env) in
+      {
+        kops = float_of_int events /. wall /. 1000.0;
+        wall;
+        wamp = Engine.write_amplification e;
+        read_bytes = stats.Io_stats.bytes_read;
+        write_bytes = stats.Io_stats.bytes_written;
+        dynamics = List.rev !dynamics;
+        space = List.rev !space;
+      })
+
+(* EvenDB variant that also samples funk-log bytes for Figure 4. *)
+let ingest_evendb_with_logs (h : Harness.t) ~events =
+  let env = Env.memory () in
+  let db = Evendb_core.Db.open_ ~config:(Harness.evendb_config h) env in
+  let trace = Trace.create ~apps:(2000 * h.scale) ~value_bytes:h.value_bytes ~seed:7 () in
+  let space = ref [] in
+  for i = 1 to events do
+    let k, v = Trace.next_event trace in
+    Evendb_core.Db.put db k v;
+    if i mod (max 1 (events / 20)) = 0 then
+      space :=
+        ( float_of_int i /. float_of_int events *. 100.0,
+          Env.space_used env,
+          Evendb_core.Db.log_space db )
+        :: !space
+  done;
+  Evendb_core.Db.close db;
+  List.rev !space
+
+let run (h : Harness.t) =
+  let sizes = Harness.dataset_sizes h in
+  let results =
+    List.map
+      (fun (bytes, label) ->
+        let events = Harness.items_for h bytes in
+        let ev = ingest h `Evendb ~events in
+        let ro = ingest h `Lsm ~events in
+        (label, bytes, events, ev, ro))
+      sizes
+  in
+  Report.heading "Figure 3a: ingestion throughput (Kops), production trace";
+  Report.table
+    ~header:[ "dataset"; "events"; "EvenDB"; "LSM(RocksDB-like)"; "speedup" ]
+    (List.map
+       (fun (label, _, events, ev, ro) ->
+         [
+           label;
+           string_of_int events;
+           Report.kops ev.kops;
+           Report.kops ro.kops;
+           Report.ratio (ev.kops /. ro.kops);
+         ])
+       results);
+  Report.heading "Figure 3b: ingestion throughput dynamics (largest dataset)";
+  (match List.rev results with
+  | (_, _, _, ev, ro) :: _ ->
+    Report.series ~title:"EvenDB (time s, Kops)" ev.dynamics;
+    Report.series ~title:"LSM (time s, Kops)" ro.dynamics
+  | [] -> ());
+  Report.heading "Figure 3c: write amplification during ingestion";
+  Report.table
+    ~header:[ "dataset"; "EvenDB"; "LSM(RocksDB-like)" ]
+    (List.map
+       (fun (label, _, _, ev, ro) -> [ label; Report.ratio ev.wamp; Report.ratio ro.wamp ])
+       results);
+  Report.heading "Table 2: resource consumption, largest ingestion";
+  (match List.rev results with
+  | (_, _, _, ev, ro) :: _ ->
+    Report.table
+      ~header:[ "engine"; "duration(s)"; "read I/O (MiB)"; "write I/O (MiB)" ]
+      [
+        [ "EvenDB"; Printf.sprintf "%.1f" ev.wall; Report.mib ev.read_bytes; Report.mib ev.write_bytes ];
+        [ "LSM"; Printf.sprintf "%.1f" ro.wall; Report.mib ro.read_bytes; Report.mib ro.write_bytes ];
+      ]
+  | [] -> ());
+  Report.heading "Figure 4: space consumption during ingestion (largest dataset)";
+  (match List.rev results with
+  | (_, bytes, events, _, ro) :: _ ->
+    let ev_space = ingest_evendb_with_logs h ~events in
+    Printf.printf "raw data: %s MiB\n" (Report.mib bytes);
+    Report.table
+      ~header:[ "progress %"; "EvenDB total MiB"; "EvenDB logs MiB"; "LSM total MiB" ]
+      (List.map2
+         (fun (pct, ev_total, ev_logs) (_, lsm_total, _) ->
+           [
+             Printf.sprintf "%.0f" pct;
+             Report.mib ev_total;
+             Report.mib ev_logs;
+             Report.mib lsm_total;
+           ])
+         ev_space ro.space)
+  | [] -> ())

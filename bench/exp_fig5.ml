@@ -1,0 +1,66 @@
+(* Figure 5: scan-dominated analytics (95% range scans / 5% puts) over
+   ingested production data, per dataset size, with throughput
+   dynamics. Every query scans the recent history of one app sampled
+   from the popularity distribution (popular apps queried more). *)
+
+open Evendb_ycsb
+
+let run_one (h : Harness.t) which ~events ~ops =
+  Harness.with_engine h which (fun e ->
+      let trace = Trace.create ~apps:(2000 * h.scale) ~value_bytes:h.value_bytes ~seed:7 () in
+      (* Ingest phase (not measured). *)
+      for _ = 1 to events do
+        let k, v = Trace.next_event trace in
+        e.Engine.put k v
+      done;
+      (* Measured analytics phase: 95% scans of recent per-app history,
+         5% puts of new events. *)
+      let rng = Evendb_util.Rng.create 31337 in
+      let t0 = Unix.gettimeofday () in
+      let window = ref t0 and window_count = ref 0 in
+      let dynamics = ref [] in
+      for _ = 1 to ops do
+        (if Evendb_util.Rng.int rng 100 < 5 then begin
+           let k, v = Trace.next_event trace in
+           e.Engine.put k v
+         end
+         else begin
+           let app = Trace.sample_app trace in
+           let low, high = Trace.recent_range trace app ~events:50 in
+           ignore (e.Engine.scan ~low ~high ~limit:200)
+         end);
+        incr window_count;
+        let now = Unix.gettimeofday () in
+        if now -. !window >= 0.5 then begin
+          dynamics :=
+            (now -. t0, float_of_int !window_count /. (now -. !window) /. 1000.0) :: !dynamics;
+          window := now;
+          window_count := 0
+        end
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      (float_of_int ops /. wall /. 1000.0, List.rev !dynamics))
+
+let run (h : Harness.t) =
+  Report.heading "Figure 5: scan-dominated workload (95% scan / 5% put), production data";
+  let ops = max 200 (h.ops / 20) in
+  let rows =
+    List.map
+      (fun (bytes, label) ->
+        let events = Harness.items_for h bytes in
+        let ev_kops, ev_dyn = run_one h `Evendb ~events ~ops in
+        let ro_kops, ro_dyn = run_one h `Lsm ~events ~ops in
+        (label, ev_kops, ro_kops, ev_dyn, ro_dyn))
+      (Harness.dataset_sizes h)
+  in
+  Report.table
+    ~header:[ "dataset"; "EvenDB Kops"; "LSM Kops"; "speedup" ]
+    (List.map
+       (fun (label, ev, ro, _, _) ->
+         [ label; Report.kops ev; Report.kops ro; Report.ratio (ev /. ro) ])
+       rows);
+  match List.rev rows with
+  | (_, _, _, ev_dyn, ro_dyn) :: _ ->
+    Report.series ~title:"EvenDB dynamics (time s, Kops), largest dataset" ev_dyn;
+    Report.series ~title:"LSM dynamics (time s, Kops), largest dataset" ro_dyn
+  | [] -> ()

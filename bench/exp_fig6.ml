@@ -1,0 +1,88 @@
+(* Figure 6 (a-i): YCSB throughput across workloads P, A, B, C, D, F,
+   E10/E100/E1000, dataset sizes, and key distributions — EvenDB vs
+   the LSM baseline. Figure 7 (write amplification under P) is
+   measured from the same P runs. *)
+
+open Evendb_ycsb
+
+type cell = { kops : float; wamp : float }
+
+let run_cell (h : Harness.t) which dist ~items ~mix ~ops =
+  Harness.with_engine h which (fun e ->
+      let shared =
+        Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:99
+      in
+      Runner.load e shared;
+      (* Warm caches with reads, as the paper does before measuring. *)
+      let warm = Runner.run e shared Runner.workload_c ~ops:(min 2000 ops) ~threads:1 in
+      ignore warm;
+      let before_logical = e.Engine.logical_bytes () in
+      let before_written = Engine.bytes_written e in
+      let r = Runner.run e shared mix ~ops ~threads:h.threads in
+      let logical = e.Engine.logical_bytes () - before_logical in
+      let written = Engine.bytes_written e - before_written in
+      {
+        kops = r.Runner.kops;
+        wamp = (if logical = 0 then 0.0 else float_of_int written /. float_of_int logical);
+      })
+
+let workloads h =
+  [
+    ("P (100% put)", Runner.workload_p);
+    ("A (50/50 put/get)", Runner.workload_a);
+    ("B (5/95 put/get)", Runner.workload_b);
+    ("C (100% get)", Runner.workload_c);
+    ("D (latest, 5/95)", Runner.workload_d);
+    ("F (100% RMW)", Runner.workload_f);
+    ("E10 (5% put, 95% scan10)", Runner.workload_e 10);
+    ("E100 (5% put, 95% scan100)", Runner.workload_e 100);
+    ("E1000 (5% put, 95% scan1000)", Runner.workload_e 1000);
+  ]
+  |> List.map (fun (name, mix) ->
+         let scan_factor =
+           match mix with
+           | (Runner.Insert, _) :: (Runner.Scan n, _) :: _ -> max 1 (n / 10)
+           | _ -> 1
+         in
+         (name, mix, max 200 (h.Harness.ops / scan_factor)))
+
+let dists_for name =
+  if String.length name > 0 && name.[0] = 'D' then [ Workload.Latest ]
+  else if String.length name > 0 && name.[0] = 'P' then
+    [ Workload.Zipf_composite 0.99; Workload.Zipf_simple 0.99; Workload.Uniform ]
+  else [ Workload.Zipf_composite 0.99; Workload.Zipf_simple 0.99 ]
+
+let run (h : Harness.t) =
+  Report.heading "Figure 6: YCSB throughput (Kops), EvenDB vs LSM";
+  let p_rows = ref [] in
+  List.iter
+    (fun (name, mix, ops) ->
+      Printf.printf "\n-- %s --\n" name;
+      let rows =
+        List.concat_map
+          (fun dist ->
+            List.map
+              (fun (bytes, label) ->
+                let items = Harness.items_for h bytes in
+                let ev = run_cell h `Evendb dist ~items ~mix ~ops in
+                let ro = run_cell h `Lsm dist ~items ~mix ~ops in
+                if name.[0] = 'P' then
+                  p_rows := (Workload.dist_name dist, label, ev.wamp, ro.wamp) :: !p_rows;
+                [
+                  Workload.dist_name dist;
+                  label;
+                  Report.kops ev.kops;
+                  Report.kops ro.kops;
+                  Report.ratio (ev.kops /. ro.kops);
+                ])
+              (Harness.dataset_sizes h))
+          (dists_for name)
+      in
+      Report.table ~header:[ "distribution"; "dataset"; "EvenDB"; "LSM"; "speedup" ] rows)
+    (workloads h);
+  Report.heading "Figure 7: write amplification under put-only workload P";
+  Report.table
+    ~header:[ "distribution"; "dataset"; "EvenDB"; "LSM" ]
+    (List.rev_map
+       (fun (dist, label, ev, ro) -> [ dist; label; Report.ratio ev; Report.ratio ro ])
+       !p_rows)

@@ -1,0 +1,35 @@
+(* Figure 8: 95th-percentile put and get latencies under the mixed
+   workload A, for Zipf-composite and Zipf-simple keys. *)
+
+open Evendb_util
+open Evendb_ycsb
+
+let run_one (h : Harness.t) which dist ~items ~ops =
+  Harness.with_engine h which (fun e ->
+      let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:17 in
+      Runner.load e shared;
+      let r = Runner.run e shared Runner.workload_a ~ops ~threads:h.threads in
+      ( Histogram.percentile r.Runner.get_hist 95.0,
+        Histogram.percentile r.Runner.put_hist 95.0 ))
+
+let run (h : Harness.t) =
+  Report.heading "Figure 8: 95% latency (ms) under mixed put-get workload A";
+  List.iter
+    (fun dist ->
+      Printf.printf "\n-- %s --\n" (Workload.dist_name dist);
+      Report.table
+        ~header:[ "dataset"; "EvenDB get"; "EvenDB put"; "LSM get"; "LSM put" ]
+        (List.map
+           (fun (bytes, label) ->
+             let items = Harness.items_for h bytes in
+             let ev_get, ev_put = run_one h `Evendb dist ~items ~ops:h.ops in
+             let ro_get, ro_put = run_one h `Lsm dist ~items ~ops:h.ops in
+             [
+               label;
+               Printf.sprintf "%.3f" (Report.ms_of_ns ev_get);
+               Printf.sprintf "%.3f" (Report.ms_of_ns ev_put);
+               Printf.sprintf "%.3f" (Report.ms_of_ns ro_get);
+               Printf.sprintf "%.3f" (Report.ms_of_ns ro_put);
+             ])
+           (Harness.dataset_sizes h)))
+    [ Workload.Zipf_composite 0.99; Workload.Zipf_simple 0.99 ]

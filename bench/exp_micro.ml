@@ -1,0 +1,104 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure family,
+   exercising that experiment's core operation in isolation (the
+   methodology companion to the macro harness). *)
+
+open Bechamel
+open Toolkit
+open Evendb_ycsb
+
+let mk_evendb (h : Harness.t) ~items dist =
+  let e = Harness.make_engine h `Evendb in
+  let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:77 in
+  Runner.load e shared;
+  (e, Workload.thread shared ~id:1)
+
+let tests (h : Harness.t) =
+  let items = Harness.items_for h (List.nth (Harness.dataset_sizes h) 0 |> fst) in
+  let dist = Workload.Zipf_composite 0.99 in
+  (* Figures 3/6a/7: the put path. *)
+  let put_engine, put_w = mk_evendb h ~items dist in
+  let put_test =
+    Test.make ~name:"fig3/fig6/fig7: evendb put"
+      (Staged.stage (fun () ->
+           put_engine.Engine.put (Workload.sample_key put_w) (Workload.make_value put_w)))
+  in
+  (* Figures 6c/8/9/10: the get path. *)
+  let get_engine, get_w = mk_evendb h ~items dist in
+  let get_test =
+    Test.make ~name:"fig6c/fig8/fig9/fig10: evendb get"
+      (Staged.stage (fun () -> ignore (get_engine.Engine.get (Workload.sample_key get_w))))
+  in
+  (* Figures 5/6g-i: the scan path. *)
+  let scan_engine, scan_w = mk_evendb h ~items dist in
+  let scan_test =
+    Test.make ~name:"fig5/fig6e: evendb scan10"
+      (Staged.stage (fun () ->
+           ignore
+             (scan_engine.Engine.scan ~low:(Workload.scan_start scan_w)
+                ~high:Workload.key_space_high ~limit:10)))
+  in
+  (* Table 4: baseline put for the ratio's denominator. *)
+  let flsm_engine = Harness.make_engine h `Flsm in
+  let flsm_w =
+    Workload.thread (Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:78) ~id:2
+  in
+  let flsm_test =
+    Test.make ~name:"table4: flsm put"
+      (Staged.stage (fun () ->
+           flsm_engine.Engine.put (Workload.sample_key flsm_w) (Workload.make_value flsm_w)))
+  in
+  (* Figure 12b: partitioned bloom filter query. *)
+  let bloom =
+    let b =
+      Evendb_bloom.Partitioned_bloom.create ~segment_bytes:8192 ~expected_keys_per_segment:256 ()
+    in
+    for i = 0 to 4095 do
+      Evendb_bloom.Partitioned_bloom.add b ~key:(Printf.sprintf "key%06d" i) ~log_offset:(i * 64)
+    done;
+    b
+  in
+  let bloom_test =
+    Test.make ~name:"fig12b: partitioned bloom query"
+      (Staged.stage (fun () ->
+           ignore (Evendb_bloom.Partitioned_bloom.segments_maybe_containing bloom "key001234")))
+  in
+  (* Table 2: log append (the ingestion write path's disk cost). *)
+  let env = Evendb_storage.Env.memory () in
+  let log = Evendb_log.Log_file.Writer.create env "micro.log" in
+  let log_test =
+    Test.make ~name:"table2: funk-log append"
+      (Staged.stage (fun () ->
+           ignore
+             (Evendb_log.Log_file.Writer.append log
+                { Evendb_util.Kv_iter.key = "key"; value = Some (String.make 128 'x');
+                  version = 1; counter = 0 })))
+  in
+  ( [ put_test; get_test; scan_test; flsm_test; bloom_test; log_test ],
+    fun () ->
+      put_engine.Engine.close ();
+      get_engine.Engine.close ();
+      scan_engine.Engine.close ();
+      flsm_engine.Engine.close () )
+
+let run (h : Harness.t) =
+  Report.heading "Micro-benchmarks (Bechamel): core op of each table/figure family";
+  let tests, cleanup = tests h in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/op\n" name est
+          | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+        analyzed)
+    tests;
+  cleanup ()

@@ -1,0 +1,46 @@
+(* Table 4: EvenDB vs the PebblesDB-like FLSM across YCSB workloads
+   and thread counts (32GB dataset, Zipf-simple in the paper; here the
+   "large" scaled dataset). Reports the throughput improvement ratio
+   EvenDB / FLSM. *)
+
+open Evendb_ycsb
+
+let run_one (h : Harness.t) which ~items ~mix ~ops ~threads =
+  Harness.with_engine h which (fun e ->
+      let shared =
+        Workload.create_shared ~value_bytes:h.value_bytes (Workload.Zipf_simple 0.99) ~items
+          ~seed:3
+      in
+      Runner.load e shared;
+      let r = Runner.run e shared mix ~ops ~threads in
+      r.Runner.kops)
+
+let run (h : Harness.t) =
+  Report.heading "Table 4: EvenDB throughput improvement over PebblesDB-like FLSM";
+  let bytes, _ = List.nth (Harness.dataset_sizes h) 2 in
+  let items = Harness.items_for h bytes in
+  let workloads =
+    [
+      ("P", Runner.workload_p, h.Harness.ops);
+      ("A", Runner.workload_a, h.Harness.ops);
+      ("B", Runner.workload_b, h.Harness.ops);
+      ("C", Runner.workload_c, h.Harness.ops);
+      ("D", Runner.workload_d, h.Harness.ops);
+      ("E100", Runner.workload_e 100, max 200 (h.Harness.ops / 10));
+      ("F", Runner.workload_f, h.Harness.ops);
+    ]
+  in
+  let thread_counts = [ 1; 2; 4 ] in
+  Report.table
+    ~header:("workload" :: List.map (fun t -> Printf.sprintf "%dT ratio" t) thread_counts)
+    (List.map
+       (fun (name, mix, ops) ->
+         name
+         :: List.map
+              (fun threads ->
+                let mix' = if name = "D" then Runner.workload_d else mix in
+                let ev = run_one h `Evendb ~items ~mix:mix' ~ops ~threads in
+                let fl = run_one h `Flsm ~items ~mix:mix' ~ops ~threads in
+                Report.ratio (ev /. fl))
+              thread_counts)
+       workloads)

@@ -1,0 +1,68 @@
+(* Shared sizing and engine construction for all experiments.
+
+   The paper runs 16 GB of RAM against 4–256 GB datasets; we preserve
+   the ratios at laptop scale: a "RAM budget" for EvenDB's munk cache
+   and dataset sizes from well-below to well-above it. [scale]
+   multiplies both dataset sizes and op counts. *)
+
+open Evendb_storage
+open Evendb_ycsb
+
+type t = {
+  scale : int;
+  threads : int;
+  value_bytes : int;
+  ram_budget : int; (* bytes of munk cache *)
+  ops : int; (* measured ops per run *)
+  on_disk : bool;
+}
+
+let mib = 1024 * 1024
+
+let default = { scale = 1; threads = 2; value_bytes = 800; ram_budget = 4 * mib; ops = 20_000; on_disk = false }
+
+let config_factor = 64 (* shrink paper thresholds 10MB chunks -> 160KB etc. *)
+
+let chunk_bytes = Evendb_core.Config.(scaled ~factor:config_factor ()).max_chunk_bytes
+
+let evendb_config h =
+  let base = Evendb_core.Config.scaled ~factor:config_factor () in
+  {
+    base with
+    munk_cache_capacity = max 2 (h.ram_budget / chunk_bytes);
+    (* Paper: 8GB munks + 4GB row cache; keep the 2:1 ratio. *)
+    row_cache_capacity_per_table =
+      max 64 (h.ram_budget / 2 / 3 / (h.value_bytes + 14));
+  }
+
+let lsm_config _h = Evendb_lsm.Lsm.Config.scaled ~factor:config_factor ()
+let flsm_config _h = Evendb_flsm.Flsm.Config.scaled ~factor:config_factor ()
+
+let bench_dir = "/tmp/evendb_bench"
+
+let fresh_env h =
+  if h.on_disk then begin
+    let dir =
+      Printf.sprintf "%s/%d_%d" bench_dir (Unix.getpid ()) (int_of_float (Unix.gettimeofday () *. 1e6))
+    in
+    Env.disk dir
+  end
+  else Env.memory ()
+
+let make_engine h which =
+  let env = fresh_env h in
+  match which with
+  | `Evendb -> Engine.evendb ~config:(evendb_config h) env
+  | `Lsm -> Engine.lsm ~config:(lsm_config h) env
+  | `Flsm -> Engine.flsm ~config:(flsm_config h) env
+
+(* Dataset sizes relative to the RAM budget, mirroring the paper's
+   4GB..256GB against 16GB RAM: below / at / 4x above. *)
+let dataset_sizes h =
+  [ (h.ram_budget / 4, "small(1/4 RAM)"); (h.ram_budget, "medium(=RAM)"); (4 * h.ram_budget, "large(4x RAM)") ]
+
+let items_for h bytes = max 256 (bytes / (h.value_bytes + 14) * h.scale)
+
+let with_engine h which f =
+  let e = make_engine h which in
+  Fun.protect ~finally:(fun () -> e.Engine.close ()) (fun () -> f e)

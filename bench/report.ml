@@ -1,0 +1,30 @@
+(* Plain-text rendering of paper-style tables and series. *)
+
+let heading title =
+  Printf.printf "\n=== %s ===\n" title
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let series ~title points =
+  Printf.printf "%s\n" title;
+  List.iter (fun (x, y) -> Printf.printf "  %10.2f  %12.3f\n" x y) points
+
+let kops v = Printf.sprintf "%.1f" v
+let ratio v = Printf.sprintf "%.2f" v
+let ms_of_ns ns = float_of_int ns /. 1e6
+let mib v = Printf.sprintf "%.1f" (float_of_int v /. 1024.0 /. 1024.0)

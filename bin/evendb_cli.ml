@@ -1,0 +1,99 @@
+(* evendb: a small command-line front end to the store.
+
+     evendb put  <dir> <key> <value>
+     evendb get  <dir> <key>
+     evendb del  <dir> <key>
+     evendb scan <dir> <low> <high> [--limit N]
+     evendb load <dir> [--items N] [--dist zipf|composite|uniform]
+     evendb stat <dir>
+     evendb checkpoint <dir>
+
+   Every invocation opens (recovering if needed) and cleanly closes
+   the store in <dir>. *)
+
+open Cmdliner
+module Db = Evendb_core.Db
+
+let with_db dir f =
+  let db = Db.open_dir dir in
+  Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
+
+let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+let key_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY")
+let value_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE")
+
+let put_cmd =
+  let run dir key value = with_db dir (fun db -> Db.put db key value) in
+  Cmd.v (Cmd.info "put" ~doc:"Write one key") Term.(const run $ dir_arg $ key_arg $ value_arg)
+
+let get_cmd =
+  let run dir key =
+    with_db dir (fun db ->
+        match Db.get db key with
+        | Some v -> print_endline v
+        | None ->
+          prerr_endline "(not found)";
+          exit 1)
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Read one key") Term.(const run $ dir_arg $ key_arg)
+
+let del_cmd =
+  let run dir key = with_db dir (fun db -> Db.delete db key) in
+  Cmd.v (Cmd.info "del" ~doc:"Delete one key") Term.(const run $ dir_arg $ key_arg)
+
+let scan_cmd =
+  let low = Arg.(required & pos 1 (some string) None & info [] ~docv:"LOW") in
+  let high = Arg.(required & pos 2 (some string) None & info [] ~docv:"HIGH") in
+  let limit = Arg.(value & opt int 1000 & info [ "limit" ] ~doc:"Max rows.") in
+  let run dir low high limit =
+    with_db dir (fun db ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+          (Db.scan db ~limit ~low ~high ()))
+  in
+  Cmd.v (Cmd.info "scan" ~doc:"Atomic range query") Term.(const run $ dir_arg $ low $ high $ limit)
+
+let load_cmd =
+  let items = Arg.(value & opt int 10_000 & info [ "items" ] ~doc:"Keys to load.") in
+  let dist =
+    Arg.(
+      value
+      & opt (enum [ ("zipf", `Zipf); ("composite", `Composite); ("uniform", `Uniform) ]) `Composite
+      & info [ "dist" ] ~doc:"Key distribution.")
+  in
+  let run dir items dist =
+    let d =
+      match dist with
+      | `Zipf -> Evendb_ycsb.Workload.Zipf_simple 0.99
+      | `Composite -> Evendb_ycsb.Workload.Zipf_composite 0.99
+      | `Uniform -> Evendb_ycsb.Workload.Uniform
+    in
+    with_db dir (fun db ->
+        let sh = Evendb_ycsb.Workload.create_shared ~value_bytes:128 d ~items ~seed:1 in
+        let w = Evendb_ycsb.Workload.thread sh ~id:0 in
+        let keys = Evendb_ycsb.Workload.load_keys sh in
+        List.iter (fun k -> Db.put db k (Evendb_ycsb.Workload.make_value w)) keys;
+        Printf.printf "loaded %d keys\n" (List.length keys))
+  in
+  Cmd.v (Cmd.info "load" ~doc:"Bulk-load a synthetic dataset") Term.(const run $ dir_arg $ items $ dist)
+
+let stat_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        Printf.printf "chunks:              %d\n" (Db.chunk_count db);
+        Printf.printf "resident munks:      %d\n" (Db.munk_count db);
+        Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
+        Printf.printf "current epoch:       %d\n" (Db.current_epoch db))
+  in
+  Cmd.v (Cmd.info "stat" ~doc:"Store statistics") Term.(const run $ dir_arg)
+
+let checkpoint_cmd =
+  let run dir = with_db dir (fun db -> Db.checkpoint db) in
+  Cmd.v (Cmd.info "checkpoint" ~doc:"Force a durability checkpoint") Term.(const run $ dir_arg)
+
+let () =
+  let doc = "EvenDB: a key-value store optimized for spatial locality" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "evendb" ~doc)
+          [ put_cmd; get_cmd; del_cmd; scan_cmd; load_cmd; stat_cmd; checkpoint_cmd ]))

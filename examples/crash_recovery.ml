@@ -1,0 +1,63 @@
+(* Crash recovery (§3.5): asynchronous persistence recovers to a
+   consistent prefix of the write history — if a later put survives,
+   every earlier put does too. The in-memory storage environment
+   simulates power failure by discarding unsynced data.
+
+     dune exec examples/crash_recovery.exe *)
+
+module Db = Evendb_core.Db
+module Env = Evendb_storage.Env
+
+let key i = Printf.sprintf "event%08d" i
+
+let () =
+  let env = Env.memory () in
+  let config =
+    { (Evendb_core.Config.scaled ~factor:64 ()) with checkpoint_every_puts = 0 }
+  in
+  let db = Db.open_ ~config env in
+
+  (* Phase 1: writes covered by an explicit checkpoint. *)
+  for i = 0 to 999 do
+    Db.put db (key i) (Printf.sprintf "durable-%d" i)
+  done;
+  Db.checkpoint db;
+  Printf.printf "wrote 1000 events, checkpointed at version %d (epoch %d)\n"
+    (Db.current_version db) (Db.current_epoch db);
+
+  (* Phase 2: more writes, never checkpointed. *)
+  for i = 1000 to 1499 do
+    Db.put db (key i) (Printf.sprintf "volatile-%d" i)
+  done;
+  Printf.printf "wrote 500 more events without a checkpoint\n";
+
+  (* Power failure. *)
+  Env.crash env;
+  print_endline "-- crash --";
+
+  (* Recovery: no WAL replay; chunk metadata is rebuilt from the funk
+     files and data loads lazily. The second epoch begins. *)
+  let db = Db.open_ ~config env in
+  Printf.printf "recovered into epoch %d\n" (Db.current_epoch db);
+  let survived = ref 0 and lost = ref 0 and last_survivor = ref (-1) in
+  for i = 0 to 1499 do
+    match Db.get db (key i) with
+    | Some _ ->
+      incr survived;
+      last_survivor := i
+    | None -> incr lost
+  done;
+  Printf.printf "%d events survived, %d lost\n" !survived !lost;
+
+  (* The consistency guarantee: survivors form a prefix — nothing
+     after a lost event is visible. *)
+  let prefix_consistent = !last_survivor + 1 = !survived in
+  Printf.printf "survivors form a prefix of the history: %b\n" prefix_consistent;
+  assert prefix_consistent;
+  assert (!survived >= 1000);
+
+  (* Uncheckpointed writes of the new epoch behave normally. *)
+  Db.put db "post-crash" "alive";
+  assert (Db.get db "post-crash" = Some "alive");
+  Db.close db;
+  print_endline "crash_recovery done"

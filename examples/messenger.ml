@@ -1,0 +1,56 @@
+(* Messaging-backend scenario (§1.1): conversations keyed by
+   [user id · conversation id · message seq] — a Facebook-Messenger-like
+   "last 100 messages of a conversation" query is a bounded scan over
+   a composite-key prefix.
+
+     dune exec examples/messenger.exe *)
+
+module Db = Evendb_core.Db
+open Evendb_util
+
+let message_key ~user ~conversation ~seq =
+  Printf.sprintf "u%06d/c%04d/m%08d" user conversation seq
+
+let () =
+  let env = Evendb_storage.Env.memory () in
+  let db = Db.open_ ~config:(Evendb_core.Config.scaled ~factor:64 ()) env in
+  let rng = Rng.create 7 in
+  let users = 200 and conversations_per_user = 5 in
+
+  (* Seed mailboxes: skewed activity — a few users chat a lot. *)
+  let zipf = Zipf.create ~theta:0.9 users in
+  let seqs = Hashtbl.create 128 in
+  for _ = 1 to 50_000 do
+    let user = Zipf.scramble users (Zipf.next zipf rng) in
+    let conversation = Rng.int rng conversations_per_user in
+    let id = (user * conversations_per_user) + conversation in
+    let seq = Option.value ~default:0 (Hashtbl.find_opt seqs id) in
+    Hashtbl.replace seqs id (seq + 1);
+    Db.put db
+      (message_key ~user ~conversation ~seq)
+      (Printf.sprintf "msg %d in u%d/c%d: %s" seq user conversation (Rng.string rng 48))
+  done;
+
+  (* "Open the app": fetch the last 100 messages of a user's busiest
+     conversation. Messages of one conversation are contiguous, so
+     this is a single chunk read in the common case. *)
+  let user = Zipf.scramble users (Zipf.next zipf rng) in
+  let conversation = 0 in
+  let low = message_key ~user ~conversation ~seq:0 in
+  let high = Printf.sprintf "u%06d/c%04d/~" user conversation in
+  let all = Db.scan db ~low ~high () in
+  let last_100 =
+    let n = List.length all in
+    List.filteri (fun i _ -> i >= n - 100) all
+  in
+  Printf.printf "user %d, conversation %d: %d messages, showing last %d\n" user conversation
+    (List.length all) (List.length last_100);
+  (match List.rev last_100 with
+  | (k, v) :: _ -> Printf.printf "most recent: %s -> %s...\n" k (String.sub v 0 (min 40 (String.length v)))
+  | [] -> ());
+
+  (* Unread counts across all conversations of the user: one scan. *)
+  let ulow = Printf.sprintf "u%06d/" user and uhigh = Printf.sprintf "u%06d/~" user in
+  Printf.printf "user %d has %d messages across all conversations\n" user
+    (List.length (Db.scan db ~low:ulow ~high:uhigh ()));
+  Db.close db

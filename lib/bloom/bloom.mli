@@ -1,0 +1,24 @@
+(** Bloom filter over string keys.
+
+    Standard m-bit filter with [k] probes derived from one 128-bit hash
+    by double hashing. Thread-safety: construction (adds) must be
+    externally synchronized; queries after construction are safe from
+    any domain (the bit array is no longer mutated). *)
+
+type t
+
+val create : ?bits_per_key:int -> int -> t
+(** [create ~bits_per_key n] sizes the filter for [n] expected keys
+    (default 10 bits/key, ~1% false-positive rate); the probe count is
+    derived as [ln 2 * bits_per_key], clamped to [\[1, 30\]]. *)
+
+val add : t -> string -> unit
+val mem : t -> string -> bool
+val bit_count : t -> int
+
+val fill_ratio : t -> float
+(** Fraction of set bits (diagnostic). *)
+
+val serialize : t -> string
+val deserialize : string -> t
+(** Raises [Invalid_argument] on malformed input. *)

@@ -1,0 +1,35 @@
+(** Partitioned Bloom filter over a funk log (paper §3.1, §5.5).
+
+    "The Bloom filter is partitioned into a handful of filters, each
+    summarizing the content of part of the log, limiting sequential
+    searches to a small section of the log."
+
+    The log's byte range is covered by consecutive segments of
+    [segment_bytes] each; the open tail segment keeps absorbing new
+    appends until it fills, then a fresh segment filter is started. A
+    lookup returns the segments that may contain the key, newest
+    first, so the caller scans only those slices of the log. With
+    [segment_bytes = log_size_limit / split_factor] this is the
+    paper's k-way split. *)
+
+type t
+
+val create : ?bits_per_key:int -> segment_bytes:int -> expected_keys_per_segment:int -> unit -> t
+(** Raises [Invalid_argument] if [segment_bytes <= 0]. *)
+
+val add : t -> key:string -> log_offset:int -> unit
+(** Record that a log record for [key] begins at [log_offset]. Offsets
+    must be non-decreasing across calls (logs are append-only). Not
+    thread-safe with concurrent [add]s; callers hold the chunk's put
+    synchronization. *)
+
+val segments_maybe_containing : t -> string -> (int * int) list
+(** [segments_maybe_containing t key] is the list of [(start_offset,
+    end_offset)] half-open byte ranges (newest first) whose filters
+    report a possible match; the tail segment's [end_offset] is
+    [max_int] (scan to end of log). An empty list proves the key is
+    absent from the log. *)
+
+val may_contain : t -> string -> bool
+
+val segment_count : t -> int

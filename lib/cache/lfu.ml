@@ -1,0 +1,122 @@
+type decision =
+  | Already_cached
+  | Admit of int option
+  | Evict_other of int
+  | Skip
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  decay_every : int;
+  freq : (int, int) Hashtbl.t;
+  cached_set : (int, unit) Hashtbl.t;
+  mutable accesses : int;
+}
+
+let create ~capacity ?(decay_every = 10_000) () =
+  if capacity <= 0 then invalid_arg "Lfu.create: capacity <= 0";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    decay_every;
+    freq = Hashtbl.create 256;
+    cached_set = Hashtbl.create 256;
+    accesses = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump t id =
+  let f = Option.value ~default:0 (Hashtbl.find_opt t.freq id) in
+  Hashtbl.replace t.freq id (f + 1);
+  t.accesses <- t.accesses + 1;
+  if t.accesses >= t.decay_every then begin
+    t.accesses <- 0;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.freq k (v / 2)) t.freq
+  end;
+  f + 1
+
+(* Coldest cached chunk (lowest frequency), excluding [but]. *)
+let victim ?but t =
+  Hashtbl.fold
+    (fun id () best ->
+      if Some id = but then best
+      else begin
+        let f = Option.value ~default:0 (Hashtbl.find_opt t.freq id) in
+        match best with
+        | Some (_, bf) when bf <= f -> best
+        | _ -> Some (id, f)
+      end)
+    t.cached_set None
+
+let on_access t id =
+  with_lock t (fun () ->
+      let f = bump t id in
+      if Hashtbl.mem t.cached_set id then begin
+        (* Splits can leave the cache transiently over capacity
+           (children inherit the parent's cached status); drain the
+           excess here. *)
+        if Hashtbl.length t.cached_set > t.capacity then begin
+          match victim ~but:id t with
+          | Some (vid, _) ->
+            Hashtbl.remove t.cached_set vid;
+            Evict_other vid
+          | None -> Already_cached
+        end
+        else Already_cached
+      end
+      else if Hashtbl.length t.cached_set < t.capacity then begin
+        Hashtbl.replace t.cached_set id ();
+        Admit None
+      end
+      else
+        match victim t with
+        | Some (vid, vf) when f > vf ->
+          Hashtbl.remove t.cached_set vid;
+          Hashtbl.replace t.cached_set id ();
+          Admit (Some vid)
+        | _ -> Skip)
+
+let is_cached t id = with_lock t (fun () -> Hashtbl.mem t.cached_set id)
+
+let force_insert t id =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.cached_set id then None
+      else begin
+        Hashtbl.replace t.cached_set id ();
+        if Hashtbl.length t.cached_set > t.capacity then begin
+          match victim ~but:id t with
+          | Some (vid, _) ->
+            Hashtbl.remove t.cached_set vid;
+            Some vid
+          | None -> None
+        end
+        else None
+      end)
+
+let remove t id =
+  with_lock t (fun () ->
+      Hashtbl.remove t.cached_set id;
+      Hashtbl.remove t.freq id)
+
+let transfer t ~old_id ~new_ids =
+  with_lock t (fun () ->
+      let f = Option.value ~default:0 (Hashtbl.find_opt t.freq old_id) in
+      let was_cached = Hashtbl.mem t.cached_set old_id in
+      Hashtbl.remove t.cached_set old_id;
+      Hashtbl.remove t.freq old_id;
+      List.iter
+        (fun id ->
+          Hashtbl.replace t.freq id f;
+          if was_cached then Hashtbl.replace t.cached_set id ())
+        new_ids)
+
+let cached t =
+  with_lock t (fun () -> Hashtbl.fold (fun id () acc -> id :: acc) t.cached_set [])
+
+let frequency t id =
+  with_lock t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.freq id))
+
+let drop_cached t id = with_lock t (fun () -> Hashtbl.remove t.cached_set id)

@@ -1,0 +1,52 @@
+(** LFU-with-decay admission/eviction policy for the munk cache (§4).
+
+    "The munk cache applies an LFU eviction policy. We use exponential
+    decay to maintain the recent access counts: periodically, all
+    counters are sliced by a factor of two."
+
+    The policy tracks access frequencies of *chunks* (by integer id)
+    and maintains the cached set. On each access to an uncached chunk
+    it decides whether the chunk has become hot enough to displace the
+    coldest cached munk. Thread-safe. *)
+
+type t
+
+type decision =
+  | Already_cached
+  | Admit of int option
+      (** Cache this chunk; evict the munk of the given chunk first
+          (None while the cache has spare capacity). *)
+  | Evict_other of int
+      (** The accessed chunk stays cached, but the cache is over
+          capacity (post-split inheritance): evict the given chunk. *)
+  | Skip  (** Not hot enough to displace anything. *)
+
+val create : capacity:int -> ?decay_every:int -> unit -> t
+(** [capacity] is the maximum number of cached munks; [decay_every]
+    (default 10_000) is the access count between decay sweeps. *)
+
+val on_access : t -> int -> decision
+(** Bump the chunk's frequency and decide. When [Admit] is returned
+    the chunk is recorded as cached and the evictee (if any) as
+    uncached — the caller performs the actual munk load/drop. *)
+
+val is_cached : t -> int -> bool
+
+val force_insert : t -> int -> int option
+(** Unconditionally mark a chunk cached (initial load, splits),
+    returning a chunk to evict if over capacity. *)
+
+val remove : t -> int -> unit
+(** Forget a chunk entirely (it was split away or merged). *)
+
+val transfer : t -> old_id:int -> new_ids:int list -> unit
+(** Split support: the children inherit the parent's frequency and
+    cached status. May exceed capacity transiently; the next
+    [on_access] rebalances. *)
+
+val cached : t -> int list
+val frequency : t -> int -> int
+
+val drop_cached : t -> int -> unit
+(** Mark a chunk as no longer cached but keep its frequency (explicit
+    munk eviction). *)

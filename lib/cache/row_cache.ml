@@ -1,0 +1,121 @@
+type cached = {
+  value : string;
+  version : int;
+  counter : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  n_tables : int;
+  mutable queue : (string, cached) Hashtbl.t list; (* head first *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(tables = 3) ~capacity_per_table () =
+  if tables <= 0 then invalid_arg "Row_cache.create: tables <= 0";
+  if capacity_per_table <= 0 then invalid_arg "Row_cache.create: capacity <= 0";
+  {
+    mutex = Mutex.create ();
+    capacity = capacity_per_table;
+    n_tables = tables;
+    queue = List.init tables (fun _ -> Hashtbl.create 64);
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let head t = match t.queue with h :: _ -> h | [] -> assert false
+
+let newer a ~version ~counter =
+  a.version > version || (a.version = version && a.counter >= counter)
+
+(* Push a fresh head table and drop the tail once the head fills. *)
+let rotate_if_full t =
+  if Hashtbl.length (head t) >= t.capacity then begin
+    let keep = List.filteri (fun i _ -> i < t.n_tables - 1) t.queue in
+    t.queue <- Hashtbl.create 64 :: keep
+  end
+
+let add_to_head t key entry =
+  rotate_if_full t;
+  Hashtbl.replace (head t) key entry
+
+let find_anywhere t key =
+  let rec search = function
+    | [] -> None
+    | table :: rest -> (
+      match Hashtbl.find_opt table key with
+      | Some e -> Some (e, table)
+      | None -> search rest)
+  in
+  search t.queue
+
+let find t key =
+  with_lock t (fun () ->
+      match find_anywhere t key with
+      | None ->
+        t.miss_count <- t.miss_count + 1;
+        None
+      | Some (e, table) ->
+        t.hit_count <- t.hit_count + 1;
+        (* Promote: share the pair with the head table so it survives
+           the tail being dropped. *)
+        if table != head t then add_to_head t key e;
+        Some e.value)
+
+let insert t key value ~version ~counter =
+  with_lock t (fun () ->
+      match find_anywhere t key with
+      | Some (e, _) when newer e ~version ~counter -> ()
+      | _ -> add_to_head t key { value; version; counter })
+
+let update_if_present t key value ~version ~counter =
+  with_lock t (fun () ->
+      match find_anywhere t key with
+      | None -> ()
+      | Some (e, _) when newer e ~version ~counter -> ()
+      | Some _ ->
+        (* Refresh every copy: stale values must never be served. *)
+        List.iter
+          (fun table ->
+            if Hashtbl.mem table key then Hashtbl.replace table key { value; version; counter })
+          t.queue)
+
+let invalidate t key =
+  with_lock t (fun () -> List.iter (fun table -> Hashtbl.remove table key) t.queue)
+
+let invalidate_range t ~low ~high =
+  with_lock t (fun () ->
+      List.iter
+        (fun table ->
+          let doomed =
+            Hashtbl.fold
+              (fun k _ acc ->
+                if
+                  String.compare low k <= 0
+                  && (match high with None -> true | Some h -> String.compare k h <= 0)
+                then k :: acc
+                else acc)
+              table []
+          in
+          List.iter (Hashtbl.remove table) doomed)
+        t.queue)
+
+let clear t =
+  with_lock t (fun () -> t.queue <- List.init t.n_tables (fun _ -> Hashtbl.create 64))
+
+let length t =
+  with_lock t (fun () ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun table -> Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) table)
+        t.queue;
+      Hashtbl.length seen)
+
+let hits t = t.hit_count
+let misses t = t.miss_count

@@ -1,0 +1,50 @@
+(** Row cache: individual hot KV-pairs from munk-less chunks (§2.2, §4).
+
+    Coarse-grained LRU implemented as a fixed-size queue of hash
+    tables. Inserts go to the head table; when it fills, a fresh table
+    is pushed at the head and the tail table is discarded, evicting its
+    entries in bulk. A hit in a non-head table re-inserts the pair into
+    the head table.
+
+    Per the paper, the cache never holds stale values: a put updates
+    the cached value only if the key is already present (it does not
+    populate the cache, to avoid pollution under write-heavy loads);
+    gets populate it after reading from disk. Entries carry the
+    (version, counter) pair of the put that produced them, and an
+    update only lands if it is newer — this is how EvenDB orders
+    concurrent same-version puts on the cache (§3.3). All operations
+    are thread-safe. *)
+
+type t
+
+val create : ?tables:int -> capacity_per_table:int -> unit -> t
+(** [tables] defaults to 3 (the configuration of §5.1). *)
+
+val find : t -> string -> string option
+(** [find t key] returns the cached value and promotes the entry to
+    the head table. [None] means "not cached" (the key may still exist
+    on disk). *)
+
+val insert : t -> string -> string -> version:int -> counter:int -> unit
+(** Add on the read path (after a disk get). If a newer copy is
+    already cached, it is kept. *)
+
+val update_if_present : t -> string -> string -> version:int -> counter:int -> unit
+(** Write path: refresh the cached copy only if one exists and is
+    older than (version, counter). *)
+
+val invalidate : t -> string -> unit
+(** Remove a key everywhere (delete path). *)
+
+val invalidate_range : t -> low:string -> high:string option -> unit
+(** Remove all keys in [\[low, high\]] ([None] = unbounded) — used
+    when a chunk gains a munk, after which puts stop refreshing the
+    cache for that range. *)
+
+val clear : t -> unit
+
+val length : t -> int
+(** Number of live entries (entries shared between tables count once). *)
+
+val hits : t -> int
+val misses : t -> int

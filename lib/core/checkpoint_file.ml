@@ -1,0 +1,37 @@
+open Evendb_util
+open Evendb_storage
+
+let file_name = "CHECKPOINT"
+
+let store env ~version =
+  let buf = Buffer.create 16 in
+  Varint.write buf version;
+  let payload = Buffer.contents buf in
+  let crc = Crc32c.string payload in
+  let tmp = file_name ^ ".tmp" in
+  let file = Env.create env tmp in
+  Env.append file payload;
+  Env.append file
+    (String.init 4 (fun i ->
+         Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
+  Env.fsync file;
+  Env.close_file file;
+  Env.rename env ~old_name:tmp ~new_name:file_name
+
+let load env =
+  if not (Env.exists env file_name) then None
+  else begin
+    let data = Env.read_all env file_name in
+    if String.length data < 5 then invalid_arg "Checkpoint_file.load: truncated";
+    let payload = String.sub data 0 (String.length data - 4) in
+    let stored =
+      let b i = Int32.of_int (Char.code data.[String.length data - 4 + i]) in
+      Int32.logor (b 0)
+        (Int32.logor
+           (Int32.shift_left (b 1) 8)
+           (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+    in
+    if Crc32c.string payload <> stored then invalid_arg "Checkpoint_file.load: bad checksum";
+    let version, _ = Varint.read payload 0 in
+    Some version
+  end

@@ -1,0 +1,83 @@
+open Evendb_util
+open Evendb_bloom
+open Evendb_munk
+
+type t = {
+  chunk_id : int;
+  min_key_v : string;
+  next_ref : t option Atomic.t;
+  funk_ref : Funk.t Atomic.t;
+  munk_ref : Munk.t option Atomic.t;
+  bloom_ref : Partitioned_bloom.t option Atomic.t;
+  bloom_mutex : Mutex.t;
+  lock : Rwlock.t;
+  funk_change : Mutex.t;
+  counter : int Atomic.t;
+  retired_flag : bool Atomic.t;
+}
+
+let create_inheriting ~id ~min_key ~funk ~munk ~counter =
+  {
+    chunk_id = id;
+    min_key_v = min_key;
+    next_ref = Atomic.make None;
+    funk_ref = Atomic.make funk;
+    munk_ref = Atomic.make munk;
+    bloom_ref = Atomic.make None;
+    bloom_mutex = Mutex.create ();
+    lock = Rwlock.create ();
+    funk_change = Mutex.create ();
+    counter = Atomic.make counter;
+    retired_flag = Atomic.make false;
+  }
+
+let create ~id ~min_key ~funk ~munk = create_inheriting ~id ~min_key ~funk ~munk ~counter:0
+
+let id t = t.chunk_id
+let min_key t = t.min_key_v
+let next t = Atomic.get t.next_ref
+let set_next t n = Atomic.set t.next_ref n
+let funk t = Atomic.get t.funk_ref
+let set_funk t f = Atomic.set t.funk_ref f
+let munk t = Atomic.get t.munk_ref
+let set_munk t m = Atomic.set t.munk_ref m
+let retired t = Atomic.get t.retired_flag
+let retire t = Atomic.set t.retired_flag true
+let rebalance_lock t = t.lock
+let funk_change_mutex t = t.funk_change
+let next_counter t = Atomic.fetch_and_add t.counter 1
+let counter_base t = Atomic.get t.counter
+
+let bloom_note_put t ~key ~log_offset =
+  match Atomic.get t.bloom_ref with
+  | None -> ()
+  | Some _ ->
+    Mutex.lock t.bloom_mutex;
+    (* Re-read under the mutex: the bloom may have been dropped by a
+       concurrent munk load. *)
+    (match Atomic.get t.bloom_ref with
+    | Some bloom -> Partitioned_bloom.add bloom ~key ~log_offset
+    | None -> ());
+    Mutex.unlock t.bloom_mutex
+
+let bloom_segments t key =
+  Mutex.lock t.bloom_mutex;
+  let result =
+    match Atomic.get t.bloom_ref with
+    | None -> None
+    | Some bloom -> Some (Partitioned_bloom.segments_maybe_containing bloom key)
+  in
+  Mutex.unlock t.bloom_mutex;
+  result
+
+let set_bloom t b =
+  Mutex.lock t.bloom_mutex;
+  Atomic.set t.bloom_ref b;
+  Mutex.unlock t.bloom_mutex
+
+let covers t ~key =
+  String.compare t.min_key_v key <= 0
+  &&
+  match next t with
+  | None -> true
+  | Some nxt -> String.compare key (min_key nxt) < 0

@@ -1,0 +1,67 @@
+(** Chunk metadata (§3.1).
+
+    "All chunks are represented in memory via light-weight volatile
+    metadata objects" — the key range start, links into the chunk list,
+    references to the funk and (optionally) the munk, the rebalance
+    lock, the per-chunk put counter, and the partitioned bloom filter
+    maintained while the chunk has no munk.
+
+    Chunks are immutable in their key range; splits retire a chunk and
+    insert two fresh ones. *)
+
+open Evendb_util
+open Evendb_bloom
+open Evendb_munk
+
+type t
+
+val create : id:int -> min_key:string -> funk:Funk.t -> munk:Munk.t option -> t
+
+val id : t -> int
+val min_key : t -> string
+
+val next : t -> t option
+val set_next : t -> t option -> unit
+
+val funk : t -> Funk.t
+(** Current funk (unpinned — use {!Funk.with_pin} with {!funk} as the
+    fetcher for reads that survive funk flips). *)
+
+val set_funk : t -> Funk.t -> unit
+
+val munk : t -> Munk.t option
+val set_munk : t -> Munk.t option -> unit
+
+val retired : t -> bool
+val retire : t -> unit
+
+val rebalance_lock : t -> Rwlock.t
+
+val funk_change_mutex : t -> Mutex.t
+(** Serializes funk rebuilds of this chunk (the paper's
+    funkChangeLock). *)
+
+val next_counter : t -> int
+(** Monotone per-chunk counter ordering same-version puts (§3.3). *)
+
+val counter_base : t -> int
+(** Current counter value, for children to inherit on split. *)
+
+val create_inheriting : id:int -> min_key:string -> funk:Funk.t -> munk:Munk.t option -> counter:int -> t
+
+(** {2 Bloom filter of the funk log (munk-less chunks)} *)
+
+val bloom_note_put : t -> key:string -> log_offset:int -> unit
+(** Record a log append in the chunk's partitioned bloom, if one is
+    active. Caller must hold the put-side synchronization (shared
+    rebalance lock); internal mutex orders concurrent writers. *)
+
+val bloom_segments : t -> string -> (int * int) list option
+(** Candidate log ranges possibly holding the key; [None] when no
+    bloom is active (search the whole log). *)
+
+val set_bloom : t -> Partitioned_bloom.t option -> unit
+
+val covers : t -> key:string -> bool
+(** [min_key t <= key < next(t).min_key] (upper bound open-ended for
+    the last chunk). *)

@@ -1,0 +1,40 @@
+type t = {
+  keys : string array;
+  nodes : Chunk.t array;
+}
+
+let build chunk_list =
+  (match chunk_list with
+  | [] -> invalid_arg "Chunk_index.build: empty"
+  | first :: _ ->
+    if Chunk.min_key first <> "" then
+      invalid_arg "Chunk_index.build: missing sentinel chunk");
+  let nodes = Array.of_list chunk_list in
+  let keys = Array.map Chunk.min_key nodes in
+  Array.iteri
+    (fun i k -> if i > 0 && String.compare keys.(i - 1) k >= 0 then
+        invalid_arg (Printf.sprintf "Chunk_index.build: unsorted chunks (%S >= %S at %d/%d)"
+          keys.(i - 1) k i (Array.length keys)))
+    keys;
+  { keys; nodes }
+
+let of_first_chunk first =
+  let rec walk acc c =
+    match Chunk.next c with None -> List.rev (c :: acc) | Some n -> walk (c :: acc) n
+  in
+  build (walk [] first)
+
+let find t key =
+  let lo = ref 0 and hi = ref (Array.length t.keys - 1) and result = ref 0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare t.keys.(mid) key <= 0 then begin
+      result := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  t.nodes.(!result)
+
+let size t = Array.length t.nodes
+let chunks t = Array.to_list t.nodes

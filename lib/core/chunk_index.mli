@@ -1,0 +1,26 @@
+(** Volatile chunk index (§3.1, §4).
+
+    "The chunk index is implemented as a sorted array holding the
+    minimal keys of all chunks. Whenever a new chunk is created (upon
+    split), the index is rebuilt and the reference to the index is
+    atomically flipped."
+
+    Lookups are best-effort: the index may briefly lag the chunk list
+    after a split, so callers validate coverage against the list and
+    fall back to walking [next] pointers. *)
+
+type t
+
+val build : Chunk.t list -> t
+(** The list must be sorted by min-key and start with the sentinel
+    chunk (min key [""]); raises [Invalid_argument] if empty or
+    unsorted. *)
+
+val of_first_chunk : Chunk.t -> t
+(** Build by walking the chunk list from its head. *)
+
+val find : t -> string -> Chunk.t
+(** Chunk with the greatest min-key [<= key]. *)
+
+val size : t -> int
+val chunks : t -> Chunk.t list

@@ -1,0 +1,53 @@
+type persistence = Async | Sync
+
+type t = {
+  max_chunk_bytes : int;
+  munk_rebalance_bytes : int;
+  munk_rebalance_appended : int;
+  funk_log_limit_no_munk : int;
+  funk_log_limit_with_munk : int;
+  bloom_split_factor : int;
+  bloom_bits_per_key : int;
+  munk_cache_capacity : int;
+  row_cache_tables : int;
+  row_cache_capacity_per_table : int;
+  po_slots : int;
+  persistence : persistence;
+  checkpoint_every_puts : int;
+  sstable_block_bytes : int;
+  collect_read_stats : bool;
+  background_maintenance : bool;
+}
+
+let mib = 1024 * 1024
+
+let default =
+  {
+    max_chunk_bytes = 10 * mib;
+    munk_rebalance_bytes = 7 * mib;
+    munk_rebalance_appended = 8192;
+    funk_log_limit_no_munk = 2 * mib;
+    funk_log_limit_with_munk = 20 * mib;
+    bloom_split_factor = 16;
+    bloom_bits_per_key = 10;
+    munk_cache_capacity = 64;
+    row_cache_tables = 3;
+    row_cache_capacity_per_table = 4096;
+    po_slots = 128;
+    persistence = Async;
+    checkpoint_every_puts = 32768;
+    sstable_block_bytes = 4096;
+    collect_read_stats = false;
+    background_maintenance = false;
+  }
+
+let scaled ?(factor = 64) () =
+  if factor <= 0 then invalid_arg "Config.scaled: factor <= 0";
+  {
+    default with
+    max_chunk_bytes = max 4096 (default.max_chunk_bytes / factor);
+    munk_rebalance_bytes = max 2048 (default.munk_rebalance_bytes / factor);
+    munk_rebalance_appended = max 256 (default.munk_rebalance_appended / factor);
+    funk_log_limit_no_munk = max 1024 (default.funk_log_limit_no_munk / factor);
+    funk_log_limit_with_munk = max 8192 (default.funk_log_limit_with_munk / factor);
+  }

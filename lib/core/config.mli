@@ -1,0 +1,50 @@
+(** EvenDB configuration.
+
+    Defaults correspond to the paper's setup (§5.1), scaled so that the
+    defaults are sensible for test-sized datasets; the benchmark
+    harness overrides sizes explicitly per experiment. *)
+
+type persistence =
+  | Async  (** fsync in the background/checkpoints only (default). *)
+  | Sync  (** fsync every put before returning. *)
+
+type t = {
+  max_chunk_bytes : int;
+      (** Split trigger: a munk whose compacted size exceeds this is
+          split (paper: 10MB). *)
+  munk_rebalance_bytes : int;
+      (** Munk rebalance trigger on raw (uncompacted) size (paper: 7MB). *)
+  munk_rebalance_appended : int;
+      (** Munk rebalance trigger on the unsorted-region length, which
+          keeps bypass paths short independently of byte size. *)
+  funk_log_limit_no_munk : int;
+      (** Funk rebalance trigger for munk-less chunks (paper: 2MB). *)
+  funk_log_limit_with_munk : int;
+      (** Funk rebalance trigger for chunks with munks (paper: 20MB) —
+          high, so compaction happens almost exclusively in memory. *)
+  bloom_split_factor : int;  (** Log bloom partitions (paper: 16). *)
+  bloom_bits_per_key : int;
+  munk_cache_capacity : int;  (** Max resident munks (LFU w/ decay). *)
+  row_cache_tables : int;  (** Paper: 3 hash tables. *)
+  row_cache_capacity_per_table : int;
+  po_slots : int;
+  persistence : persistence;
+  checkpoint_every_puts : int;
+      (** Take a checkpoint after this many puts (0 = only explicit
+          {!Db.checkpoint} calls). Async mode only. *)
+  sstable_block_bytes : int;
+  collect_read_stats : bool;
+      (** Record the per-component get-latency breakdown (Figure 9);
+          small overhead on the read path. *)
+  background_maintenance : bool;
+      (** Run rebalances/splits on a dedicated maintenance domain (the
+          paper's background threads) instead of inline on the put
+          path. Default [false]: deterministic, good for tests. *)
+}
+
+val default : t
+
+val scaled : ?factor:int -> unit -> t
+(** [scaled ~factor ()] divides all size thresholds by [factor]
+    (default 64) for laptop-scale experiments, preserving the paper's
+    ratios (chunk : rebalance : log-limits = 10 : 7 : 2 / 20). *)

@@ -1,0 +1,1137 @@
+open Evendb_util
+open Evendb_storage
+open Evendb_bloom
+open Evendb_cache
+open Evendb_munk
+open Evendb_sstable
+open Evendb_log
+
+module K = Kv_iter
+
+(* Background maintenance (the paper's dedicated threads): puts enqueue
+   chunks whose thresholds tripped; a maintainer domain drains the
+   queue. *)
+type maintainer = {
+  m_mutex : Mutex.t;
+  m_cond : Condition.t;
+  m_queue : (int, Chunk.t) Hashtbl.t; (* dedup by chunk id *)
+  mutable m_stop : bool;
+  mutable m_domain : unit Domain.t option;
+}
+
+type t = {
+  env : Env.t;
+  cfg : Config.t;
+  head : Chunk.t Atomic.t;
+  index : Chunk_index.t Atomic.t;
+  gv : int Atomic.t; (* packed current version; puts read, scans F&I *)
+  po : Pending_ops.t;
+  row_cache : Row_cache.t;
+  lfu : Lfu.t;
+  rt : Recovery_table.t;
+  epoch : int;
+  last_checkpoint : int Atomic.t; (* packed; -1 before the first *)
+  next_funk_id : int Atomic.t;
+  next_chunk_id : int Atomic.t;
+  live_funks : (int, unit) Hashtbl.t; (* guarded by [structural] *)
+  structural : Mutex.t; (* chunk list, index, manifest; leaf lock *)
+  checkpoint_mutex : Mutex.t;
+  rstats : Read_stats.t;
+  logical_written : int Atomic.t;
+  put_count : int Atomic.t;
+  closed : bool Atomic.t;
+  maint : maintainer option;
+}
+
+let env t = t.env
+let config t = t.cfg
+let current_version t = Atomic.get t.gv
+let current_epoch t = t.epoch
+let logical_bytes_written t = Atomic.get t.logical_written
+let read_stats t = Read_stats.summarize t.rstats
+
+let visible db version = Recovery_table.is_visible db.rt ~current_epoch:db.epoch version
+
+(* Persistence floor: versions at or below it must survive every
+   compaction, or a crash could recover to a non-prefix state (§3.5). *)
+let persist_floor db =
+  match db.cfg.persistence with
+  | Config.Sync -> Atomic.get db.gv
+  | Config.Async -> Atomic.get db.last_checkpoint
+
+let fresh_funk_id db = Atomic.fetch_and_add db.next_funk_id 1
+let fresh_chunk_id db = Atomic.fetch_and_add db.next_chunk_id 1
+
+let chunk_range c = (Chunk.min_key c, Option.map Chunk.min_key (Chunk.next c))
+
+(* Versions a compaction of chunk [c] must retain: the minimum of
+   overlapping scans' snapshots, the current GV, and the persistence
+   floor (§3.4 + §3.5). *)
+let compaction_floor db c =
+  let low, high_excl = chunk_range c in
+  let high =
+    (* PO scan ranges are inclusive; the chunk upper bound is
+       exclusive, which only makes the overlap test conservative. *)
+    high_excl
+  in
+  let gv_now = Atomic.get db.gv in
+  let scans = Pending_ops.min_scan_version db.po ~low ~high ~default:gv_now in
+  let pf = persist_floor db in
+  (* Before the first checkpoint nothing is durable, so there is no
+     persistence consumer: recovery comes back empty either way. *)
+  if pf < 0 then min scans gv_now else min scans (min gv_now pf)
+
+(* Manifest bookkeeping — caller must NOT hold [structural]. *)
+let manifest_update db ~add ~remove =
+  Mutex.lock db.structural;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock db.structural)
+    (fun () ->
+      List.iter (fun id -> Hashtbl.replace db.live_funks id ()) add;
+      List.iter (fun id -> Hashtbl.remove db.live_funks id) remove;
+      let live = Hashtbl.fold (fun id () acc -> id :: acc) db.live_funks [] in
+      Manifest.store db.env { next_id = Atomic.get db.next_funk_id; live })
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+
+let walk_forward c key =
+  let cur = ref c in
+  let continue = ref true in
+  while !continue do
+    match Chunk.next !cur with
+    | Some n when String.compare (Chunk.min_key n) key <= 0 -> cur := n
+    | _ -> continue := false
+  done;
+  !cur
+
+(* Reads may land on a retired chunk via a stale index snapshot; that
+   is safe (it is immutable and holds the same content as its
+   replacements, §3.4), but its funk may already be deleted, in which
+   case [Funk.with_pin] raises [Funk.Stale] and the caller re-resolves
+   through the rebuilt index. *)
+let lookup_read db key = walk_forward (Chunk_index.find (Atomic.get db.index) key) key
+
+let rec lookup_put db key =
+  let c = lookup_read db key in
+  if Chunk.retired c then begin
+    Domain.cpu_relax ();
+    lookup_put db key
+  end
+  else c
+
+(* ------------------------------------------------------------------ *)
+(* Bloom filters of munk-less chunks                                   *)
+
+let build_bloom db funk =
+  let bloom =
+    Partitioned_bloom.create ~bits_per_key:db.cfg.bloom_bits_per_key
+      ~segment_bytes:(max 1024 (db.cfg.funk_log_limit_no_munk / db.cfg.bloom_split_factor))
+      ~expected_keys_per_segment:(max 64 (db.cfg.funk_log_limit_no_munk / db.cfg.bloom_split_factor / 64))
+      ()
+  in
+  List.iter
+    (fun (off, key) -> Partitioned_bloom.add bloom ~key ~log_offset:off)
+    (Funk.log_offsets_for_bloom funk ~visible:(visible db));
+  bloom
+
+(* Lazily create the bloom filter of a munk-less chunk (recovery leaves
+   them absent). Takes the chunk's rebalance lock exclusively so no put
+   can append a record the new filter would miss. *)
+let ensure_bloom db c =
+  if Chunk.munk c = None && Chunk.bloom_segments c "" = None then begin
+    let lock = Chunk.rebalance_lock c in
+    if Rwlock.try_lock_exclusive lock then
+      Fun.protect
+        ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+        (fun () ->
+          if (not (Chunk.retired c)) && Chunk.munk c = None && Chunk.bloom_segments c "" = None
+          then
+            Funk.with_pin
+              ~current:(fun () -> Chunk.funk c)
+              (fun funk -> Chunk.set_bloom c (Some (build_bloom db funk))))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Munk loading and eviction (the munk cache)                          *)
+
+let row_cache_purge db c =
+  let low, high_excl = chunk_range c in
+  (* invalidate_range is inclusive; purging up to (and including) the
+     next chunk's min key is harmless. *)
+  Row_cache.invalidate_range db.row_cache ~low ~high:high_excl
+
+(* A funk shared between split siblings holds both ranges' data until
+   each sibling flushes its own; any read of a funk's full content on
+   behalf of a chunk must therefore be clipped to the chunk's range. *)
+let chunk_entries db c funk =
+  let low, high_excl = chunk_range c in
+  K.filter
+    (fun (e : K.entry) ->
+      String.compare low e.key <= 0
+      && match high_excl with None -> true | Some h -> String.compare e.key h < 0)
+    (Funk.all_entries funk ~visible:(visible db))
+
+let load_munk db c =
+  let lock = Chunk.rebalance_lock c in
+  Rwlock.lock_exclusive lock;
+  Fun.protect
+    ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+    (fun () ->
+      if (not (Chunk.retired c)) && Chunk.munk c = None then begin
+        Funk.with_pin
+          ~current:(fun () -> Chunk.funk c)
+          (fun funk ->
+            let floor = compaction_floor db c in
+            let entries = K.compact ~min_retained_version:floor (chunk_entries db c funk) in
+            Chunk.set_munk c (Some (Munk.of_iter entries)));
+        Chunk.set_bloom c None;
+        row_cache_purge db c;
+        true
+      end
+      else false)
+
+(* Flush the munk into a fresh funk (new SSTable from the compacted
+   munk, empty log). Caller holds the chunk's lock exclusively. The old
+   funk may still be shared with a sibling chunk mid-split; ownership
+   accounting ([Funk.disown]) retires it only when the last owner lets
+   go. *)
+let flush_munk_locked db c munk =
+  let floor = compaction_floor db c in
+  let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
+  let old_funk = Chunk.funk c in
+  let id = fresh_funk_id db in
+  let funk' =
+    Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id
+      ~min_key:(Chunk.min_key c) (Munk.iter compacted)
+  in
+  Chunk.set_munk c (Some compacted);
+  Chunk.set_funk c funk';
+  let last = Funk.disown old_funk in
+  manifest_update db ~add:[ id ] ~remove:(if last then [ Funk.id old_funk ] else []);
+  compacted
+
+let evict_munk_chunk db c =
+  let lock = Chunk.rebalance_lock c in
+  Rwlock.lock_exclusive lock;
+  Fun.protect
+    ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+    (fun () ->
+      match Chunk.munk c with
+      | None -> false
+      | Some munk when not (Chunk.retired c) ->
+        (* If the log has outgrown the munk-less limit, flush first so
+           the now-cold chunk doesn't immediately need a disk merge. *)
+        if Funk.log_size (Chunk.funk c) > db.cfg.funk_log_limit_no_munk then
+          ignore (flush_munk_locked db c munk);
+        Chunk.set_munk c None;
+        (* Bloom filters are re-created on munk eviction (§2.2). *)
+        Funk.with_pin
+          ~current:(fun () -> Chunk.funk c)
+          (fun funk -> Chunk.set_bloom c (Some (build_bloom db funk)));
+        Lfu.drop_cached db.lfu (Chunk.id c);
+        true
+      | Some _ -> false)
+
+let chunk_by_id db id =
+  List.find_opt (fun c -> Chunk.id c = id) (Chunk_index.chunks (Atomic.get db.index))
+
+(* Access-driven munk admission, sampled to keep the LFU off the hot
+   path. *)
+let access_tick = Domain.DLS.new_key (fun () -> ref 0)
+
+let note_access db c =
+  let tick = Domain.DLS.get access_tick in
+  incr tick;
+  if !tick land 7 = 0 then begin
+    match Lfu.on_access db.lfu (Chunk.id c) with
+    | Lfu.Already_cached | Lfu.Skip -> ()
+    | Lfu.Evict_other vid -> (
+      match chunk_by_id db vid with
+      | Some victim -> ignore (evict_munk_chunk db victim)
+      | None -> Lfu.remove db.lfu vid)
+    | Lfu.Admit evictee ->
+      (match evictee with
+      | Some vid -> (
+        match chunk_by_id db vid with
+        | Some victim -> ignore (evict_munk_chunk db victim)
+        | None -> Lfu.remove db.lfu vid)
+      | None -> ());
+      if not (load_munk db c) then
+        (* Retired or already loaded elsewhere; keep LFU consistent. *)
+        if Chunk.munk c = None then Lfu.drop_cached db.lfu (Chunk.id c)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Get                                                                 *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let entry_to_value (e : K.entry) = e.value
+
+let rec get db key =
+  let detailed = db.cfg.collect_read_stats in
+  let t0 = if detailed then now_ns () else 0 in
+  let record comp =
+    Read_stats.record db.rstats comp (if detailed then now_ns () - t0 else 0)
+  in
+  let c = lookup_read db key in
+  note_access db c;
+  match Chunk.munk c with
+  | Some munk ->
+    let result =
+      match Munk.find_latest munk key with
+      | Some e -> entry_to_value e
+      | None -> None
+    in
+    record Read_stats.Munk_cache;
+    result
+  | None -> (
+    match Row_cache.find db.row_cache key with
+    | Some v ->
+      record Read_stats.Row_cache;
+      Some v
+    | None -> (
+      ensure_bloom db c;
+      try
+        Funk.with_pin
+          ~current:(fun () -> Chunk.funk c)
+          (fun funk ->
+          let segments = Chunk.bloom_segments c key in
+          match
+            Funk.get_from_log funk ?segments ~visible:(visible db) ~max_version:max_int key
+          with
+          | Some ({ value = Some v; version; counter; _ } : K.entry) ->
+            Row_cache.insert db.row_cache key v ~version ~counter;
+            record Read_stats.Funk_log;
+            Some v
+          | Some { value = None; _ } ->
+            record Read_stats.Funk_log;
+            None
+          | None -> (
+            match Funk.get_from_sst funk ~visible:(visible db) ~max_version:max_int key with
+            | Some ({ value = Some v; version; counter; _ } : K.entry) ->
+              Row_cache.insert db.row_cache key v ~version ~counter;
+              record Read_stats.Sstable;
+              Some v
+            | Some { value = None; _ } ->
+              record Read_stats.Sstable;
+              None
+            | None ->
+              record Read_stats.Missing;
+              None))
+      with Funk.Stale -> get db key))
+
+(* ------------------------------------------------------------------ *)
+(* Rebalance and splits                                                *)
+
+let find_predecessor db c =
+  let rec walk cur = match Chunk.next cur with
+    | Some n when n == c -> Some cur
+    | Some n -> walk n
+    | None -> None
+  in
+  let head = Atomic.get db.head in
+  if head == c then None else walk head
+
+(* Splice [replacements] (linked among themselves) in place of [c].
+   Caller holds c's rebalance lock exclusively. *)
+let splice_chunks db c ~first ~last =
+  Mutex.lock db.structural;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock db.structural)
+    (fun () ->
+      Chunk.set_next last (Chunk.next c);
+      (match find_predecessor db c with
+      | None -> Atomic.set db.head first
+      | Some pred -> Chunk.set_next pred (Some first));
+      Atomic.set db.index (Chunk_index.of_first_chunk (Atomic.get db.head)));
+  Chunk.retire c
+
+(* Split a chunk whose compacted munk exceeds the chunk size limit
+   (§3.4). Caller holds c's rebalance lock exclusively; [compacted] is
+   the freshly rebalanced munk. *)
+let split_chunk_locked db c compacted floor =
+  let left, right = Munk.split_entries compacted ~min_retained_version:(Some floor) in
+  match right with
+  | [] -> Chunk.set_munk c (Some compacted)
+  | (first_right : K.entry) :: _ ->
+    let mid = first_right.key in
+    let old_funk = Chunk.funk c in
+    (* Phase 1: two new chunks sharing the old funk (§3.4). [c]'s
+       ownership transfers to the first new chunk; the second becomes an
+       additional owner. *)
+    Funk.add_owner old_funk;
+    let counter = Chunk.counter_base c in
+    let c1 =
+      Chunk.create_inheriting ~id:(fresh_chunk_id db) ~min_key:(Chunk.min_key c) ~funk:old_funk
+        ~munk:(Some (Munk.of_sorted left)) ~counter
+    in
+    let c2 =
+      Chunk.create_inheriting ~id:(fresh_chunk_id db) ~min_key:mid ~funk:old_funk
+        ~munk:(Some (Munk.of_sorted right)) ~counter
+    in
+    Chunk.set_next c1 (Some c2);
+    splice_chunks db c ~first:c1 ~last:c2;
+    Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
+    (* The retired chunk keeps its munk so that readers holding stale
+       references continue to be served (§3.4). *)
+    (* Phase 2: give each new chunk its own funk. Puts may already be
+       flowing into the new chunks (appending to the shared funk's log);
+       flushing each munk under its chunk's exclusive lock captures
+       them. A concurrent LFU eviction may have dropped (and possibly
+       already flushed) a new chunk's munk in the meantime — if the
+       chunk still shares the old funk, rebuild its funk from the shared
+       content clipped to its range. *)
+    List.iter
+      (fun nc ->
+        let lock = Chunk.rebalance_lock nc in
+        Rwlock.lock_exclusive lock;
+        Fun.protect
+          ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+          (fun () ->
+            if Chunk.funk nc == old_funk then
+              match Chunk.munk nc with
+              | Some munk -> ignore (flush_munk_locked db nc munk)
+              | None ->
+                let floor = compaction_floor db nc in
+                let id = fresh_funk_id db in
+                let funk' =
+                  Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id
+                    ~min_key:(Chunk.min_key nc)
+                    (K.compact ~min_retained_version:floor (chunk_entries db nc old_funk))
+                in
+                Chunk.set_funk nc funk';
+                Chunk.set_bloom nc (Some (build_bloom db funk'));
+                let last = Funk.disown old_funk in
+                manifest_update db ~add:[ id ]
+                  ~remove:(if last then [ Funk.id old_funk ] else [])))
+      [ c1; c2 ]
+
+(* Munk rebalance: compact in memory; split if over the size limit. *)
+let munk_rebalance db c =
+  let lock = Chunk.rebalance_lock c in
+  Rwlock.lock_exclusive lock;
+  Fun.protect
+    ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+    (fun () ->
+      if not (Chunk.retired c) then
+        match Chunk.munk c with
+        | None -> ()
+        | Some munk ->
+          let floor = compaction_floor db c in
+          let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
+          if Munk.byte_size compacted > db.cfg.max_chunk_bytes then
+            split_chunk_locked db c compacted floor
+          else Chunk.set_munk c (Some compacted))
+
+let split_entry_list entries =
+  let entry_bytes (e : K.entry) =
+    String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 64
+  in
+  let total = List.fold_left (fun acc e -> acc + entry_bytes e) 0 entries in
+  let rec assign acc_bytes last_left left = function
+    | [] -> (List.rev left, [])
+    | (e : K.entry) :: rest ->
+      let same = match last_left with Some k -> String.equal k e.key | None -> false in
+      if acc_bytes * 2 < total || same || last_left = None then
+        assign (acc_bytes + entry_bytes e) (Some e.key) (e :: left) rest
+      else (List.rev left, e :: rest)
+  in
+  assign 0 None [] entries
+
+(* Funk rebalance for a munk-less (cold) chunk: merge SSTable + log
+   into a fresh funk without blocking puts for the duration of the
+   merge; records appended meanwhile are diverted to the new funk's
+   log at flip time (§3.4). *)
+let cold_funk_rebalance db c =
+  Funk.with_pin
+    ~current:(fun () -> Chunk.funk c)
+    (fun funk ->
+      let log_end = Funk.log_size funk in
+      let floor = compaction_floor db c in
+      let merged =
+        K.to_list (K.compact ~min_retained_version:floor (chunk_entries db c funk))
+      in
+      let entry_bytes (e : K.entry) =
+        String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 64
+      in
+      let total = List.fold_left (fun acc e -> acc + entry_bytes e) 0 merged in
+      let divert_records target_of =
+        (* Copy post-merge appends into the new funk(s). Current-epoch
+           records only can appear here. *)
+        Log_file.Reader.fold ~lo:log_end db.env (Funk.log_name (Funk.id funk)) ~init:()
+          ~f:(fun () _off e -> ignore (Funk.append (target_of e.K.key) e))
+      in
+      if total <= db.cfg.max_chunk_bytes then begin
+        let id = fresh_funk_id db in
+        let funk' =
+          Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id
+            ~min_key:(Chunk.min_key c) (K.of_list merged)
+        in
+        let lock = Chunk.rebalance_lock c in
+        Rwlock.lock_exclusive lock;
+        Fun.protect
+          ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+          (fun () ->
+            if Chunk.retired c || Chunk.munk c <> None then
+              (* Lost a race with a split or a munk load; discard the
+                 rebuilt funk (it never entered the manifest). *)
+              Funk.retire funk'
+            else begin
+              divert_records (fun _ -> funk');
+              Chunk.set_funk c funk';
+              Chunk.set_bloom c (Some (build_bloom db funk'));
+              let last = Funk.disown funk in
+              manifest_update db ~add:[ id ] ~remove:(if last then [ Funk.id funk ] else [])
+            end)
+      end
+      else begin
+        (* Cold split: the merged content exceeds the chunk limit. *)
+        let left, right = split_entry_list merged in
+        match right with
+        | [] -> ()
+        | first_right :: _ ->
+          let mid = first_right.K.key in
+          let id1 = fresh_funk_id db in
+          let funk1 =
+            Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id:id1
+              ~min_key:(Chunk.min_key c) (K.of_list left)
+          in
+          let id2 = fresh_funk_id db in
+          let funk2 =
+            Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id:id2
+              ~min_key:mid (K.of_list right)
+          in
+          let lock = Chunk.rebalance_lock c in
+          Rwlock.lock_exclusive lock;
+          Fun.protect
+            ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+            (fun () ->
+              if Chunk.retired c || Chunk.munk c <> None then begin
+                Funk.retire funk1;
+                Funk.retire funk2
+              end
+              else begin
+                divert_records (fun key ->
+                    if String.compare key mid < 0 then funk1 else funk2);
+                let counter = Chunk.counter_base c in
+                let c1 =
+                  Chunk.create_inheriting ~id:(fresh_chunk_id db) ~min_key:(Chunk.min_key c)
+                    ~funk:funk1 ~munk:None ~counter
+                in
+                let c2 =
+                  Chunk.create_inheriting ~id:(fresh_chunk_id db) ~min_key:mid ~funk:funk2
+                    ~munk:None ~counter
+                in
+                Chunk.set_bloom c1 (Some (build_bloom db funk1));
+                Chunk.set_bloom c2 (Some (build_bloom db funk2));
+                Chunk.set_next c1 (Some c2);
+                splice_chunks db c ~first:c1 ~last:c2;
+                Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
+                let last = Funk.disown funk in
+                manifest_update db ~add:[ id1; id2 ]
+                  ~remove:(if last then [ Funk.id funk ] else [])
+              end)
+      end)
+
+(* Funk rebalance dispatch: with a munk we flush (in-memory compaction
+   + sequential write); without, we merge on disk. One rebuild per funk
+   at a time (the paper's funkChangeLock, acquired with try-lock). *)
+let funk_rebalance db c =
+  let m = Chunk.funk_change_mutex c in
+  if Mutex.try_lock m then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        match Chunk.munk c with
+        | Some _ ->
+          let lock = Chunk.rebalance_lock c in
+          Rwlock.lock_exclusive lock;
+          Fun.protect
+            ~finally:(fun () -> Rwlock.unlock_exclusive lock)
+            (fun () ->
+              if not (Chunk.retired c) then
+                match Chunk.munk c with
+                | Some munk -> ignore (flush_munk_locked db c munk)
+                | None -> ())
+        | None -> (
+          (* The chunk may be retired by a concurrent split before we
+             pin its funk; its replacements then handle their own
+             maintenance. *)
+          try cold_funk_rebalance db c with Funk.Stale -> ()))
+
+let funk_log_limit db c =
+  match Chunk.munk c with
+  | Some _ -> db.cfg.funk_log_limit_with_munk
+  | None -> db.cfg.funk_log_limit_no_munk
+
+let needs_munk_rebalance db c =
+  match Chunk.munk c with
+  | Some m ->
+    Munk.byte_size m > db.cfg.munk_rebalance_bytes
+    || Munk.appended_count m > db.cfg.munk_rebalance_appended
+  | None -> false
+
+let needs_funk_rebalance db c = Funk.log_size (Chunk.funk c) > funk_log_limit db c
+
+let maybe_maintain db c =
+  if not (Chunk.retired c) then begin
+    if needs_munk_rebalance db c then munk_rebalance db c;
+    if (not (Chunk.retired c)) && needs_funk_rebalance db c then funk_rebalance db c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merging underflowing chunks                                         *)
+
+(* The paper describes merging as "a similar protocol" to splitting
+   and notes its prototype does not implement it (§3.4); we do, so
+   delete-heavy workloads do not strand swarms of near-empty chunks. *)
+
+let chunk_weight c =
+  match Chunk.munk c with
+  | Some m -> Munk.byte_size m
+  | None -> Funk.total_bytes (Chunk.funk c)
+
+let needs_merge db c =
+  match Chunk.next c with
+  | Some n ->
+    (not (Chunk.retired c))
+    && (not (Chunk.retired n))
+    (* Funk sizes over-estimate live data until their next rebalance,
+       so cold chunks merge lazily — only once compaction has caught
+       up. *)
+    && chunk_weight c + chunk_weight n < db.cfg.max_chunk_bytes / 2
+  | None -> false
+
+(* Merge [c] with its successor [n]. Exclusive locks are taken in list
+   order (as every multi-chunk operation does), so merges cannot
+   deadlock against each other or against splits. *)
+let merge_chunks db c n =
+  let lc = Chunk.rebalance_lock c in
+  Rwlock.lock_exclusive lc;
+  Fun.protect
+    ~finally:(fun () -> Rwlock.unlock_exclusive lc)
+    (fun () ->
+      let still_adjacent =
+        (not (Chunk.retired c)) && match Chunk.next c with Some x -> x == n | None -> false
+      in
+      if still_adjacent then begin
+        let ln = Chunk.rebalance_lock n in
+        Rwlock.lock_exclusive ln;
+        Fun.protect
+          ~finally:(fun () -> Rwlock.unlock_exclusive ln)
+          (fun () ->
+            if not (Chunk.retired n) then begin
+              let floor = min (compaction_floor db c) (compaction_floor db n) in
+              (* Under both exclusive locks the funks cannot be flipped
+                 or retired (we are their owners), so direct reads are
+                 safe. *)
+              let content_of ch =
+                match Chunk.munk ch with
+                | Some m -> Munk.iter m
+                | None -> chunk_entries db ch (Chunk.funk ch)
+              in
+              let entries =
+                K.to_list
+                  (K.compact ~min_retained_version:floor
+                     (K.merge [ content_of c; content_of n ]))
+              in
+              let id = fresh_funk_id db in
+              let funk' =
+                Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id
+                  ~min_key:(Chunk.min_key c) (K.of_list entries)
+              in
+              let counter = max (Chunk.counter_base c) (Chunk.counter_base n) in
+              let cm =
+                Chunk.create_inheriting ~id:(fresh_chunk_id db) ~min_key:(Chunk.min_key c)
+                  ~funk:funk' ~munk:(Some (Munk.of_sorted entries)) ~counter
+              in
+              Mutex.lock db.structural;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock db.structural)
+                (fun () ->
+                  Chunk.set_next cm (Chunk.next n);
+                  (match find_predecessor db c with
+                  | None -> Atomic.set db.head cm
+                  | Some pred -> Chunk.set_next pred (Some cm));
+                  Atomic.set db.index (Chunk_index.of_first_chunk (Atomic.get db.head)));
+              Chunk.retire c;
+              Chunk.retire n;
+              row_cache_purge db cm;
+              Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id cm ];
+              Lfu.remove db.lfu (Chunk.id n);
+              ignore (Lfu.force_insert db.lfu (Chunk.id cm));
+              let old_c = Chunk.funk c and old_n = Chunk.funk n in
+              let last_c = Funk.disown old_c in
+              let last_n = Funk.disown old_n in
+              let removed =
+                (if last_c then [ Funk.id old_c ] else [])
+                @ (if last_n then [ Funk.id old_n ] else [])
+              in
+              manifest_update db ~add:[ id ] ~remove:removed
+            end)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Put                                                                 *)
+
+let rec put_entry db key value_opt =
+  let c = lookup_put db key in
+  let lock = Chunk.rebalance_lock c in
+  Rwlock.lock_shared lock;
+  let retry = Chunk.retired c in
+  if retry then begin
+    Rwlock.unlock_shared lock;
+    Domain.cpu_relax ();
+    put_entry db key value_opt
+  end
+  else begin
+    Fun.protect
+      ~finally:(fun () -> Rwlock.unlock_shared lock)
+      (fun () ->
+        assert (Chunk.covers c ~key);
+        let slot = Pending_ops.begin_put db.po ~key in
+        Fun.protect
+          ~finally:(fun () -> Pending_ops.finish db.po slot)
+          (fun () ->
+            let gv = Atomic.get db.gv in
+            Pending_ops.publish_put_version db.po slot ~key ~version:gv;
+            let counter = Chunk.next_counter c in
+            let entry : K.entry = { key; value = value_opt; version = gv; counter } in
+            let funk = Chunk.funk c in
+            let off = Funk.append funk entry in
+            (if db.cfg.persistence = Config.Sync then Funk.fsync_log funk);
+            match Chunk.munk c with
+            | Some munk ->
+              let may_discard ~old_version ~new_version =
+                let pf = persist_floor db in
+                (not (old_version <= pf && pf < new_version))
+                && not
+                     (Pending_ops.exists_scan_between db.po ~key ~old_version ~new_version)
+              in
+              Munk.put munk ~may_discard entry
+            | None ->
+              Chunk.bloom_note_put c ~key ~log_offset:off;
+              (match value_opt with
+              | Some v -> Row_cache.update_if_present db.row_cache key v ~version:gv ~counter
+              | None -> Row_cache.invalidate db.row_cache key)));
+    ignore
+      (Atomic.fetch_and_add db.logical_written
+         (String.length key + match value_opt with Some v -> String.length v | None -> 0));
+    c
+  end
+
+and put_entry_and_maintain db key value_opt =
+  let c = put_entry db key value_opt in
+  note_access db c;
+  (match db.maint with
+  | None -> maybe_maintain db c
+  | Some m ->
+    if needs_munk_rebalance db c || needs_funk_rebalance db c then begin
+      Mutex.lock m.m_mutex;
+      if not (Hashtbl.mem m.m_queue (Chunk.id c)) then begin
+        Hashtbl.replace m.m_queue (Chunk.id c) c;
+        Condition.signal m.m_cond
+      end;
+      Mutex.unlock m.m_mutex
+    end);
+  let n = Atomic.fetch_and_add db.put_count 1 + 1 in
+  if
+    db.cfg.persistence = Config.Async
+    && db.cfg.checkpoint_every_puts > 0
+    && n mod db.cfg.checkpoint_every_puts = 0
+  then checkpoint_auto db
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint (§3.5)                                                   *)
+
+and checkpoint_locked db =
+  let gv = Atomic.fetch_and_add db.gv 1 in
+  Pending_ops.wait_pending_puts db.po ~low:"" ~high:None ~upto:gv;
+  Env.fsync_all db.env;
+  Checkpoint_file.store db.env ~version:gv;
+  Atomic.set db.last_checkpoint gv
+
+(* Opportunistic (put-path) checkpoint: skip if one is in flight. *)
+and checkpoint_auto db =
+  if Mutex.try_lock db.checkpoint_mutex then
+    Fun.protect ~finally:(fun () -> Mutex.unlock db.checkpoint_mutex) (fun () ->
+        checkpoint_locked db)
+
+let checkpoint db =
+  Mutex.lock db.checkpoint_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock db.checkpoint_mutex) (fun () ->
+      checkpoint_locked db)
+
+let put db key value = put_entry_and_maintain db key (Some value)
+let delete db key = put_entry_and_maintain db key None
+
+(* ------------------------------------------------------------------ *)
+(* Scan (§3.3)                                                         *)
+
+let bounded_iter it ~high =
+  let stopped = ref false in
+  fun () ->
+    if !stopped then None
+    else
+      match it () with
+      | Some (e : K.entry) when String.compare e.key high <= 0 -> Some e
+      | _ ->
+        stopped := true;
+        None
+
+let scan db ?limit ~low ~high () =
+  if String.compare low high > 0 then []
+  else begin
+    let slot = Pending_ops.begin_scan db.po ~low ~high:(Some high) in
+    Fun.protect
+      ~finally:(fun () -> Pending_ops.finish db.po slot)
+      (fun () ->
+        let gv = Atomic.fetch_and_add db.gv 1 in
+        Pending_ops.publish_scan_version db.po slot ~low ~high:(Some high) ~version:gv;
+        Pending_ops.wait_pending_puts db.po ~low ~high:(Some high) ~upto:gv;
+        let acc = ref [] in
+        let count = ref 0 in
+        let max_count = match limit with None -> max_int | Some l -> l in
+        let consume it =
+          let filtered =
+            K.dedup (K.filter (fun (e : K.entry) -> e.version <= gv && visible db e.version) it)
+          in
+          let rec go () =
+            if !count < max_count then
+              match filtered () with
+              | None -> ()
+              | Some { value = None; _ } -> go ()
+              | Some { key; value = Some v; _ } ->
+                acc := (key, v) :: !acc;
+                incr count;
+                go ()
+          in
+          go ()
+        in
+        (* [lo] is the residual range start: keys below it were already
+           collected from earlier chunks (or retries). *)
+        let rec over_chunks lo c =
+          note_access db c;
+          let stale =
+            match Chunk.munk c with
+            | Some munk ->
+              consume (Munk.iter_range munk ~low:lo ~high);
+              false
+            | None -> (
+              (* The chunk may have been split underneath us; [Stale]
+                 means its funk is gone — re-resolve the residual range
+                 through the rebuilt index. [with_pin] never runs the
+                 body on failure, so nothing is consumed twice. *)
+              try
+                Funk.with_pin
+                  ~current:(fun () -> Chunk.funk c)
+                  (fun funk ->
+                    let log_entries =
+                      Funk.log_entries_in_range funk ~visible:(visible db) ~low:lo ~high
+                    in
+                    let sst_it =
+                      bounded_iter (Sstable.Reader.iter_from (Funk.sst funk) lo) ~high
+                    in
+                    let sst_it =
+                      K.filter (fun (e : K.entry) -> visible db e.version) sst_it
+                    in
+                    consume (K.merge [ K.of_list log_entries; sst_it ]));
+                false
+              with Funk.Stale -> true)
+          in
+          if stale then over_chunks lo (lookup_read db lo)
+          else if !count < max_count then
+            match Chunk.next c with
+            | Some n when String.compare (Chunk.min_key n) high <= 0 ->
+              over_chunks (Chunk.min_key n) n
+            | _ -> ()
+        in
+        over_chunks low (lookup_read db low);
+        List.rev !acc)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Open / recovery / close                                             *)
+
+(* Persistence-mode marker: recovery must know whether the *previous*
+   incarnation ran synchronously — in that case its funks reflect every
+   completed update (§3.5) and the whole epoch is visible, checkpoint
+   or not. *)
+let mode_file = "MODE"
+
+let store_mode env (mode : Config.persistence) =
+  let tmp = mode_file ^ ".tmp" in
+  let f = Env.create env tmp in
+  Env.append f (match mode with Config.Sync -> "sync" | Config.Async -> "async");
+  Env.fsync f;
+  Env.close_file f;
+  Env.rename env ~old_name:tmp ~new_name:mode_file
+
+let load_mode env : Config.persistence =
+  if not (Env.exists env mode_file) then Config.Async
+  else if Env.read_all env mode_file = "sync" then Config.Sync
+  else Config.Async
+
+let parse_funk_file name =
+  (* funk_NNNNNNNN.sst / .log *)
+  if String.length name = 17 && String.sub name 0 5 = "funk_" then
+    match int_of_string_opt (String.sub name 5 8) with
+    | Some id ->
+      let ext = String.sub name 13 4 in
+      if ext = ".sst" then Some (id, `Sst) else if ext = ".log" then Some (id, `Log) else None
+    | None -> None
+  else None
+
+let make_db env cfg ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_funk_id ~live =
+  let lfu = Lfu.create ~capacity:cfg.Config.munk_cache_capacity () in
+  List.iter
+    (fun c -> if Chunk.munk c <> None then ignore (Lfu.force_insert lfu (Chunk.id c)))
+    chunks;
+  let live_funks = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace live_funks id ()) live;
+  {
+    env;
+    cfg;
+    head = Atomic.make head;
+    index = Atomic.make (Chunk_index.build chunks);
+    gv = Atomic.make gv;
+    po = Pending_ops.create ~slots:cfg.Config.po_slots ();
+    row_cache =
+      Row_cache.create ~tables:cfg.Config.row_cache_tables
+        ~capacity_per_table:cfg.Config.row_cache_capacity_per_table ();
+    lfu;
+    rt;
+    epoch;
+    last_checkpoint = Atomic.make last_checkpoint;
+    next_funk_id = Atomic.make next_funk_id;
+    next_chunk_id = Atomic.make (List.length chunks);
+    live_funks;
+    structural = Mutex.create ();
+    checkpoint_mutex = Mutex.create ();
+    rstats = Read_stats.create ~detailed:cfg.Config.collect_read_stats;
+    logical_written = Atomic.make 0;
+    put_count = Atomic.make 0;
+    closed = Atomic.make false;
+    maint =
+      (if cfg.Config.background_maintenance then
+         Some
+           {
+             m_mutex = Mutex.create ();
+             m_cond = Condition.create ();
+             m_queue = Hashtbl.create 16;
+             m_stop = false;
+             m_domain = None;
+           }
+       else None);
+  }
+
+let maintainer_loop db m =
+  let rec next () =
+    Mutex.lock m.m_mutex;
+    let rec await () =
+      if m.m_stop then begin
+        Mutex.unlock m.m_mutex;
+        None
+      end
+      else begin
+        let item =
+          let found = ref None in
+          (try
+             Hashtbl.iter
+               (fun id c ->
+                 found := Some (id, c);
+                 raise Exit)
+               m.m_queue
+           with Exit -> ());
+          !found
+        in
+        match item with
+        | Some (id, c) ->
+          Hashtbl.remove m.m_queue id;
+          Mutex.unlock m.m_mutex;
+          Some c
+        | None ->
+          Condition.wait m.m_cond m.m_mutex;
+          await ()
+      end
+    in
+    match await () with
+    | None -> ()
+    | Some c ->
+      (try maybe_maintain db c with Funk.Stale -> ());
+      next ()
+  in
+  next ()
+
+let start_maintainer db =
+  match db.maint with
+  | Some m -> m.m_domain <- Some (Domain.spawn (fun () -> maintainer_loop db m))
+  | None -> ()
+
+let stop_maintainer db =
+  match db.maint with
+  | Some m ->
+    Mutex.lock m.m_mutex;
+    m.m_stop <- true;
+    Condition.broadcast m.m_cond;
+    Mutex.unlock m.m_mutex;
+    (match m.m_domain with Some d -> Domain.join d | None -> ());
+    m.m_domain <- None
+  | None -> ()
+
+let open_internal config env =
+  match Manifest.load env with
+  | None ->
+    (* Fresh database: one sentinel chunk covering the whole key space,
+       with an empty funk and an empty resident munk. *)
+    let funk =
+      Funk.create_from_iter env ~block_bytes:config.Config.sstable_block_bytes ~id:0 ~min_key:""
+        (K.of_list [])
+    in
+    Manifest.store env { next_id = 1; live = [ 0 ] };
+    Recovery_table.store env Recovery_table.empty;
+    store_mode env config.Config.persistence;
+    let chunk = Chunk.create ~id:0 ~min_key:"" ~funk ~munk:(Some (Munk.of_sorted [])) in
+    make_db env config ~head:chunk ~chunks:[ chunk ] ~gv:(Version.pack ~epoch:0 ~seq:0)
+      ~rt:Recovery_table.empty ~epoch:0 ~last_checkpoint:(-1) ~next_funk_id:1 ~live:[ 0 ]
+  | Some manifest ->
+    (* Recovery (§3.5): bump the epoch, record the previous epoch's
+       checkpoint in the recovery table, rebuild chunk metadata from
+       the funk files, and resume; data loads into munks lazily. *)
+    let rt_old = Recovery_table.load env in
+    let ckpt = Checkpoint_file.load env in
+    let prev_epoch = Recovery_table.max_epoch rt_old + 1 in
+    let prev_ckpt_seq =
+      match load_mode env with
+      | Config.Sync ->
+        (* Synchronous persistence: every completed put is on disk. *)
+        (1 lsl Version.seq_bits) - 1
+      | Config.Async -> (
+        match ckpt with
+        | Some v when Version.epoch v = prev_epoch -> Version.seq v
+        | _ -> -1)
+    in
+    let rt = Recovery_table.add rt_old ~epoch:prev_epoch ~last_seq:prev_ckpt_seq in
+    Recovery_table.store env rt;
+    store_mode env config.Config.persistence;
+    let epoch = prev_epoch + 1 in
+    if epoch > Version.max_epoch then failwith "Evendb: epoch space exhausted";
+    (* Remove leftovers of interrupted rebuilds. *)
+    let live_set = Hashtbl.create 16 in
+    List.iter (fun id -> Hashtbl.replace live_set id ()) manifest.Manifest.live;
+    List.iter
+      (fun name ->
+        match parse_funk_file name with
+        | Some (id, _) when not (Hashtbl.mem live_set id) -> Env.delete env name
+        | Some _ -> ()
+        | None -> if Filename.check_suffix name ".tmp" then Env.delete env name)
+      (Env.list_files env);
+    let funks = List.map (fun id -> Funk.open_existing env ~id) manifest.Manifest.live in
+    let funks =
+      List.sort (fun a b -> String.compare (Funk.min_key a) (Funk.min_key b)) funks
+    in
+    (match funks with
+    | f :: _ when Funk.min_key f = "" -> ()
+    | _ -> invalid_arg "Evendb.open_: missing sentinel funk");
+    let chunks =
+      List.mapi (fun i f -> Chunk.create ~id:i ~min_key:(Funk.min_key f) ~funk:f ~munk:None) funks
+    in
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        Chunk.set_next a (Some b);
+        link rest
+      | _ -> ()
+    in
+    link chunks;
+    let head = List.hd chunks in
+    let last_ckpt = match ckpt with Some v -> v | None -> -1 in
+    make_db env config ~head ~chunks ~gv:(Version.pack ~epoch ~seq:0) ~rt ~epoch
+      ~last_checkpoint:last_ckpt ~next_funk_id:manifest.Manifest.next_id
+      ~live:manifest.Manifest.live
+
+let open_ ?(config = Config.default) env =
+  let db = open_internal config env in
+  start_maintainer db;
+  db
+
+let open_dir ?config dir = open_ ?config (Env.disk dir)
+
+let chunk_count db = Chunk_index.size (Atomic.get db.index)
+
+let all_chunks db = Chunk_index.chunks (Atomic.get db.index)
+
+let munk_count db =
+  List.length (List.filter (fun c -> Chunk.munk c <> None) (all_chunks db))
+
+let chunk_weights db =
+  List.map
+    (fun c -> (Chunk.min_key c, chunk_weight c, Chunk.munk c <> None))
+    (all_chunks db)
+
+let log_space db =
+  List.fold_left
+    (fun acc c -> acc + Funk.log_size (Chunk.funk c))
+    0 (all_chunks db)
+
+let write_amplification db =
+  let written = (Io_stats.snapshot (Env.stats db.env)).Io_stats.bytes_written in
+  let logical = logical_bytes_written db in
+  if logical = 0 then 0.0 else float_of_int written /. float_of_int logical
+
+let maintain db =
+  let rec fixpoint iter =
+    if iter < 8 then begin
+      let dirty = ref false in
+      List.iter
+        (fun c ->
+          if (not (Chunk.retired c)) && (needs_munk_rebalance db c || needs_funk_rebalance db c)
+          then begin
+            dirty := true;
+            maybe_maintain db c
+          end
+          else if not (Chunk.retired c) then
+            (* Explicit maintenance compacts opportunistically too, so
+               post-maintain weights reflect live data (merge trigger,
+               tests, phase boundaries in benchmarks). Tombstones may
+               sit in-place-overwritten cells with nothing appended. *)
+            match Chunk.munk c with
+            | Some m when Munk.appended_count m > 0 || Munk.tombstone_count m > 0 ->
+              dirty := true;
+              munk_rebalance db c
+            | _ -> ())
+        (all_chunks db);
+      (* Merge underflowing neighbours to a fixpoint (each merge
+         changes the list, so re-scan after every one). *)
+      let rec merge_pass budget =
+        if budget > 0 then
+          match List.find_opt (fun c -> needs_merge db c) (all_chunks db) with
+          | Some c -> (
+            match Chunk.next c with
+            | Some n ->
+              dirty := true;
+              merge_chunks db c n;
+              merge_pass (budget - 1)
+            | None -> ())
+          | None -> ()
+      in
+      merge_pass (List.length (all_chunks db));
+      if !dirty then fixpoint (iter + 1)
+    end
+  in
+  fixpoint 0
+
+let evict_munk db key =
+  let c = lookup_put db key in
+  let evicted = evict_munk_chunk db c in
+  if evicted then Lfu.drop_cached db.lfu (Chunk.id c);
+  evicted
+
+let close db =
+  if Atomic.compare_and_set db.closed false true then begin
+    stop_maintainer db;
+    (match db.cfg.persistence with Config.Async -> checkpoint db | Config.Sync -> ());
+    Env.fsync_all db.env;
+    List.iter (fun c -> Funk.close_log (Chunk.funk c)) (all_chunks db)
+  end

@@ -1,0 +1,98 @@
+(** EvenDB: a persistent ordered key-value store optimized for spatial
+    locality (the paper's core contribution).
+
+    Data is range-partitioned into chunks. Each chunk is backed by a
+    funk on disk (SSTable + per-chunk log — there is no global WAL) and
+    may be cached wholesale in memory as a munk. Hot chunks are
+    compacted almost exclusively in memory; cold chunks' funk logs are
+    merged into their SSTables only when the log exceeds a (larger or
+    smaller, munk-dependent) threshold, which keeps write amplification
+    low (§2).
+
+    [put], [get] and [scan] are atomic under arbitrary concurrency
+    (multi-domain): gets are wait-free, puts synchronize with rebalance
+    through a shared/exclusive per-chunk lock, and scans obtain
+    snapshots from a global version, waiting only for overlapping
+    pending puts (§3.2–§3.3).
+
+    Persistence is asynchronous by default: a checkpoint fixes a global
+    version below which everything is durable; after a crash the store
+    recovers to that consistent prefix, ignoring newer on-disk records
+    via epoch-tagged versions (§3.5). With [Config.persistence = Sync],
+    every put fsyncs its funk log before returning. *)
+
+open Evendb_storage
+
+type t
+
+(** {2 Lifecycle} *)
+
+val open_ : ?config:Config.t -> Env.t -> t
+(** Open (or create) the database stored in [env]. Runs recovery if
+    funks from a previous incarnation are present: chunk metadata is
+    rebuilt from the funk files (no log replay); data loads lazily.
+    Raises [Invalid_argument] on corrupted metadata files. *)
+
+val open_dir : ?config:Config.t -> string -> t
+(** Convenience: [open_] over a fresh disk environment rooted at the
+    directory. *)
+
+val close : t -> unit
+(** Checkpoint (async mode) and release all files. Idempotent. *)
+
+(** {2 Operations} *)
+
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val delete : t -> string -> unit
+
+val scan : t -> ?limit:int -> low:string -> high:string -> unit -> (string * string) list
+(** Atomic range query: all pairs with [low <= key <= high] (at most
+    [limit]) from one consistent snapshot. *)
+
+val checkpoint : t -> unit
+(** Complete a consistency checkpoint: obtain a snapshot version, wait
+    for overlapping puts, fsync everything, persist the checkpoint
+    marker (§3.5). Serialized internally. *)
+
+(** {2 Maintenance} *)
+
+val maintain : t -> unit
+(** Run every pending rebalance/split to quiescence (tests and phase
+    boundaries in benchmarks; normal operation triggers maintenance
+    inline on the put path). *)
+
+val evict_munk : t -> string -> bool
+(** [evict_munk t key] drops the munk of the chunk covering [key] (if
+    any), rebuilding its bloom filter — exposed for cache experiments;
+    returns whether a munk was evicted. *)
+
+(** {2 Introspection (benchmark harness)} *)
+
+val env : t -> Env.t
+val config : t -> Config.t
+
+val chunk_count : t -> int
+val munk_count : t -> int
+
+val logical_bytes_written : t -> int
+(** Sum of key+value sizes accepted through [put]/[delete]. *)
+
+val write_amplification : t -> float
+(** Physical bytes written (from the env's {!Io_stats}) over
+    {!logical_bytes_written}. *)
+
+val read_stats : t -> Read_stats.summary
+(** Per-component get breakdown (Figure 9); detailed latencies only
+    when [Config.collect_read_stats]. *)
+
+val chunk_weights : t -> (string * int * bool) list
+(** Per-chunk (min-key, approximate live bytes, has-munk) — diagnostic
+    and benchmark introspection. *)
+
+val log_space : t -> int
+(** Total bytes currently held in funk logs (Figure 4's "EvenDB Log"
+    series). *)
+
+val current_version : t -> int
+val current_epoch : t -> int

@@ -1,0 +1,52 @@
+open Evendb_util
+open Evendb_storage
+
+type t = {
+  next_id : int;
+  live : int list;
+}
+
+let file_name = "MANIFEST"
+
+let u32_le_string (crc : int32) =
+  String.init 4 (fun i -> Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff))
+
+let u32_le_of_string s pos =
+  let b i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let store env t =
+  let buf = Buffer.create 64 in
+  Varint.write buf t.next_id;
+  Varint.write buf (List.length t.live);
+  List.iter (fun id -> Varint.write buf id) t.live;
+  let payload = Buffer.contents buf in
+  let tmp = file_name ^ ".tmp" in
+  let file = Env.create env tmp in
+  Env.append file payload;
+  Env.append file (u32_le_string (Crc32c.string payload));
+  Env.fsync file;
+  Env.close_file file;
+  Env.rename env ~old_name:tmp ~new_name:file_name
+
+let load env =
+  if not (Env.exists env file_name) then None
+  else begin
+    let data = Env.read_all env file_name in
+    if String.length data < 4 then invalid_arg "Manifest.load: truncated";
+    let payload = String.sub data 0 (String.length data - 4) in
+    if Crc32c.string payload <> u32_le_of_string data (String.length data - 4) then
+      invalid_arg "Manifest.load: bad checksum";
+    let next_id, pos = Varint.read payload 0 in
+    let n, pos = Varint.read payload pos in
+    let rec ids acc pos = function
+      | 0 -> List.rev acc
+      | k ->
+        let id, pos = Varint.read payload pos in
+        ids (id :: acc) pos (k - 1)
+    in
+    Some { next_id; live = ids [] pos n }
+  end

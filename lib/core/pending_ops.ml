@@ -1,0 +1,108 @@
+type op =
+  | Idle
+  | Put of { key : string; version : int option }
+  | Scan of { low : string; high : string option; version : int option }
+
+type t = { slots : op Atomic.t array }
+
+type slot = int
+
+let create ?(slots = 128) () =
+  if slots < 1 then invalid_arg "Pending_ops.create: slots < 1";
+  { slots = Array.init slots (fun _ -> Atomic.make Idle) }
+
+(* Per-domain rotating hint to spread slot acquisition. *)
+let hint_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let acquire t op =
+  let n = Array.length t.slots in
+  let hint = Domain.DLS.get hint_key in
+  let rec try_from i attempts =
+    if attempts >= n then begin
+      (* All busy: yield and retry. *)
+      Domain.cpu_relax ();
+      try_from i 0
+    end
+    else begin
+      let idx = (i + attempts) mod n in
+      let slot = t.slots.(idx) in
+      let free = match Atomic.get slot with Idle -> true | Put _ | Scan _ -> false in
+      if free && Atomic.compare_and_set slot Idle op then begin
+        hint := idx + 1;
+        idx
+      end
+      else try_from i (attempts + 1)
+    end
+  in
+  try_from !hint 0
+
+let begin_put t ~key = acquire t (Put { key; version = None })
+
+let publish_put_version t slot ~key ~version =
+  Atomic.set t.slots.(slot) (Put { key; version = Some version })
+
+let begin_scan t ~low ~high = acquire t (Scan { low; high; version = None })
+
+let publish_scan_version t slot ~low ~high ~version =
+  Atomic.set t.slots.(slot) (Scan { low; high; version = Some version })
+
+let finish t slot = Atomic.set t.slots.(slot) Idle
+
+(* [high = None] is +infinity. *)
+let key_in_range key ~low ~high =
+  String.compare low key <= 0
+  && match high with None -> true | Some h -> String.compare key h <= 0
+
+let ranges_overlap ~low1 ~high1 ~low2 ~high2 =
+  (match high2 with None -> true | Some h2 -> String.compare low1 h2 <= 0)
+  && match high1 with None -> true | Some h1 -> String.compare low2 h1 <= 0
+
+let wait_pending_puts t ~low ~high ~upto =
+  Array.iter
+    (fun slot ->
+      let rec wait () =
+        match Atomic.get slot with
+        | Put { key; version }
+          when key_in_range key ~low ~high
+               && (match version with None -> true | Some v -> v <= upto) ->
+          (* The put may still insert a value this snapshot must see. *)
+          Domain.cpu_relax ();
+          wait ()
+        | _ -> ()
+      in
+      wait ())
+    t.slots
+
+let min_scan_version t ~low ~high ~default =
+  let result = ref default in
+  Array.iter
+    (fun slot ->
+      let rec inspect () =
+        match Atomic.get slot with
+        | Scan { low = slow; high = shigh; version }
+          when ranges_overlap ~low1:slow ~high1:shigh ~low2:low ~high2:high -> (
+          match version with
+          | None ->
+            (* Intent published but version pending: wait (§3.4). *)
+            Domain.cpu_relax ();
+            inspect ()
+          | Some v -> if v < !result then result := v)
+        | _ -> ()
+      in
+      inspect ())
+    t.slots;
+  !result
+
+let exists_scan_between t ~key ~old_version ~new_version =
+  let found = ref false in
+  Array.iter
+    (fun slot ->
+      if not !found then
+        match Atomic.get slot with
+        | Scan { low; high; version } when key_in_range key ~low ~high -> (
+          match version with
+          | None -> found := true (* conservative: version unknown *)
+          | Some s -> if old_version <= s && s < new_version then found := true)
+        | _ -> ())
+    t.slots;
+  !found

@@ -1,0 +1,63 @@
+(** The Pending Operations (PO) array (§3.2).
+
+    One slot per in-flight operation. Puts announce the key they are
+    about to change *before* reading the global version, then publish
+    the version they obtained; scans publish their range, then their
+    snapshot version. This closes the race in which a put obtains a
+    version below a scan's snapshot but has not yet inserted its value
+    when the scan starts collecting (§3.2).
+
+    Slots are acquired per-operation by CAS over a fixed array (no
+    thread registration, so domains may come and go freely). Waiters
+    spin; operations hold slots only for the duration of one API call.
+
+    The same array drives version garbage collection: rebalance asks
+    for the minimal snapshot version of scans overlapping a chunk, and
+    puts ask whether any active scan still needs the version they are
+    about to supersede.
+
+    Range upper bounds are [string option]: [None] means +infinity
+    (whole-store scans, checkpoints, last-chunk ranges). *)
+
+type t
+
+type slot = int
+
+val create : ?slots:int -> unit -> t
+(** [slots] defaults to 128; raises [Invalid_argument] if < 1. *)
+
+(** {2 Put protocol} *)
+
+val begin_put : t -> key:string -> slot
+(** Claim a slot advertising a pending put of [key] with no version
+    yet. Blocks (spinning) only if every slot is busy. *)
+
+val publish_put_version : t -> slot -> key:string -> version:int -> unit
+
+(** {2 Scan protocol} *)
+
+val begin_scan : t -> low:string -> high:string option -> slot
+val publish_scan_version : t -> slot -> low:string -> high:string option -> version:int -> unit
+
+val finish : t -> slot -> unit
+(** Release the slot (both protocols). *)
+
+(** {2 Queries} *)
+
+val wait_pending_puts : t -> low:string -> high:string option -> upto:int -> unit
+(** Block until no put of a key in [\[low, high\]] is pending with an
+    unpublished version or a published version [<= upto] (Alg. 1
+    line 28). *)
+
+val min_scan_version : t -> low:string -> high:string option -> default:int -> int
+(** Minimal snapshot version among scans overlapping the range,
+    waiting for scans that have announced intent but not yet published
+    a version (§3.4); [default] when none overlap. The result is also
+    capped at [default] (the paper's "minimum of PO scans and GV at
+    rebalance start"). *)
+
+val exists_scan_between : t -> key:string -> old_version:int -> new_version:int -> bool
+(** Is there an active scan covering [key] whose snapshot [s]
+    satisfies [old_version <= s < new_version]? If not, the old
+    version may be discarded in place (§2.2). Scans that have not yet
+    published a version count as present (conservative). *)

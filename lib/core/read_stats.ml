@@ -1,0 +1,78 @@
+open Evendb_util
+
+
+type component = Munk_cache | Row_cache | Funk_log | Sstable | Missing
+
+let component_name = function
+  | Munk_cache -> "munk"
+  | Row_cache -> "row-cache"
+  | Funk_log -> "log"
+  | Sstable -> "sstable"
+  | Missing -> "missing"
+
+let all = [ Munk_cache; Row_cache; Funk_log; Sstable; Missing ]
+
+let index = function
+  | Munk_cache -> 0
+  | Row_cache -> 1
+  | Funk_log -> 2
+  | Sstable -> 3
+  | Missing -> 4
+
+type t = {
+  detailed : bool;
+  counts : int Atomic.t array;
+  hist_mutex : Mutex.t;
+  hists : Histogram.t array;
+}
+
+let create ~detailed =
+  {
+    detailed;
+    counts = Array.init 5 (fun _ -> Atomic.make 0);
+    hist_mutex = Mutex.create ();
+    hists = Array.init 5 (fun _ -> Histogram.create ());
+  }
+
+let record t comp nanos =
+  let i = index comp in
+  ignore (Atomic.fetch_and_add t.counts.(i) 1);
+  if t.detailed then begin
+    Mutex.lock t.hist_mutex;
+    Histogram.record t.hists.(i) nanos;
+    Mutex.unlock t.hist_mutex
+  end
+
+type summary = {
+  total : int;
+  fractions : (component * float) list;
+  latencies : (component * (float * int)) list;
+}
+
+let summarize t =
+  let counts = List.map (fun c -> (c, Atomic.get t.counts.(index c))) all in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  let fractions =
+    List.map
+      (fun (c, n) -> (c, if total = 0 then 0.0 else float_of_int n /. float_of_int total))
+      counts
+  in
+  let latencies =
+    Mutex.lock t.hist_mutex;
+    let r =
+      List.map
+        (fun c ->
+          let h = t.hists.(index c) in
+          (c, (Histogram.mean h, Histogram.percentile h 95.0)))
+        all
+    in
+    Mutex.unlock t.hist_mutex;
+    r
+  in
+  { total; fractions; latencies }
+
+let reset t =
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Mutex.lock t.hist_mutex;
+  Array.iter Histogram.reset t.hists;
+  Mutex.unlock t.hist_mutex

@@ -1,0 +1,27 @@
+(** Per-component read-path accounting (Figure 9).
+
+    Classifies every get by the component that served it — munk, row
+    cache, funk log, or SSTable — and records per-component latency
+    histograms when enabled. *)
+
+
+type component = Munk_cache | Row_cache | Funk_log | Sstable | Missing
+
+val component_name : component -> string
+
+type t
+
+val create : detailed:bool -> t
+
+val record : t -> component -> int -> unit
+(** [record t comp nanos]: count a get served by [comp]; latency is
+    folded into the component histogram when [detailed]. *)
+
+type summary = {
+  total : int;
+  fractions : (component * float) list; (* share of gets per component *)
+  latencies : (component * (float * int)) list; (* (mean ns, p95 ns) *)
+}
+
+val summarize : t -> summary
+val reset : t -> unit

@@ -1,0 +1,74 @@
+open Evendb_util
+open Evendb_storage
+
+(* Sorted association list epoch -> last checkpointed seq; tiny (one row
+   per crash survived). *)
+type t = (int * int) list
+
+let file_name = "RECOVERY_TABLE"
+let empty = []
+
+let add t ~epoch ~last_seq = (epoch, last_seq) :: List.remove_assoc epoch t
+
+let last_seq t ~epoch = List.assoc_opt epoch t
+
+let is_visible t ~current_epoch version =
+  let e = Version.epoch version in
+  if e = current_epoch then true
+  else
+    match last_seq t ~epoch:e with
+    | None -> false
+    | Some limit -> Version.seq version <= limit
+
+let max_epoch t = List.fold_left (fun acc (e, _) -> max acc e) (-1) t
+
+(* On-disk: [n] rows of [epoch] [seq+1] (shifted so -1 encodes as 0),
+   varints, with a trailing CRC over the payload. *)
+let store env t =
+  let buf = Buffer.create 64 in
+  Varint.write buf (List.length t);
+  List.iter
+    (fun (e, s) ->
+      Varint.write buf e;
+      Varint.write buf (s + 1))
+    t;
+  let payload = Buffer.contents buf in
+  let crc = Crc32c.string payload in
+  let tmp = file_name ^ ".tmp" in
+  let file = Env.create env tmp in
+  Env.append file payload;
+  let crc_buf = Buffer.create 4 in
+  Buffer.add_char crc_buf (Char.chr (Int32.to_int crc land 0xff));
+  Buffer.add_char crc_buf (Char.chr (Int32.to_int (Int32.shift_right_logical crc 8) land 0xff));
+  Buffer.add_char crc_buf (Char.chr (Int32.to_int (Int32.shift_right_logical crc 16) land 0xff));
+  Buffer.add_char crc_buf (Char.chr (Int32.to_int (Int32.shift_right_logical crc 24) land 0xff));
+  Env.append file (Buffer.contents crc_buf);
+  Env.fsync file;
+  Env.close_file file;
+  Env.rename env ~old_name:tmp ~new_name:file_name
+
+let load env =
+  if not (Env.exists env file_name) then empty
+  else begin
+    let data = Env.read_all env file_name in
+    if String.length data < 4 then invalid_arg "Recovery_table.load: truncated";
+    let payload = String.sub data 0 (String.length data - 4) in
+    let crc_bytes = String.sub data (String.length data - 4) 4 in
+    let stored =
+      let b i = Int32.of_int (Char.code crc_bytes.[i]) in
+      Int32.logor (b 0)
+        (Int32.logor
+           (Int32.shift_left (b 1) 8)
+           (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+    in
+    if Crc32c.string payload <> stored then invalid_arg "Recovery_table.load: bad checksum";
+    let n, pos = Varint.read payload 0 in
+    let rec rows acc pos = function
+      | 0 -> List.rev acc
+      | k ->
+        let e, pos = Varint.read payload pos in
+        let s, pos = Varint.read payload pos in
+        rows ((e, s - 1) :: acc) pos (k - 1)
+    in
+    rows [] pos n
+  end

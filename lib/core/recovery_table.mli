@@ -1,0 +1,38 @@
+(** The recovery table (§3.5, Table 1): epoch → last checkpointed
+    per-epoch sequence number.
+
+    After a crash, reads from funks must ignore records of earlier
+    epochs whose sequence exceeds that epoch's last completed
+    checkpoint — they were written but never covered by a checkpoint,
+    so surfacing them could expose a non-prefix state. Records of the
+    current epoch are always visible (they are in memory / covered by
+    normal operation). *)
+
+open Evendb_storage
+
+type t
+
+val empty : t
+
+val add : t -> epoch:int -> last_seq:int -> t
+(** Record that [epoch] checkpointed up to [last_seq] ([-1] when the
+    epoch never completed a checkpoint). *)
+
+val last_seq : t -> epoch:int -> int option
+
+val is_visible : t -> current_epoch:int -> int -> bool
+(** [is_visible t ~current_epoch version]: current-epoch versions are
+    always visible; older epochs only up to their checkpoint. Epochs
+    missing from the table are fully invisible. *)
+
+val max_epoch : t -> int
+(** Largest epoch present; -1 when empty. *)
+
+val store : Env.t -> t -> unit
+(** Atomically persist (write temp + fsync + rename). *)
+
+val load : Env.t -> t
+(** The empty table when the file does not exist. Raises
+    [Invalid_argument] on corruption. *)
+
+val file_name : string

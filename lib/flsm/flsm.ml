@@ -1,0 +1,734 @@
+open Evendb_util
+open Evendb_storage
+open Evendb_sstable
+open Evendb_log
+
+module K = Kv_iter
+module Memtable = Evendb_lsm.Memtable
+
+module Config = struct
+  type t = {
+    memtable_bytes : int;
+    l0_compaction_trigger : int;
+    max_fragments_per_guard : int;
+    guard_bytes : int;
+    bloom_bits_per_key : int;
+    sstable_block_bytes : int;
+    sync_writes : bool;
+    wal_fsync_every : int;
+    max_levels : int;
+  }
+
+  let mib = 1024 * 1024
+
+  let default =
+    {
+      memtable_bytes = 4 * mib;
+      l0_compaction_trigger = 4;
+      max_fragments_per_guard = 4;
+      guard_bytes = 8 * mib;
+      bloom_bits_per_key = 10;
+      sstable_block_bytes = 4096;
+      sync_writes = false;
+      wal_fsync_every = 32768;
+      max_levels = 5;
+    }
+
+  let scaled ?(factor = 64) () =
+    if factor <= 0 then invalid_arg "Flsm.Config.scaled: factor <= 0";
+    {
+      default with
+      memtable_bytes = max 4096 (default.memtable_bytes / factor);
+      guard_bytes = max 8192 (default.guard_bytes / factor);
+    }
+end
+
+type fragment = {
+  fid : int;
+  reader : Sstable.Reader.t;
+  smallest : string;
+  largest : string;
+  bytes : int;
+  refs : int Atomic.t;
+}
+
+type guard = {
+  guard_key : string;
+  fragments : fragment list; (* newest first *)
+}
+
+type state = {
+  mem : Memtable.t;
+  imm : Memtable.t option;
+  levels : guard list array; (* sorted by guard_key; first is "" *)
+  pins : int Atomic.t;
+  state_retired : bool Atomic.t;
+}
+
+type t = {
+  env : Env.t;
+  cfg : Config.t;
+  state : state Atomic.t;
+  writer : Mutex.t;
+  seq : int Atomic.t;
+  mutable wal : Log_file.Writer.t;
+  mutable wal_gen : int;
+  next_fid : int Atomic.t;
+  snap_mutex : Mutex.t;
+  snapshots : (int, int) Hashtbl.t;
+  mutable next_ticket : int;
+  logical_written : int Atomic.t;
+  put_count : int Atomic.t;
+  closed : bool Atomic.t;
+}
+
+let sst_name fid = Printf.sprintf "flsm_%08d.sst" fid
+let wal_name gen = Printf.sprintf "flsm_wal_%08d.log" gen
+let manifest_name = "FLSM_MANIFEST"
+
+let env t = t.env
+let logical_bytes_written t = Atomic.get t.logical_written
+
+let write_amplification t =
+  let written = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_written in
+  let logical = logical_bytes_written t in
+  if logical = 0 then 0.0 else float_of_int written /. float_of_int logical
+
+(* ------------------------------------------------------------------ *)
+(* State lifecycle (same refcount discipline as the LSM baseline)      *)
+
+let state_fragments s =
+  Array.to_list s.levels |> List.concat_map (fun guards -> List.concat_map (fun g -> g.fragments) guards)
+
+let fragment_release t f =
+  if Atomic.fetch_and_add f.refs (-1) = 1 then Env.delete t.env (sst_name f.fid)
+
+let release_state t s =
+  if Atomic.fetch_and_add s.pins (-1) = 1 && Atomic.get s.state_retired then
+    List.iter (fragment_release t) (state_fragments s)
+
+let rec pin_state t =
+  let s = Atomic.get t.state in
+  ignore (Atomic.fetch_and_add s.pins 1);
+  if Atomic.get s.state_retired then begin
+    release_state t s;
+    Domain.cpu_relax ();
+    pin_state t
+  end
+  else s
+
+let publish t s' =
+  let old = Atomic.get t.state in
+  Atomic.set t.state s';
+  Atomic.set old.state_retired true;
+  release_state t old
+
+let fresh_state ~mem ~imm ~levels =
+  Array.iter
+    (fun guards ->
+      List.iter
+        (fun g -> List.iter (fun f -> ignore (Atomic.fetch_and_add f.refs 1)) g.fragments)
+        guards)
+    levels;
+  { mem; imm; levels; pins = Atomic.make 1; state_retired = Atomic.make false }
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                            *)
+
+let store_manifest t levels =
+  let buf = Buffer.create 256 in
+  Varint.write buf (Atomic.get t.next_fid);
+  Varint.write buf t.wal_gen;
+  Varint.write buf (Atomic.get t.seq);
+  Varint.write buf (Array.length levels);
+  Array.iter
+    (fun guards ->
+      Varint.write buf (List.length guards);
+      List.iter
+        (fun g ->
+          Varint.write buf (String.length g.guard_key);
+          Buffer.add_string buf g.guard_key;
+          Varint.write buf (List.length g.fragments);
+          List.iter (fun f -> Varint.write buf f.fid) g.fragments)
+        guards)
+    levels;
+  let payload = Buffer.contents buf in
+  let crc = Crc32c.string payload in
+  let tmp = manifest_name ^ ".tmp" in
+  let file = Env.create t.env tmp in
+  Env.append file payload;
+  Env.append file
+    (String.init 4 (fun i ->
+         Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
+  Env.fsync file;
+  Env.close_file file;
+  Env.rename t.env ~old_name:tmp ~new_name:manifest_name
+
+let load_manifest env =
+  if not (Env.exists env manifest_name) then None
+  else begin
+    let data = Env.read_all env manifest_name in
+    if String.length data < 4 then invalid_arg "Flsm: truncated manifest";
+    let payload = String.sub data 0 (String.length data - 4) in
+    let stored =
+      let b i = Int32.of_int (Char.code data.[String.length data - 4 + i]) in
+      Int32.logor (b 0)
+        (Int32.logor
+           (Int32.shift_left (b 1) 8)
+           (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+    in
+    if Crc32c.string payload <> stored then invalid_arg "Flsm: manifest checksum";
+    let next_fid, pos = Varint.read payload 0 in
+    let wal_gen, pos = Varint.read payload pos in
+    let seq, pos = Varint.read payload pos in
+    let n_levels, pos = Varint.read payload pos in
+    let posr = ref pos in
+    let levels =
+      Array.init n_levels (fun _ ->
+          let n_guards, pos = Varint.read payload !posr in
+          posr := pos;
+          List.init n_guards (fun _ ->
+              let klen, pos = Varint.read payload !posr in
+              let guard_key = String.sub payload pos klen in
+              let pos = pos + klen in
+              let n_frags, pos = Varint.read payload pos in
+              posr := pos;
+              let fids =
+                List.init n_frags (fun _ ->
+                    let fid, pos = Varint.read payload !posr in
+                    posr := pos;
+                    fid)
+              in
+              (guard_key, fids)))
+    in
+    Some (next_fid, wal_gen, seq, levels)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fragment building                                                   *)
+
+let open_fragment env fid =
+  let reader = Sstable.Reader.open_ env (sst_name fid) in
+  {
+    fid;
+    reader;
+    smallest = Option.value ~default:"" (Sstable.Reader.first_key reader);
+    largest = Option.value ~default:"" (Sstable.Reader.last_key reader);
+    bytes = (try Env.size env (sst_name fid) with Not_found -> 0);
+    refs = Atomic.make 0;
+  }
+
+let build_fragment t entries =
+  let fid = Atomic.fetch_and_add t.next_fid 1 in
+  let builder =
+    Sstable.Builder.create t.env ~block_size:t.cfg.sstable_block_bytes
+      ~bloom_bits_per_key:t.cfg.bloom_bits_per_key ~with_bloom:true ~name:(sst_name fid)
+      ~min_key:"" ()
+  in
+  List.iter (Sstable.Builder.add builder) entries;
+  Sstable.Builder.finish builder;
+  open_fragment t.env fid
+
+let entry_bytes (e : K.entry) =
+  String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 16
+
+(* Split an entry list into groups of <= guard_bytes at distinct-key
+   boundaries; each group beyond the first becomes a new guard. *)
+let split_into_groups t entries =
+  let groups = ref [] and current = ref [] and bytes = ref 0 and last = ref None in
+  List.iter
+    (fun (e : K.entry) ->
+      (match !last with
+      | Some k when !bytes >= t.cfg.guard_bytes && not (String.equal k e.key) ->
+        groups := List.rev !current :: !groups;
+        current := [];
+        bytes := 0
+      | _ -> ());
+      current := e :: !current;
+      bytes := !bytes + entry_bytes e;
+      last := Some e.key)
+    entries;
+  if !current <> [] then groups := List.rev !current :: !groups;
+  List.rev !groups
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let register_snapshot t seqno =
+  Mutex.lock t.snap_mutex;
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  Hashtbl.replace t.snapshots ticket seqno;
+  Mutex.unlock t.snap_mutex;
+  ticket
+
+let unregister_snapshot t ticket =
+  Mutex.lock t.snap_mutex;
+  Hashtbl.remove t.snapshots ticket;
+  Mutex.unlock t.snap_mutex
+
+let min_snapshot t ~default =
+  Mutex.lock t.snap_mutex;
+  let m = Hashtbl.fold (fun _ s acc -> min s acc) t.snapshots default in
+  Mutex.unlock t.snap_mutex;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Flush & guard compaction                                            *)
+
+(* Insert merged output of a parent guard into [child_guards]
+   (sorted). Each child guard that overlaps gets one new fragment;
+   oversized partitions spawn new guards. Returns the updated child
+   guard list. *)
+let distribute_to_children t child_guards entries =
+  match entries with
+  | [] -> child_guards
+  | _ ->
+    (* Partition entries by child guard boundaries. *)
+    let rec partition guards entries acc =
+      match guards with
+      | [] -> List.rev acc
+      | [ g ] -> List.rev ((g, entries) :: acc)
+      | g :: (g2 :: _ as rest) ->
+        let mine, theirs =
+          List.partition (fun (e : K.entry) -> String.compare e.key g2.guard_key < 0) entries
+        in
+        partition rest theirs ((g, mine) :: acc)
+    in
+    let parts = partition child_guards entries [] in
+    List.concat_map
+      (fun (g, part) ->
+        match part with
+        | [] -> [ g ]
+        | _ -> (
+          match split_into_groups t part with
+          | [] -> [ g ]
+          | first :: extras ->
+            let g' = { g with fragments = build_fragment t first :: g.fragments } in
+            g'
+            :: List.map
+                 (fun group ->
+                   let gk = (List.hd group : K.entry).key in
+                   { guard_key = gk; fragments = [ build_fragment t group ] })
+                 extras))
+      parts
+
+(* Merge all fragments of a guard into one sorted entry list. *)
+let merge_guard t guard ~drop_tombstones =
+  let floor = min_snapshot t ~default:(Atomic.get t.seq) in
+  K.to_list
+    (K.compact ~min_retained_version:floor ~drop_tombstones
+       (K.merge (List.map (fun f -> Sstable.Reader.iter f.reader) guard.fragments)))
+
+(* Compact the whole of level [i] into level [i+1]: each guard's
+   fragments are merged and the output appended under the child
+   guards; level [i] is left with empty guards. Moving the entire
+   level preserves the cross-level version ordering (a partially-moved
+   level could leave older sibling fragments above newer data). At the
+   bottom level guards are merged in place instead. Caller holds the
+   writer mutex. *)
+let compact_level t i =
+  let s = Atomic.get t.state in
+  let levels = Array.copy s.levels in
+  let bottom = i = Array.length levels - 1 in
+  if bottom then
+    levels.(i) <-
+      List.concat_map
+        (fun g ->
+          if List.length g.fragments <= 1 then [ g ]
+          else begin
+            (* Tombstones may only be dropped if no *other* bottom
+               fragment (a wide pre-split sibling) overlaps this
+               guard's data — it could hold an older value the
+               tombstone still masks. *)
+            let g_lo =
+              List.fold_left (fun acc f -> min acc f.smallest) (List.hd g.fragments).smallest
+                g.fragments
+            and g_hi =
+              List.fold_left (fun acc f -> max acc f.largest) (List.hd g.fragments).largest
+                g.fragments
+            in
+            let sibling_overlap =
+              List.exists
+                (fun g' ->
+                  g'.guard_key <> g.guard_key
+                  && List.exists
+                       (fun f ->
+                         String.compare f.smallest g_hi <= 0
+                         && String.compare g_lo f.largest <= 0)
+                       g'.fragments)
+                levels.(i)
+            in
+            let merged = merge_guard t g ~drop_tombstones:(not sibling_overlap) in
+            match split_into_groups t merged with
+            | [] -> [ { g with fragments = [] } ]
+            | first :: extras ->
+              { g with fragments = [ build_fragment t first ] }
+              :: List.map
+                   (fun group ->
+                     {
+                       guard_key = (List.hd group : K.entry).key;
+                       fragments = [ build_fragment t group ];
+                     })
+                   extras
+          end)
+        levels.(i)
+  else begin
+    let children = ref levels.(i + 1) in
+    List.iter
+      (fun g ->
+        if g.fragments <> [] then begin
+          let merged = merge_guard t g ~drop_tombstones:false in
+          children := distribute_to_children t !children merged
+        end)
+      levels.(i);
+    levels.(i + 1) <- !children;
+    levels.(i) <- List.map (fun g -> { g with fragments = [] }) levels.(i)
+  end;
+  publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels);
+  store_manifest t levels
+
+let rec compact t =
+  let s = Atomic.get t.state in
+  let l0_frags = List.concat_map (fun g -> g.fragments) s.levels.(0) in
+  if List.length l0_frags >= t.cfg.l0_compaction_trigger then begin
+    compact_level t 0;
+    compact t
+  end
+  else begin
+    (* A level with an overfull guard moves down wholesale. *)
+    let doomed = ref None in
+    Array.iteri
+      (fun i guards ->
+        if !doomed = None && i > 0 then
+          if
+            List.exists
+              (fun g -> List.length g.fragments > t.cfg.max_fragments_per_guard)
+              guards
+          then doomed := Some i)
+      s.levels;
+    match !doomed with
+    | None -> ()
+    | Some i ->
+      compact_level t i;
+      compact t
+  end
+
+let flush_memtable t =
+  let s = Atomic.get t.state in
+  if not (Memtable.is_empty s.mem) then begin
+    let old_wal_gen = t.wal_gen in
+    let old_wal = t.wal in
+    t.wal_gen <- t.wal_gen + 1;
+    t.wal <- Log_file.Writer.create t.env (wal_name t.wal_gen);
+    let imm = s.mem in
+    let s1 = fresh_state ~mem:Memtable.empty ~imm:(Some imm) ~levels:s.levels in
+    publish t s1;
+    let floor = min_snapshot t ~default:(Atomic.get t.seq) in
+    let entries =
+      K.to_list
+        (K.compact ~min_retained_version:floor ~drop_tombstones:false (Memtable.to_iter imm))
+    in
+    let frag = build_fragment t entries in
+    let levels = Array.copy s1.levels in
+    (levels.(0) <-
+       match levels.(0) with
+       | [ g ] -> [ { g with fragments = frag :: g.fragments } ]
+       | _ -> assert false);
+    publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:None ~levels);
+    store_manifest t levels;
+    Log_file.Writer.close old_wal;
+    Env.delete t.env (wal_name old_wal_gen)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+let put_entry t key value_opt =
+  Mutex.lock t.writer;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.writer)
+    (fun () ->
+      let seq = Atomic.fetch_and_add t.seq 1 + 1 in
+      let entry : K.entry = { key; value = value_opt; version = seq; counter = 0 } in
+      ignore (Log_file.Writer.append t.wal entry);
+      if t.cfg.sync_writes then Log_file.Writer.fsync t.wal
+      else begin
+        let n = Atomic.fetch_and_add t.put_count 1 + 1 in
+        if t.cfg.wal_fsync_every > 0 && n mod t.cfg.wal_fsync_every = 0 then
+          Log_file.Writer.fsync t.wal
+      end;
+      let s = Atomic.get t.state in
+      Atomic.set t.state { s with mem = Memtable.add s.mem entry };
+      ignore
+        (Atomic.fetch_and_add t.logical_written
+           (String.length key + match value_opt with Some v -> String.length v | None -> 0));
+      if Memtable.byte_size (Atomic.get t.state).mem >= t.cfg.memtable_bytes then begin
+        flush_memtable t;
+        compact t
+      end)
+
+let put t key value = put_entry t key (Some value)
+let delete t key = put_entry t key None
+
+let guard_for guards key =
+  (* Last guard with guard_key <= key; guards sorted, first is "". *)
+  let rec go best = function
+    | [] -> best
+    | g :: rest -> if String.compare g.guard_key key <= 0 then go (Some g) rest else best
+  in
+  go None guards
+
+let get t key =
+  let s = pin_state t in
+  Fun.protect
+    ~finally:(fun () -> release_state t s)
+    (fun () ->
+      let from_levels () =
+        let check f =
+          if
+            String.compare f.smallest key <= 0
+            && String.compare key f.largest <= 0
+            && Sstable.Reader.may_contain f.reader key
+          then Sstable.Reader.get f.reader key
+          else None
+        in
+        let rec search_level i =
+          if i >= Array.length s.levels then None
+          else begin
+            (* Fragments never span below their guard's key, but
+               fragments created before a guard split may extend past
+               the next guard's key — so every guard with guard_key <=
+               key must be examined, each fragment gated by its own
+               range (and bloom). Within a level the newest hit wins:
+               fragments come from different compactions and may hold
+               different versions (the read penalty FLSM trades for its
+               write savings). *)
+            let best = ref None in
+            let rec guards = function
+              | g :: rest when String.compare g.guard_key key <= 0 ->
+                List.iter
+                  (fun f ->
+                    match check f with
+                    | Some e -> (
+                      match !best with
+                      | Some b when K.entry_newer b e -> ()
+                      | _ -> best := Some e)
+                    | None -> ())
+                  g.fragments;
+                guards rest
+              | _ -> ()
+            in
+            guards s.levels.(i);
+            match !best with
+            | Some e -> Some e
+            | None -> search_level (i + 1)
+          end
+        in
+        search_level 0
+      in
+      let result =
+        match Memtable.find_latest s.mem key with
+        | Some e -> Some e
+        | None -> (
+          match Option.bind s.imm (fun imm -> Memtable.find_latest imm key) with
+          | Some e -> Some e
+          | None -> from_levels ())
+      in
+      match result with
+      | Some { K.value = Some v; _ } -> Some v
+      | Some { K.value = None; _ } | None -> None)
+
+let bounded it ~high =
+  let stopped = ref false in
+  fun () ->
+    if !stopped then None
+    else
+      match it () with
+      | Some (e : K.entry) when String.compare e.key high <= 0 -> Some e
+      | _ ->
+        stopped := true;
+        None
+
+let scan t ?limit ~low ~high () =
+  if String.compare low high > 0 then []
+  else begin
+    Mutex.lock t.writer;
+    let s = pin_state t in
+    let snap = Atomic.get t.seq in
+    Mutex.unlock t.writer;
+    let ticket = register_snapshot t snap in
+    Fun.protect
+      ~finally:(fun () ->
+        unregister_snapshot t ticket;
+        release_state t s)
+      (fun () ->
+        let frag_iters =
+          Array.to_list s.levels
+          |> List.concat_map (fun guards ->
+                 List.concat_map
+                   (fun g ->
+                     List.filter_map
+                       (fun f ->
+                         if
+                           String.compare f.smallest high <= 0
+                           && String.compare low f.largest <= 0
+                         then Some (bounded (Sstable.Reader.iter_from f.reader low) ~high)
+                         else None)
+                       g.fragments)
+                   guards)
+        in
+        let iters =
+          Memtable.iter_range s.mem ~low ~high
+          :: (match s.imm with Some imm -> [ Memtable.iter_range imm ~low ~high ] | None -> [])
+          @ frag_iters
+        in
+        let it = K.dedup (K.filter (fun (e : K.entry) -> e.version <= snap) (K.merge iters)) in
+        let max_count = match limit with None -> max_int | Some l -> l in
+        let rec go acc count =
+          if count >= max_count then List.rev acc
+          else
+            match it () with
+            | None -> List.rev acc
+            | Some { K.value = None; _ } -> go acc count
+            | Some { K.key; K.value = Some v; _ } -> go ((key, v) :: acc) (count + 1)
+        in
+        go [] 0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Open / close                                                        *)
+
+let empty_levels n = Array.init n (fun _ -> [ { guard_key = ""; fragments = [] } ])
+
+let open_ ?(config = Config.default) env =
+  match load_manifest env with
+  | None ->
+    let t =
+      {
+        env;
+        cfg = config;
+        state =
+          Atomic.make
+            {
+              mem = Memtable.empty;
+              imm = None;
+              levels = empty_levels config.max_levels;
+              pins = Atomic.make 1;
+              state_retired = Atomic.make false;
+            };
+        writer = Mutex.create ();
+        seq = Atomic.make 0;
+        wal = Log_file.Writer.create env (wal_name 0);
+        wal_gen = 0;
+        next_fid = Atomic.make 0;
+        snap_mutex = Mutex.create ();
+        snapshots = Hashtbl.create 16;
+        next_ticket = 0;
+        logical_written = Atomic.make 0;
+        put_count = Atomic.make 0;
+        closed = Atomic.make false;
+      }
+    in
+    store_manifest t (empty_levels config.max_levels);
+    t
+  | Some (next_fid, wal_gen, seq, level_guards) ->
+    let levels =
+      Array.map
+        (fun guards ->
+          List.map
+            (fun (guard_key, fids) ->
+              { guard_key; fragments = List.map (open_fragment env) fids })
+            guards)
+        level_guards
+    in
+    Array.iter
+      (fun guards ->
+        List.iter
+          (fun g -> List.iter (fun f -> ignore (Atomic.fetch_and_add f.refs 1)) g.fragments)
+          guards)
+      levels;
+    let mem = ref Memtable.empty in
+    let max_seq = ref seq in
+    List.iter
+      (fun (_off, e) ->
+        mem := Memtable.add !mem e;
+        if e.K.version > !max_seq then max_seq := e.K.version)
+      (Log_file.Reader.entries env (wal_name wal_gen));
+    {
+      env;
+      cfg = config;
+      state =
+        Atomic.make
+          {
+            mem = !mem;
+            imm = None;
+            levels;
+            pins = Atomic.make 1;
+            state_retired = Atomic.make false;
+          };
+      writer = Mutex.create ();
+      seq = Atomic.make !max_seq;
+      wal = Log_file.Writer.open_append env (wal_name wal_gen);
+      wal_gen;
+      next_fid = Atomic.make next_fid;
+      snap_mutex = Mutex.create ();
+      snapshots = Hashtbl.create 16;
+      next_ticket = 0;
+      logical_written = Atomic.make 0;
+      put_count = Atomic.make 0;
+      closed = Atomic.make false;
+    }
+
+let compact_now t =
+  Mutex.lock t.writer;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.writer)
+    (fun () ->
+      flush_memtable t;
+      compact t)
+
+let close t =
+  if Atomic.compare_and_set t.closed false true then begin
+    Log_file.Writer.fsync t.wal;
+    Env.fsync_all t.env;
+    Log_file.Writer.close t.wal
+  end
+
+let fragment_counts t =
+  Array.to_list
+    (Array.map
+       (fun guards -> List.fold_left (fun acc g -> acc + List.length g.fragments) 0 guards)
+       (Atomic.get t.state).levels)
+
+let guard_counts t =
+  Array.to_list (Array.map List.length (Atomic.get t.state).levels)
+
+let debug_locate t key =
+  let s = Atomic.get t.state in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i guards ->
+      List.iter
+        (fun g ->
+          List.iter
+            (fun f ->
+              match Sstable.Reader.get f.reader key with
+              | Some e ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "L%d guard=%S frag=%d range=[%S,%S] version=%d bloom=%b in_range=%b; " i
+                     g.guard_key f.fid f.smallest f.largest e.K.version
+                     (Sstable.Reader.may_contain f.reader key)
+                     (String.compare f.smallest key <= 0 && String.compare key f.largest <= 0))
+              | None -> ())
+            g.fragments)
+        guards)
+    s.levels;
+  (match guard_for s.levels.(1) key with
+  | Some g -> Buffer.add_string buf (Printf.sprintf "L1 guard_for=%S; " g.guard_key)
+  | None -> Buffer.add_string buf "L1 guard_for=NONE; ");
+  (match guard_for s.levels.(2) key with
+  | Some g -> Buffer.add_string buf (Printf.sprintf "L2 guard_for=%S" g.guard_key)
+  | None -> Buffer.add_string buf "L2 guard_for=NONE");
+  Buffer.contents buf

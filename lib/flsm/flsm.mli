@@ -1,0 +1,64 @@
+(** A fragmented LSM-tree (FLSM) — the PebblesDB-like baseline of §5.4.
+
+    PebblesDB's key idea: levels are partitioned by {e guards}; when
+    level i is compacted, each guard's fragments are merged and the
+    output is *appended* as new fragments under the child guards of
+    level i+1, without rewriting the child's existing data. Write
+    amplification drops (data is rewritten once per level instead of
+    repeatedly), at the cost of reads having to examine several
+    overlapping fragments per guard.
+
+    Guards are created by splitting oversized compaction outputs at
+    key boundaries (a deterministic stand-in for PebblesDB's
+    probabilistic guard sampling — it yields the same structure for a
+    given data volume). The bottom level merges guards in place when
+    they accumulate too many fragments.
+
+    Reuses the LSM baseline's memtable and runs on the same
+    instrumented storage environment. *)
+
+open Evendb_storage
+
+module Config : sig
+  type t = {
+    memtable_bytes : int;
+    l0_compaction_trigger : int;
+    max_fragments_per_guard : int;
+        (** Fragment count that triggers compaction of a guard. *)
+    guard_bytes : int;
+        (** Target data volume per guard; compaction outputs larger
+            than this create new child guards. *)
+    bloom_bits_per_key : int;
+    sstable_block_bytes : int;
+    sync_writes : bool;
+    wal_fsync_every : int;
+    max_levels : int;
+  }
+
+  val default : t
+  val scaled : ?factor:int -> unit -> t
+end
+
+type t
+
+val open_ : ?config:Config.t -> Env.t -> t
+val close : t -> unit
+
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val delete : t -> string -> unit
+val scan : t -> ?limit:int -> low:string -> high:string -> unit -> (string * string) list
+
+val compact_now : t -> unit
+
+val env : t -> Env.t
+val logical_bytes_written : t -> int
+val write_amplification : t -> float
+
+val fragment_counts : t -> int list
+(** Total fragments per level. *)
+
+val guard_counts : t -> int list
+
+val debug_locate : t -> string -> string
+(** Diagnostic: brute-force description of where a key's versions live. *)

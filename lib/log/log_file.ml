@@ -1,0 +1,148 @@
+open Evendb_util
+open Evendb_storage
+
+(* Payload: [op : 1B] [klen : varint] [key] [version : varint]
+   [counter : varint] and, for puts, [vlen : varint] [value]. *)
+
+module Record = struct
+  let op_put = 0
+  let op_delete = 1
+
+  let encode_payload buf (e : Kv_iter.entry) =
+    Buffer.add_char buf (Char.chr (match e.value with Some _ -> op_put | None -> op_delete));
+    Varint.write buf (String.length e.key);
+    Buffer.add_string buf e.key;
+    Varint.write buf e.version;
+    Varint.write buf e.counter;
+    match e.value with
+    | Some v ->
+      Varint.write buf (String.length v);
+      Buffer.add_string buf v
+    | None -> ()
+
+  let add_u32_le buf (v : int32) =
+    Buffer.add_char buf (Char.chr (Int32.to_int v land 0xff));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff))
+
+  let read_u32_le s pos =
+    let b i = Int32.of_int (Char.code s.[pos + i]) in
+    Int32.logor (b 0)
+      (Int32.logor
+         (Int32.shift_left (b 1) 8)
+         (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+  let encode buf e =
+    let scratch = Buffer.create 256 in
+    encode_payload scratch e;
+    let payload = Buffer.contents scratch in
+    add_u32_le buf (Crc32c.mask (Crc32c.string payload));
+    Varint.write buf (String.length payload);
+    Buffer.add_string buf payload
+
+  let decode_payload s pos len : Kv_iter.entry =
+    let fin = pos + len in
+    let op = Char.code s.[pos] in
+    let klen, p = Varint.read s (pos + 1) in
+    let key = String.sub s p klen in
+    let p = p + klen in
+    let version, p = Varint.read s p in
+    let counter, p = Varint.read s p in
+    if op = op_delete then begin
+      if p <> fin then invalid_arg "trailing bytes";
+      { key; value = None; version; counter }
+    end
+    else begin
+      let vlen, p = Varint.read s p in
+      if p + vlen <> fin then invalid_arg "bad value length";
+      { key; value = Some (String.sub s p vlen); version; counter }
+    end
+
+  let decode s ~pos =
+    let n = String.length s in
+    if pos + 5 > n then None
+    else
+      match
+        let expected = Crc32c.unmask (read_u32_le s pos) in
+        let len, p = Varint.read s (pos + 4) in
+        if len < 0 || p + len > n then None
+        else if Crc32c.string (String.sub s p len) <> expected then None
+        else Some (decode_payload s p len, p + len)
+      with
+      | result -> result
+      | exception Invalid_argument _ -> None
+end
+
+module Writer = struct
+  type t = {
+    file : Env.file;
+    buf : Buffer.t;
+    mutex : Mutex.t;
+    mutable pos : int;
+  }
+
+  let create env name =
+    { file = Env.create env name; buf = Buffer.create 1024; mutex = Mutex.create (); pos = 0 }
+
+  let open_append env name =
+    let file = Env.open_append env name in
+    { file; buf = Buffer.create 1024; mutex = Mutex.create (); pos = Env.file_size file }
+
+  let append t e =
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        let start = t.pos in
+        Buffer.clear t.buf;
+        Record.encode t.buf e;
+        let len = Buffer.length t.buf in
+        Env.append t.file (Buffer.contents t.buf);
+        t.pos <- start + len;
+        start)
+
+  let size t = t.pos
+  let fsync t = Env.fsync t.file
+  let close t = Env.close_file t.file
+end
+
+module Reader = struct
+  let fold ?(lo = 0) ?hi env name ~init ~f =
+    if not (Env.exists env name) then init
+    else begin
+      (* Read only the requested range: segment-bounded lookups must not
+         pay for the whole log (that is the point of the partitioned
+         bloom filter). [hi], when it is a segment boundary, is also a
+         record boundary, so no record straddles it. *)
+      let file_len = Env.size env name in
+      let hi = match hi with None -> file_len | Some h -> min h file_len in
+      if lo >= hi then init
+      else begin
+        let data = Env.read_at env name ~off:lo ~len:(hi - lo) in
+        let rec go acc pos =
+          if pos >= hi - lo then acc
+          else
+            match Record.decode data ~pos with
+            | None -> acc (* torn or corrupt tail: stop *)
+            | Some (e, next) -> go (f acc (lo + pos) e) next
+        in
+        go init 0
+      end
+    end
+
+  let entries env name =
+    List.rev (fold env name ~init:[] ~f:(fun acc off e -> (off, e) :: acc))
+
+  let valid_prefix_length env name =
+    if not (Env.exists env name) then 0
+    else begin
+      let data = Env.read_all env name in
+      let rec go pos =
+        match Record.decode data ~pos with
+        | None -> pos
+        | Some (_, next) -> go next
+      in
+      go 0
+    end
+end

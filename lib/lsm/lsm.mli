@@ -1,0 +1,68 @@
+(** A leveled LSM-tree key-value store — the RocksDB-like baseline the
+    paper compares against (§5).
+
+    Classic design: a global write-ahead log, an in-memory memtable,
+    and levels of immutable SSTables. L0 files are flushed memtables
+    (overlapping); L1+ files are non-overlapping and each level is
+    [level_size_multiplier] times larger than the previous. Background
+    work is performed inline on the write path (flushes when the
+    memtable fills, compactions when a level overflows), which
+    reproduces the paper's observed compaction stalls.
+
+    Runs on the same instrumented {!Evendb_storage.Env} as EvenDB, so
+    throughput and write-amplification comparisons are
+    apples-to-apples. Supports atomic scans via sequence-number
+    snapshots; active snapshots block version garbage collection in
+    compactions, like EvenDB's PO array does. *)
+
+open Evendb_storage
+
+module Config : sig
+  type t = {
+    memtable_bytes : int;  (** Flush trigger. *)
+    l0_compaction_trigger : int;  (** #L0 files that triggers L0→L1. *)
+    level_base_bytes : int;  (** L1 capacity; Li = base * mult^(i-1). *)
+    level_size_multiplier : int;
+    target_file_bytes : int;  (** Output file size during compaction. *)
+    bloom_bits_per_key : int;
+    sstable_block_bytes : int;
+    sync_writes : bool;  (** fsync the WAL on every put. *)
+    wal_fsync_every : int;  (** Async mode: fsync WAL every N puts (0 = only at close). *)
+    max_levels : int;
+  }
+
+  val default : t
+
+  val scaled : ?factor:int -> unit -> t
+  (** Shrink all size thresholds by [factor] (default 64), preserving
+      ratios. *)
+end
+
+type t
+
+val open_ : ?config:Config.t -> Env.t -> t
+(** Opens or recovers: the manifest restores the level structure and
+    the WAL is replayed into a fresh memtable (unlike EvenDB, an LSM
+    must replay its log on recovery). *)
+
+val close : t -> unit
+
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val delete : t -> string -> unit
+
+val scan : t -> ?limit:int -> low:string -> high:string -> unit -> (string * string) list
+
+val compact_now : t -> unit
+(** Drive flush + compaction to quiescence (phase boundaries in
+    benchmarks). *)
+
+val flush_wal : t -> unit
+
+(** {2 Introspection} *)
+
+val env : t -> Env.t
+val logical_bytes_written : t -> int
+val write_amplification : t -> float
+val level_file_counts : t -> int list
+val level_bytes : t -> int list

@@ -1,0 +1,57 @@
+open Evendb_util
+
+module M = Map.Make (String)
+
+type t = {
+  map : Kv_iter.entry list M.t; (* newest first per key *)
+  bytes : int;
+  count : int;
+}
+
+let empty = { map = M.empty; bytes = 0; count = 0 }
+
+let entry_bytes (e : Kv_iter.entry) =
+  String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 48
+
+let add t (e : Kv_iter.entry) =
+  let existing = Option.value ~default:[] (M.find_opt e.key t.map) in
+  (* Writers are serialized and versions are monotone, so prepending
+     keeps newest-first order. *)
+  {
+    map = M.add e.key (e :: existing) t.map;
+    bytes = t.bytes + entry_bytes e;
+    count = t.count + 1;
+  }
+
+let find_latest t ?(max_version = max_int) key =
+  match M.find_opt key t.map with
+  | None -> None
+  | Some versions -> List.find_opt (fun (e : Kv_iter.entry) -> e.version <= max_version) versions
+
+let byte_size t = t.bytes
+let entry_count t = t.count
+let is_empty t = t.count = 0
+
+let iter_range t ~low ~high =
+  let seq =
+    M.to_seq_from low t.map
+    |> Seq.take_while (fun (k, _) -> String.compare k high <= 0)
+    |> Seq.concat_map (fun (_, versions) -> List.to_seq versions)
+  in
+  let state = ref seq in
+  fun () ->
+    match Seq.uncons !state with
+    | None -> None
+    | Some (e, rest) ->
+      state := rest;
+      Some e
+
+let to_iter t =
+  let seq = M.to_seq t.map |> Seq.concat_map (fun (_, versions) -> List.to_seq versions) in
+  let state = ref seq in
+  fun () ->
+    match Seq.uncons !state with
+    | None -> None
+    | Some (e, rest) ->
+      state := rest;
+      Some e

@@ -1,0 +1,26 @@
+(** LSM memtable: an immutable sorted map of multi-versioned entries.
+
+    Functional (persistent) so that readers can snapshot it with one
+    atomic load while the single-writer path produces updated
+    versions. All versions of a key are retained until flush, which is
+    what makes snapshot scans sound. *)
+
+open Evendb_util
+
+type t
+
+val empty : t
+
+val add : t -> Kv_iter.entry -> t
+val find_latest : t -> ?max_version:int -> string -> Kv_iter.entry option
+
+val byte_size : t -> int
+(** Approximate payload bytes (flush trigger). *)
+
+val entry_count : t -> int
+val is_empty : t -> bool
+
+val iter_range : t -> low:string -> high:string -> Kv_iter.t
+(** Canonical order over [low <= key <= high]. *)
+
+val to_iter : t -> Kv_iter.t

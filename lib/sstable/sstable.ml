@@ -1,0 +1,363 @@
+open Evendb_util
+open Evendb_storage
+open Evendb_bloom
+
+let magic = "EVSST001"
+let footer_magic = "EVSSTEND"
+let footer_size = 8 + 8 + 8 + 8 + 4 + 8
+
+(* Entry encoding inside a block:
+   [op : 1B] [klen] [key] [version] [counter] ([vlen] [value] for puts),
+   varints throughout. Blocks need no per-entry CRC: the index CRC plus
+   immutability make silent truncation detectable, and blocks are only
+   reachable through the verified index. *)
+
+let op_put = 0
+let op_delete = 1
+
+let encode_entry buf (e : Kv_iter.entry) =
+  Buffer.add_char buf (Char.chr (match e.value with Some _ -> op_put | None -> op_delete));
+  Varint.write buf (String.length e.key);
+  Buffer.add_string buf e.key;
+  Varint.write buf e.version;
+  Varint.write buf e.counter;
+  match e.value with
+  | Some v ->
+    Varint.write buf (String.length v);
+    Buffer.add_string buf v
+  | None -> ()
+
+let decode_entry s pos : Kv_iter.entry * int =
+  let op = Char.code s.[pos] in
+  let klen, p = Varint.read s (pos + 1) in
+  let key = String.sub s p klen in
+  let p = p + klen in
+  let version, p = Varint.read s p in
+  let counter, p = Varint.read s p in
+  if op = op_delete then ({ key; value = None; version; counter }, p)
+  else begin
+    let vlen, p = Varint.read s p in
+    ({ key; value = Some (String.sub s p vlen); version; counter }, p + vlen)
+  end
+
+type block_meta = {
+  first_key : string;
+  offset : int;
+  length : int;
+  entries : int;
+}
+
+let add_u64_le buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let read_u64_le s pos =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let add_u32_le buf (v : int32) =
+  let v = Int32.to_int v land 0xffffffff in
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let read_u32_le s pos =
+  let b i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+module Builder = struct
+  type t = {
+    env : Env.t;
+    file : Env.file;
+    block_size : int;
+    bloom_bits_per_key : int;
+    with_bloom : bool;
+    block : Buffer.t;
+    mutable block_first_key : string option;
+    mutable block_entries : int;
+    mutable pos : int;
+    mutable index : block_meta list; (* reversed *)
+    mutable count : int;
+    mutable last : Kv_iter.entry option;
+    mutable keys : string list; (* distinct keys for the bloom, reversed *)
+    mutable finished : bool;
+  }
+
+  let create env ?(block_size = 4096) ?(bloom_bits_per_key = 10) ?(with_bloom = false)
+      ~name ~min_key () =
+    let file = Env.create env name in
+    let header = Buffer.create 64 in
+    Buffer.add_string header magic;
+    Varint.write header (String.length min_key);
+    Buffer.add_string header min_key;
+    Env.append file (Buffer.contents header);
+    {
+      env;
+      file;
+      block_size;
+      bloom_bits_per_key;
+      with_bloom;
+      block = Buffer.create (2 * block_size);
+      block_first_key = None;
+      block_entries = 0;
+      pos = Buffer.length header;
+      index = [];
+      count = 0;
+      last = None;
+      keys = [];
+      finished = false;
+    }
+
+  let flush_block t =
+    match t.block_first_key with
+    | None -> ()
+    | Some first_key ->
+      let length = Buffer.length t.block in
+      Env.append t.file (Buffer.contents t.block);
+      t.index <- { first_key; offset = t.pos; length; entries = t.block_entries } :: t.index;
+      t.pos <- t.pos + length;
+      Buffer.clear t.block;
+      t.block_first_key <- None;
+      t.block_entries <- 0
+
+  let add t (e : Kv_iter.entry) =
+    if t.finished then invalid_arg "Sstable.Builder.add: already finished";
+    (match t.last with
+    | Some prev when Kv_iter.compare_entries prev e >= 0 ->
+      invalid_arg "Sstable.Builder.add: entries out of order"
+    | _ -> ());
+    if t.with_bloom then begin
+      match t.keys with
+      | k :: _ when String.equal k e.key -> ()
+      | _ -> t.keys <- e.key :: t.keys
+    end;
+    (* Only split between distinct keys so that all versions of a key
+       live in one block (versioned lookups then read a single block). *)
+    (match t.last with
+    | Some prev
+      when Buffer.length t.block >= t.block_size && not (String.equal prev.key e.key) ->
+      flush_block t
+    | _ -> ());
+    if t.block_first_key = None then t.block_first_key <- Some e.key;
+    encode_entry t.block e;
+    t.block_entries <- t.block_entries + 1;
+    t.count <- t.count + 1;
+    t.last <- Some e
+
+  let entry_count t = t.count
+
+  let finish t =
+    if t.finished then invalid_arg "Sstable.Builder.finish: already finished";
+    t.finished <- true;
+    flush_block t;
+    (* Bloom section *)
+    let bloom_off = t.pos in
+    let bloom_str =
+      if not t.with_bloom then ""
+      else begin
+        let filter = Bloom.create ~bits_per_key:t.bloom_bits_per_key (List.length t.keys) in
+        List.iter (fun k -> Bloom.add filter k) t.keys;
+        Bloom.serialize filter
+      end
+    in
+    if bloom_str <> "" then Env.append t.file bloom_str;
+    let bloom_len = String.length bloom_str in
+    t.pos <- t.pos + bloom_len;
+    (* Index section *)
+    let index_buf = Buffer.create 1024 in
+    let blocks = List.rev t.index in
+    Varint.write index_buf (List.length blocks);
+    Varint.write index_buf t.count;
+    List.iter
+      (fun b ->
+        Varint.write index_buf (String.length b.first_key);
+        Buffer.add_string index_buf b.first_key;
+        Varint.write index_buf b.offset;
+        Varint.write index_buf b.length;
+        Varint.write index_buf b.entries)
+      blocks;
+    let index_str = Buffer.contents index_buf in
+    let index_off = t.pos in
+    Env.append t.file index_str;
+    t.pos <- t.pos + String.length index_str;
+    (* Footer *)
+    let footer = Buffer.create footer_size in
+    add_u64_le footer index_off;
+    add_u64_le footer (String.length index_str);
+    add_u64_le footer bloom_off;
+    add_u64_le footer bloom_len;
+    add_u32_le footer (Crc32c.mask (Crc32c.string index_str));
+    Buffer.add_string footer footer_magic;
+    Env.append t.file (Buffer.contents footer);
+    Env.fsync t.file;
+    Env.close_file t.file
+end
+
+module Reader = struct
+  type t = {
+    env : Env.t;
+    name : string;
+    chunk_min_key : string;
+    blocks : block_meta array;
+    count : int;
+    bloom : Bloom.t option;
+  }
+
+  let open_ env name =
+    let file_len = try Env.size env name with Not_found -> invalid_arg "Sstable: no such file" in
+    if file_len < footer_size + String.length magic then invalid_arg "Sstable: file too small";
+    (* Header *)
+    let header = Env.read_at env name ~off:0 ~len:(min file_len 4096) in
+    if String.sub header 0 8 <> magic then invalid_arg "Sstable: bad magic";
+    let min_key_len, p = Varint.read header 8 in
+    let chunk_min_key =
+      if p + min_key_len <= String.length header then String.sub header p min_key_len
+      else
+        (* pathological: huge min key spilling past the probe read *)
+        Env.read_at env name ~off:p ~len:min_key_len
+    in
+    (* Footer *)
+    let footer = Env.read_at env name ~off:(file_len - footer_size) ~len:footer_size in
+    if String.sub footer (footer_size - 8) 8 <> footer_magic then
+      invalid_arg "Sstable: bad footer magic";
+    let index_off = read_u64_le footer 0 in
+    let index_len = read_u64_le footer 8 in
+    let bloom_off = read_u64_le footer 16 in
+    let bloom_len = read_u64_le footer 24 in
+    let index_crc = Crc32c.unmask (read_u32_le footer 32) in
+    if index_off + index_len > file_len then invalid_arg "Sstable: index out of range";
+    let index_str =
+      if index_len = 0 then "" else Env.read_at env name ~off:index_off ~len:index_len
+    in
+    if Crc32c.string index_str <> index_crc then invalid_arg "Sstable: index checksum mismatch";
+    let n_blocks, p = Varint.read index_str 0 in
+    let count, p = Varint.read index_str p in
+    let pos = ref p in
+    let blocks =
+      Array.init n_blocks (fun _ ->
+          let klen, p = Varint.read index_str !pos in
+          let first_key = String.sub index_str p klen in
+          let p = p + klen in
+          let offset, p = Varint.read index_str p in
+          let length, p = Varint.read index_str p in
+          let entries, p = Varint.read index_str p in
+          pos := p;
+          { first_key; offset; length; entries })
+    in
+    let bloom =
+      if bloom_len = 0 then None
+      else Some (Bloom.deserialize (Env.read_at env name ~off:bloom_off ~len:bloom_len))
+    in
+    { env; name; chunk_min_key; blocks; count; bloom }
+
+  let name t = t.name
+  let chunk_min_key t = t.chunk_min_key
+  let entry_count t = t.count
+
+  let read_block t i =
+    let b = t.blocks.(i) in
+    Env.read_at t.env t.name ~off:b.offset ~len:b.length
+
+  let block_entries t i =
+    let data = read_block t i in
+    let n = t.blocks.(i).entries in
+    let entries = Array.make n None in
+    let pos = ref 0 in
+    for j = 0 to n - 1 do
+      let e, next = decode_entry data !pos in
+      entries.(j) <- Some e;
+      pos := next
+    done;
+    Array.map Option.get entries
+
+  let first_key t =
+    if Array.length t.blocks = 0 then None else Some t.blocks.(0).first_key
+
+  let last_key t =
+    let nb = Array.length t.blocks in
+    if nb = 0 then None
+    else begin
+      let entries = block_entries t (nb - 1) in
+      Some entries.(Array.length entries - 1).key
+    end
+
+  (* Last block whose first_key <= key; -1 when key precedes everything. *)
+  let find_block t key =
+    let lo = ref 0 and hi = ref (Array.length t.blocks - 1) and result = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if String.compare t.blocks.(mid).first_key key <= 0 then begin
+        result := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    !result
+
+  let may_contain t key = match t.bloom with None -> true | Some b -> Bloom.mem b key
+
+  let get t ?(max_version = max_int) key =
+    let bi = find_block t key in
+    if bi < 0 then None
+    else begin
+      (* All versions of a key are within one block (builder splits only
+         between distinct keys). *)
+      let entries = block_entries t bi in
+      let result = ref None in
+      (try
+         Array.iter
+           (fun (e : Kv_iter.entry) ->
+             let c = String.compare e.key key in
+             if c > 0 then raise Exit
+             else if c = 0 && e.version <= max_version then begin
+               result := Some e;
+               raise Exit
+             end)
+           entries
+       with Exit -> ());
+      !result
+    end
+
+  let get_all_versions t key =
+    let bi = find_block t key in
+    if bi < 0 then []
+    else
+      Array.to_list (block_entries t bi)
+      |> List.filter (fun (e : Kv_iter.entry) -> String.equal e.key key)
+
+  let iter_blocks_from t start_block skip_until =
+    let bi = ref start_block in
+    let cur = ref [||] in
+    let ci = ref 0 in
+    let rec next () =
+      if !ci < Array.length !cur then begin
+        let e = (!cur).(!ci) in
+        incr ci;
+        match skip_until with
+        | Some k when String.compare e.Kv_iter.key k < 0 -> next ()
+        | _ -> Some e
+      end
+      else if !bi < Array.length t.blocks then begin
+        cur := block_entries t !bi;
+        ci := 0;
+        incr bi;
+        next ()
+      end
+      else None
+    in
+    next
+
+  let iter t = iter_blocks_from t 0 None
+
+  let iter_from t key =
+    let bi = find_block t key in
+    let start = if bi < 0 then 0 else bi in
+    iter_blocks_from t start (Some key)
+end

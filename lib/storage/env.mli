@@ -1,0 +1,87 @@
+(** Storage environment: a flat namespace of append-only files.
+
+    All engines (EvenDB, the LSM and FLSM baselines) perform I/O
+    exclusively through an [Env.t], which routes every byte through an
+    {!Io_stats.t}. Two backends:
+
+    - [disk dir] — real files under [dir] (fsync maps to [Unix.fsync]);
+    - [memory ()] — an in-process filesystem that additionally models
+      crashes: each file tracks its last-fsynced length, and {!crash}
+      discards every unsynced suffix, which is how the recovery tests
+      validate the paper's prefix-consistency guarantee (§3.5).
+
+    Files are append-only (SSTables are written once; logs only grow),
+    matching the paper's funk layout. Metadata operations (create,
+    delete, rename) are treated as immediately durable; only appended
+    data is subject to loss on [crash].
+
+    All operations are thread-safe. *)
+
+type t
+type file
+
+val disk : string -> t
+(** [disk dir] creates [dir] if missing and roots the namespace there. *)
+
+val memory : unit -> t
+
+val stats : t -> Io_stats.t
+
+val is_memory : t -> bool
+
+(** {2 Writing} *)
+
+val create : t -> string -> file
+(** Create (or truncate) a file and open it for appending. *)
+
+val open_append : t -> string -> file
+(** Open an existing file positioned at its end; creates it if absent. *)
+
+val append : file -> string -> unit
+val append_bytes : file -> bytes -> pos:int -> len:int -> unit
+
+val file_size : file -> int
+(** Current size including unflushed appends. *)
+
+val flush : file -> unit
+val fsync : file -> unit
+(** [fsync] implies [flush]. *)
+
+val close_file : file -> unit
+
+(** {2 Reading} *)
+
+val size : t -> string -> int
+(** Raises [Not_found] if the file does not exist. *)
+
+val read_at : t -> string -> off:int -> len:int -> string
+(** Reads exactly [len] bytes; raises [Invalid_argument] if the range
+    exceeds the file. Accounted in {!stats}. *)
+
+val read_all : t -> string -> string
+
+val exists : t -> string -> bool
+
+(** {2 Namespace} *)
+
+val delete : t -> string -> unit
+(** Removes the file; no-op if absent. *)
+
+val rename : t -> old_name:string -> new_name:string -> unit
+(** Atomic replace, used to publish rebuilt funks and manifests. *)
+
+val list_files : t -> string list
+(** All file names, unsorted. *)
+
+val space_used : t -> int
+(** Total bytes across all files (Figure 4). *)
+
+(** {2 Durability control} *)
+
+val fsync_all : t -> unit
+(** Sync every open appendable file (checkpointing, §3.5). *)
+
+val crash : t -> unit
+(** Memory backend only: discard all unsynced data and invalidate open
+    file handles, simulating a power failure. Raises
+    [Invalid_argument] on a disk env. *)

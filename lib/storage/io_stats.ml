@@ -1,0 +1,65 @@
+type t = {
+  bytes_written : int Atomic.t;
+  bytes_read : int Atomic.t;
+  write_ops : int Atomic.t;
+  read_ops : int Atomic.t;
+  fsyncs : int Atomic.t;
+}
+
+type snapshot = {
+  bytes_written : int;
+  bytes_read : int;
+  write_ops : int;
+  read_ops : int;
+  fsyncs : int;
+}
+
+let create () : t =
+  {
+    bytes_written = Atomic.make 0;
+    bytes_read = Atomic.make 0;
+    write_ops = Atomic.make 0;
+    read_ops = Atomic.make 0;
+    fsyncs = Atomic.make 0;
+  }
+
+let add n c = ignore (Atomic.fetch_and_add c n)
+
+let add_write (t : t) n =
+  add n t.bytes_written;
+  add 1 t.write_ops
+
+let add_read (t : t) n =
+  add n t.bytes_read;
+  add 1 t.read_ops
+
+let add_fsync (t : t) = add 1 t.fsyncs
+
+let snapshot (t : t) : snapshot =
+  {
+    bytes_written = Atomic.get t.bytes_written;
+    bytes_read = Atomic.get t.bytes_read;
+    write_ops = Atomic.get t.write_ops;
+    read_ops = Atomic.get t.read_ops;
+    fsyncs = Atomic.get t.fsyncs;
+  }
+
+let reset (t : t) =
+  Atomic.set t.bytes_written 0;
+  Atomic.set t.bytes_read 0;
+  Atomic.set t.write_ops 0;
+  Atomic.set t.read_ops 0;
+  Atomic.set t.fsyncs 0
+
+let diff ~after ~before : snapshot =
+  {
+    bytes_written = after.bytes_written - before.bytes_written;
+    bytes_read = after.bytes_read - before.bytes_read;
+    write_ops = after.write_ops - before.write_ops;
+    read_ops = after.read_ops - before.read_ops;
+    fsyncs = after.fsyncs - before.fsyncs;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "written=%dB read=%dB wops=%d rops=%d fsyncs=%d"
+    s.bytes_written s.bytes_read s.write_ops s.read_ops s.fsyncs

@@ -1,0 +1,31 @@
+(** Byte-accurate storage accounting.
+
+    Every read and write issued by an engine flows through one
+    {!Io_stats.t}, so write amplification (physical bytes written /
+    logical user bytes) and the read-I/O volumes of Table 2 and
+    Figures 3c/7 are measured rather than estimated. Counters are
+    atomics: safe to bump from any domain. *)
+
+type t
+
+type snapshot = {
+  bytes_written : int;
+  bytes_read : int;
+  write_ops : int;
+  read_ops : int;
+  fsyncs : int;
+}
+
+val create : unit -> t
+
+val add_write : t -> int -> unit
+val add_read : t -> int -> unit
+val add_fsync : t -> unit
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** Component-wise subtraction, for measuring a bounded phase. *)
+
+val pp : Format.formatter -> snapshot -> unit

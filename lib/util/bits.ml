@@ -1,0 +1,36 @@
+(* Count-leading-zeros via downward binary search on the top bit. A
+   shift-left formulation is a trap here: OCaml ints are 63-bit, so
+   shifting a probe bit "up" can silently overflow the sign bit. *)
+let floor_log2 v =
+  (* v > 0 *)
+  let n = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin
+    n := !n + 32;
+    v := !v lsr 32
+  end;
+  if !v lsr 16 <> 0 then begin
+    n := !n + 16;
+    v := !v lsr 16
+  end;
+  if !v lsr 8 <> 0 then begin
+    n := !n + 8;
+    v := !v lsr 8
+  end;
+  if !v lsr 4 <> 0 then begin
+    n := !n + 4;
+    v := !v lsr 4
+  end;
+  if !v lsr 2 <> 0 then begin
+    n := !n + 2;
+    v := !v lsr 2
+  end;
+  if !v lsr 1 <> 0 then n := !n + 1;
+  !n
+
+let clz63 v = if v <= 0 then 63 else 62 - floor_log2 v
+
+let ceil_log2 v =
+  if v <= 0 then invalid_arg "Bits.ceil_log2: v <= 0";
+  if v = 1 then 0 else 63 - clz63 (v - 1)
+
+let next_pow2 v = if v <= 1 then 1 else 1 lsl ceil_log2 v

@@ -1,0 +1,12 @@
+(** Small bit-twiddling helpers shared by the histogram and bloom filter. *)
+
+val clz63 : int -> int
+(** [clz63 v] counts leading zeros of [v] viewed as a 63-bit value.
+    [clz63 1 = 62]; [clz63 0 = 63]. *)
+
+val ceil_log2 : int -> int
+(** Smallest [k] with [2^k >= v]; [ceil_log2 1 = 0]. Raises
+    [Invalid_argument] for [v <= 0]. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two [>= v]. *)

@@ -1,0 +1,51 @@
+let poly = 0x82f63b78l
+
+let table =
+  let t = Array.make 256 0l in
+  for i = 0 to 255 do
+    let c = ref (Int32.of_int i) in
+    for _ = 0 to 7 do
+      if Int32.logand !c 1l <> 0l then
+        c := Int32.logxor (Int32.shift_right_logical !c 1) poly
+      else c := Int32.shift_right_logical !c 1
+    done;
+    t.(i) <- !c
+  done;
+  t
+
+let update crc byte =
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xffl) in
+  Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical crc 8)
+
+let finish crc = Int32.logxor crc 0xffffffffl
+let start init = Int32.logxor init 0xffffffffl
+
+let bytes ?(init = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32c.bytes: slice out of bounds";
+  let crc = ref (start init) in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  finish !crc
+
+let string ?(init = 0l) s =
+  let crc = ref (start init) in
+  for i = 0 to String.length s - 1 do
+    crc := update !crc (Char.code (String.unsafe_get s i))
+  done;
+  finish !crc
+
+(* Masking as in LevelDB: rotate right 15 bits and add a constant, so a CRC
+   computed over data that itself contains CRCs stays well distributed. *)
+let mask_delta = 0xa282ead8l
+
+let mask crc =
+  let rot =
+    Int32.logor (Int32.shift_right_logical crc 15) (Int32.shift_left crc 17)
+  in
+  Int32.add rot mask_delta
+
+let unmask masked =
+  let rot = Int32.sub masked mask_delta in
+  Int32.logor (Int32.shift_right_logical rot 17) (Int32.shift_left rot 15)

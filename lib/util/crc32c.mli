@@ -1,0 +1,19 @@
+(** CRC-32C (Castagnoli) checksum.
+
+    Used to frame on-disk records (funk-log entries, SSTable footers) so
+    that torn writes and corruption are detected on recovery. *)
+
+val string : ?init:int32 -> string -> int32
+(** [string s] is the CRC-32C of [s]. [init] continues a running
+    checksum (default: fresh). *)
+
+val bytes : ?init:int32 -> bytes -> pos:int -> len:int -> int32
+(** [bytes b ~pos ~len] checksums the given slice. *)
+
+val mask : int32 -> int32
+(** [mask crc] applies the standard rotation+offset masking (as in
+    LevelDB/RocksDB) so that checksums of data containing embedded CRCs
+    remain well-distributed. *)
+
+val unmask : int32 -> int32
+(** Inverse of {!mask}. *)

@@ -1,0 +1,102 @@
+(* Log-linear buckets. Values below [sub_count] are stored exactly (one
+   bucket per value); larger values with magnitude m = floor(log2 v) are
+   grouped by their top [sub_bits] bits below the leading bit, giving a
+   worst-case relative error of 2^-sub_bits. *)
+
+let sub_bits = 6
+let sub_count = 1 lsl sub_bits
+let rows = 58 (* magnitudes 6..62 map to rows 1..57 *)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable sum : float;
+}
+
+let create () =
+  {
+    counts = Array.make (rows * sub_count) 0;
+    total = 0;
+    min_v = max_int;
+    max_v = 0;
+    sum = 0.0;
+  }
+
+let magnitude v = 62 - Bits.clz63 v
+
+let index_of v =
+  if v < sub_count then v
+  else begin
+    let m = magnitude v in
+    let row = m - sub_bits + 1 in
+    let sub = (v lsr (m - sub_bits)) land (sub_count - 1) in
+    (row * sub_count) + sub
+  end
+
+(* Upper-bound value represented by a bucket index. *)
+let value_of idx =
+  if idx < sub_count then idx
+  else begin
+    let row = idx / sub_count and sub = idx mod sub_count in
+    let m = row + sub_bits - 1 in
+    let low = (1 lsl m) lor (sub lsl (m - sub_bits)) in
+    low lor ((1 lsl (m - sub_bits)) - 1)
+  end
+
+let record_many t v count =
+  let v = if v < 0 then 0 else v in
+  let idx = index_of v in
+  if idx < 0 || idx >= Array.length t.counts then
+    invalid_arg
+      (Printf.sprintf "Histogram.record_many: v=%d idx=%d clz=%d" v idx (Bits.clz63 v));
+  t.counts.(idx) <- t.counts.(idx) + count;
+  t.total <- t.total + count;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  t.sum <- t.sum +. (float_of_int v *. float_of_int count)
+
+let record t v = record_many t v 1
+
+let merge_into ~src ~dst =
+  Array.iteri (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+  dst.sum <- dst.sum +. src.sum
+
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let target =
+      let x = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+      if x < 1 then 1 else x
+    in
+    let seen = ref 0 in
+    let result = ref t.max_v in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if c > 0 && !seen >= target then begin
+             result := min (value_of i) t.max_v;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    !result
+  end
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0;
+  t.sum <- 0.0

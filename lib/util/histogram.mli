@@ -1,0 +1,31 @@
+(** Latency histogram with bounded relative error.
+
+    Log-linear bucketing (HdrHistogram-style): values are grouped into
+    power-of-two magnitude ranges, each split into a fixed number of
+    linear sub-buckets, giving ~1.5% worst-case relative error with a
+    few KB of memory. Used for the paper's tail-latency figures. *)
+
+type t
+
+val create : unit -> t
+(** Histogram accepting values in [\[0, 2^62)] (e.g. nanoseconds). *)
+
+val record : t -> int -> unit
+(** [record t v] adds one observation. Negative values clamp to 0. *)
+
+val record_many : t -> int -> int -> unit
+(** [record_many t v count] adds [count] observations of [v]. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Accumulate [src]'s counts into [dst] (for per-thread histograms). *)
+
+val count : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] is the value at percentile [p] (in [\[0, 100\]]),
+    e.g. [percentile t 95.0]. Returns 0 for an empty histogram. *)
+
+val reset : t -> unit

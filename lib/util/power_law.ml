@@ -1,0 +1,39 @@
+type t = {
+  n : int;
+  cumulative : float array; (* cumulative.(i) = P(rank <= i) *)
+}
+
+let create ~exponent n =
+  if n <= 0 then invalid_arg "Power_law.create: n <= 0";
+  if exponent <= 0.0 then invalid_arg "Power_law.create: exponent <= 0";
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) exponent);
+    cumulative.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cumulative.(i) <- cumulative.(i) /. total
+  done;
+  { n; cumulative }
+
+let item_count t = t.n
+
+let next t rng =
+  let u = Rng.float rng in
+  (* First index with cumulative >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Power_law.probability: rank out of range";
+  if rank = 0 then t.cumulative.(0) else t.cumulative.(rank) -. t.cumulative.(rank - 1)
+
+let head_coverage t ~fraction =
+  let top = max 1 (int_of_float (float_of_int t.n *. fraction)) in
+  t.cumulative.(min (t.n - 1) (top - 1))

@@ -1,0 +1,23 @@
+(** Table-based power-law sampler for arbitrary exponents.
+
+    The YCSB Zipfian generator ({!Zipf}) only supports theta in (0,1);
+    the production analytics trace of the paper's §1.1 is heavier
+    (1% of app ids cover 94% of events), which needs an exponent
+    above 1. This sampler precomputes the cumulative distribution
+    P(rank) ∝ 1/rank^exponent and inverts it by binary search. *)
+
+type t
+
+val create : exponent:float -> int -> t
+(** [create ~exponent n] over ranks [0..n-1] (rank 0 most popular).
+    Raises [Invalid_argument] if [n <= 0] or [exponent <= 0]. *)
+
+val item_count : t -> int
+
+val next : t -> Rng.t -> int
+
+val probability : t -> int -> float
+(** Exact mass of a rank. *)
+
+val head_coverage : t -> fraction:float -> float
+(** Total probability of the top [fraction] of ranks. *)

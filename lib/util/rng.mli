@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (splitmix64 seeding a
+    xoshiro256**-style state) so that workloads are reproducible across
+    runs and independent across worker threads. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Uniform over all 64-bit values. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val string : t -> int -> string
+(** [string t len] is a random printable-ASCII string of length [len]. *)

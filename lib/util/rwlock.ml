@@ -1,0 +1,64 @@
+type t = {
+  mutex : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int; (* active shared holders *)
+  mutable writer : bool; (* exclusive holder present *)
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let lock_shared t =
+  Mutex.lock t.mutex;
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex
+
+let unlock_shared t =
+  Mutex.lock t.mutex;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.mutex
+
+let lock_exclusive t =
+  Mutex.lock t.mutex;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.mutex
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.mutex
+
+let unlock_exclusive t =
+  Mutex.lock t.mutex;
+  t.writer <- false;
+  if t.waiting_writers > 0 then Condition.signal t.can_write
+  else Condition.broadcast t.can_read;
+  Mutex.unlock t.mutex
+
+let try_lock_exclusive t =
+  Mutex.lock t.mutex;
+  let ok = (not t.writer) && t.readers = 0 in
+  if ok then t.writer <- true;
+  Mutex.unlock t.mutex;
+  ok
+
+let with_shared t f =
+  lock_shared t;
+  Fun.protect ~finally:(fun () -> unlock_shared t) f
+
+let with_exclusive t f =
+  lock_exclusive t;
+  Fun.protect ~finally:(fun () -> unlock_exclusive t) f

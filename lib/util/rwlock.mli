@@ -1,0 +1,23 @@
+(** Shared/exclusive lock.
+
+    The paper's per-chunk [rebalanceLock] (§3.2): puts acquire it in
+    shared mode, rebalance acquires it in exclusive mode for short
+    periods. Writers are given preference to avoid rebalance starvation
+    under continuous put traffic. *)
+
+type t
+
+val create : unit -> t
+
+val lock_shared : t -> unit
+val unlock_shared : t -> unit
+
+val lock_exclusive : t -> unit
+val unlock_exclusive : t -> unit
+
+val try_lock_exclusive : t -> bool
+(** Non-blocking acquire, used by funk-change coordination so that
+    losing threads wait for the winner instead of retrying. *)
+
+val with_shared : t -> (unit -> 'a) -> 'a
+val with_exclusive : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,48 @@
+let encoded_size n =
+  if n < 0 then invalid_arg "Varint.encoded_size: negative";
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_bytes b pos n =
+  if n < 0 then invalid_arg "Varint.write_bytes: negative";
+  let rec go pos n =
+    if n < 0x80 then begin
+      Bytes.set b pos (Char.chr n);
+      pos + 1
+    end else begin
+      Bytes.set b pos (Char.chr (0x80 lor (n land 0x7f)));
+      go (pos + 1) (n lsr 7)
+    end
+  in
+  go pos n
+
+let read s pos =
+  let len = String.length s in
+  let rec go pos shift acc =
+    if pos >= len then invalid_arg "Varint.read: truncated";
+    let c = Char.code (String.unsafe_get s pos) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let read_bytes b pos =
+  let len = Bytes.length b in
+  let rec go pos shift acc =
+    if pos >= len then invalid_arg "Varint.read_bytes: truncated";
+    let c = Char.code (Bytes.unsafe_get b pos) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0

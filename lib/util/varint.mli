@@ -1,0 +1,25 @@
+(** LEB128 variable-length integer encoding.
+
+    Non-negative integers are encoded 7 bits at a time, least-significant
+    group first, with the high bit of each byte acting as a continuation
+    flag. Used throughout the on-disk formats (SSTable records, funk-log
+    records) to keep small lengths and versions compact. *)
+
+val encoded_size : int -> int
+(** [encoded_size n] is the number of bytes [write] will emit for [n].
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf n] appends the encoding of [n] to [buf].
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val write_bytes : bytes -> int -> int -> int
+(** [write_bytes b pos n] encodes [n] at [pos] and returns the position
+    immediately after the encoding. *)
+
+val read : string -> int -> int * int
+(** [read s pos] decodes the integer starting at [pos], returning
+    [(value, next_pos)]. Raises [Invalid_argument] on truncated input. *)
+
+val read_bytes : bytes -> int -> int * int
+(** [read_bytes b pos] is [read] over [bytes]. *)

@@ -1,0 +1,70 @@
+(* YCSB-compatible Zipfian generator (Gray et al.'s rejection-free method):
+   precompute zeta(n, theta); sample u in [0,1); invert the two-point head
+   analytically and the tail via the standard eta transform. *)
+
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = 0.99) n =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  if theta <= 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta outside (0,1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; zetan; alpha; eta; half_pow_theta = Float.pow 0.5 theta }
+
+let item_count t = t.n
+let theta t = t.theta
+
+let next t rng =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. t.half_pow_theta then 1
+  else
+    let rank =
+      float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    let r = int_of_float rank in
+    if r >= t.n then t.n - 1 else if r < 0 then 0 else r
+
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  1.0 /. (Float.pow (float_of_int (rank + 1)) t.theta *. t.zetan)
+
+(* 64-bit FNV-1a over the rank's bytes, reduced mod n. *)
+let scramble n rank =
+  let h = ref 0xcbf29ce484222325L in
+  let x = ref rank in
+  for _ = 0 to 7 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (!x land 0xff))) 0x100000001b3L;
+    x := !x lsr 8
+  done;
+  Int64.to_int !h land max_int mod n
+
+let next_scrambled t rng = scramble t.n (next t rng)
+
+let latest ~item_count = create item_count
+
+let next_latest t rng ~max_key =
+  if max_key <= 0 then 0
+  else
+    let rank = next t rng mod max_key in
+    max_key - 1 - rank

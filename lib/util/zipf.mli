@@ -1,0 +1,40 @@
+(** Skewed key-access distributions, following the YCSB generators.
+
+    The paper's synthetic workloads (§5.3) draw keys from Zipfian
+    distributions over ranks, optionally scrambled so that popular keys
+    are dispersed across the key space, plus a "latest" distribution
+    skewed towards recently-inserted keys. *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n] is a Zipfian generator over ranks [0..n-1] with
+    skew parameter [theta] (YCSB default [0.99]). Rank 0 is the most
+    popular item. Raises [Invalid_argument] if [n <= 0] or
+    [theta] is outside (0, 1). *)
+
+val item_count : t -> int
+val theta : t -> float
+
+val next : t -> Rng.t -> int
+(** [next t rng] samples a rank in [\[0, item_count t)]; smaller ranks
+    are more popular. *)
+
+val probability : t -> int -> float
+(** [probability t rank] is the exact probability mass of [rank]. *)
+
+val scramble : int -> int -> int
+(** [scramble n rank] maps a rank to a stable pseudo-random position in
+    [\[0, n)] (FNV-style hash then mod), dispersing popular items
+    uniformly across the key space, as YCSB's ScrambledZipfian does. *)
+
+val next_scrambled : t -> Rng.t -> int
+(** [next_scrambled t rng] is [scramble (item_count t) (next t rng)]. *)
+
+val latest : item_count:int -> t
+(** Generator for the "latest" distribution: use {!next_latest}. *)
+
+val next_latest : t -> Rng.t -> max_key:int -> int
+(** [next_latest t rng ~max_key] samples a key index in [\[0, max_key)]
+    skewed towards [max_key - 1] (the most recent insertion), per YCSB's
+    SkewedLatest generator. *)

@@ -1,0 +1,64 @@
+open Evendb_storage
+
+type t = {
+  name : string;
+  put : string -> string -> unit;
+  get : string -> string option;
+  delete : string -> unit;
+  scan : low:string -> high:string -> limit:int -> (string * string) list;
+  maintain : unit -> unit;
+  close : unit -> unit;
+  env : Env.t;
+  logical_bytes : unit -> int;
+}
+
+let evendb ?config env =
+  let db = Evendb_core.Db.open_ ?config env in
+  {
+    name = "EvenDB";
+    put = Evendb_core.Db.put db;
+    get = Evendb_core.Db.get db;
+    delete = Evendb_core.Db.delete db;
+    scan = (fun ~low ~high ~limit -> Evendb_core.Db.scan db ~limit ~low ~high ());
+    maintain = (fun () -> Evendb_core.Db.maintain db);
+    close = (fun () -> Evendb_core.Db.close db);
+    env;
+    logical_bytes = (fun () -> Evendb_core.Db.logical_bytes_written db);
+  }
+
+let lsm ?config env =
+  let db = Evendb_lsm.Lsm.open_ ?config env in
+  {
+    name = "RocksDB-like LSM";
+    put = Evendb_lsm.Lsm.put db;
+    get = Evendb_lsm.Lsm.get db;
+    delete = Evendb_lsm.Lsm.delete db;
+    scan = (fun ~low ~high ~limit -> Evendb_lsm.Lsm.scan db ~limit ~low ~high ());
+    maintain = (fun () -> Evendb_lsm.Lsm.compact_now db);
+    close = (fun () -> Evendb_lsm.Lsm.close db);
+    env;
+    logical_bytes = (fun () -> Evendb_lsm.Lsm.logical_bytes_written db);
+  }
+
+let flsm ?config env =
+  let db = Evendb_flsm.Flsm.open_ ?config env in
+  {
+    name = "PebblesDB-like FLSM";
+    put = Evendb_flsm.Flsm.put db;
+    get = Evendb_flsm.Flsm.get db;
+    delete = Evendb_flsm.Flsm.delete db;
+    scan = (fun ~low ~high ~limit -> Evendb_flsm.Flsm.scan db ~limit ~low ~high ());
+    maintain = (fun () -> Evendb_flsm.Flsm.compact_now db);
+    close = (fun () -> Evendb_flsm.Flsm.close db);
+    env;
+    logical_bytes = (fun () -> Evendb_flsm.Flsm.logical_bytes_written db);
+  }
+
+let bytes_written t = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_written
+let bytes_read t = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_read
+
+let write_amplification t =
+  let logical = t.logical_bytes () in
+  if logical = 0 then 0.0 else float_of_int (bytes_written t) /. float_of_int logical
+
+let space_used t = Env.space_used t.env

@@ -1,0 +1,28 @@
+(** Uniform facade over the three storage engines so the workload
+    runner and every benchmark treat them interchangeably. *)
+
+open Evendb_storage
+
+type t = {
+  name : string;
+  put : string -> string -> unit;
+  get : string -> string option;
+  delete : string -> unit;
+  scan : low:string -> high:string -> limit:int -> (string * string) list;
+  maintain : unit -> unit;  (** Drive compaction/flushes to quiescence. *)
+  close : unit -> unit;
+  env : Env.t;
+  logical_bytes : unit -> int;
+}
+
+val evendb : ?config:Evendb_core.Config.t -> Env.t -> t
+val lsm : ?config:Evendb_lsm.Lsm.Config.t -> Env.t -> t
+val flsm : ?config:Evendb_flsm.Flsm.Config.t -> Env.t -> t
+
+val write_amplification : t -> float
+(** Physical bytes written / logical bytes accepted (measured from the
+    environment's I/O counters). *)
+
+val bytes_read : t -> int
+val bytes_written : t -> int
+val space_used : t -> int

@@ -1,0 +1,25 @@
+open Evendb_util
+
+let key_bits = 32
+let prefix_bits = 14
+let suffix_bits = key_bits - prefix_bits
+let max_key = 1 lsl key_bits
+
+let encode v =
+  if v < 0 || v >= max_key then invalid_arg "Keys.encode: out of range";
+  Printf.sprintf "user%010d" v
+
+let decode s =
+  if String.length s <> 14 || String.sub s 0 4 <> "user" then
+    invalid_arg "Keys.decode: malformed key";
+  int_of_string (String.sub s 4 10)
+
+let simple i = encode (Zipf.scramble max_key i)
+
+let composite ~prefix ~suffix =
+  if prefix < 0 || prefix >= 1 lsl prefix_bits then invalid_arg "Keys.composite: bad prefix";
+  if suffix < 0 || suffix >= 1 lsl suffix_bits then invalid_arg "Keys.composite: bad suffix";
+  encode ((prefix lsl suffix_bits) lor suffix)
+
+let composite_range ~prefix =
+  (composite ~prefix ~suffix:0, composite ~prefix ~suffix:((1 lsl suffix_bits) - 1))

@@ -1,0 +1,31 @@
+(** Key encodings for the synthetic benchmarks (§5.3.1).
+
+    "The keys are 32-bit integers in decimal encoding (10 bytes), which
+    YCSB pads with a 4-byte prefix (so effectively, the keys are 14
+    byte long)." For composite keys, "the key's 14 most significant
+    bits comprise the primary attribute", drawn from a Zipf
+    distribution, with the remainder uniform. *)
+
+val key_bits : int
+(** 32: keys are 32-bit integers. *)
+
+val prefix_bits : int
+(** 14: the composite primary attribute. *)
+
+val encode : int -> string
+(** 14-byte key: "user" + 10-digit zero-padded decimal. Raises
+    [Invalid_argument] outside [\[0, 2^32)]. *)
+
+val decode : string -> int
+
+val simple : int -> string
+(** Key for the i-th item of a simple-key workload (items are placed
+    by a stable scramble so that popular ranks disperse uniformly). *)
+
+val composite : prefix:int -> suffix:int -> string
+(** Composite key from a [prefix_bits]-bit primary attribute and an
+    18-bit suffix. *)
+
+val composite_range : prefix:int -> string * string
+(** [low, high] keys spanning exactly the prefix's key range (for
+    per-prefix scans). *)

@@ -1,0 +1,136 @@
+open Evendb_util
+
+type op =
+  | Update
+  | Insert
+  | Read
+  | Scan of int
+  | Read_modify_write
+
+type mix = (op * int) list
+
+let workload_p = [ (Update, 100) ]
+let workload_a = [ (Update, 50); (Read, 50) ]
+let workload_b = [ (Update, 5); (Read, 95) ]
+let workload_c = [ (Read, 100) ]
+let workload_d = [ (Insert, 5); (Read, 95) ]
+let workload_e rows = [ (Insert, 5); (Scan rows, 95) ]
+let workload_f = [ (Read_modify_write, 100) ]
+
+type result = {
+  ops : int;
+  seconds : float;
+  kops : float;
+  put_hist : Histogram.t;
+  get_hist : Histogram.t;
+  scan_hist : Histogram.t;
+  windows : (float * float) list;
+}
+
+let now () = Unix.gettimeofday ()
+
+let load (engine : Engine.t) shared =
+  let w = Workload.thread shared ~id:997 in
+  List.iter (fun key -> engine.Engine.put key (Workload.make_value w)) (Workload.load_keys shared);
+  engine.Engine.maintain ()
+
+(* Expand the mix into a 100-slot lookup table. *)
+let mix_table mix =
+  let total = List.fold_left (fun acc (_, p) -> acc + p) 0 mix in
+  if total <> 100 then invalid_arg "Runner: mix must sum to 100";
+  let table = Array.make 100 Read in
+  let pos = ref 0 in
+  List.iter
+    (fun (op, pct) ->
+      for _ = 1 to pct do
+        table.(!pos) <- op;
+        incr pos
+      done)
+    mix;
+  table
+
+let max_windows = 65536
+
+let run ?(window_seconds = 1.0) ?(warmup_ops = 0) (engine : Engine.t) shared mix ~ops ~threads =
+  if threads < 1 then invalid_arg "Runner.run: threads < 1";
+  let table = mix_table mix in
+  let window_ops = Array.init max_windows (fun _ -> Atomic.make 0) in
+  let t0 = ref 0.0 in
+  let do_op w rng put_hist get_hist scan_hist op =
+    let t_start = now () in
+    (match op with
+    | Update -> engine.Engine.put (Workload.sample_key w) (Workload.make_value w)
+    | Insert -> engine.Engine.put (Workload.insert_key w) (Workload.make_value w)
+    | Read -> ignore (engine.Engine.get (Workload.sample_key w))
+    | Scan rows ->
+      ignore
+        (engine.Engine.scan ~low:(Workload.scan_start w) ~high:Workload.key_space_high
+           ~limit:rows)
+    | Read_modify_write ->
+      let key = Workload.sample_key w in
+      ignore (engine.Engine.get key);
+      engine.Engine.put key (Workload.make_value w));
+    let elapsed_ns = int_of_float ((now () -. t_start) *. 1e9) in
+    (match op with
+    | Update | Insert -> Histogram.record put_hist elapsed_ns
+    | Read -> Histogram.record get_hist elapsed_ns
+    | Scan _ -> Histogram.record scan_hist elapsed_ns
+    | Read_modify_write ->
+      Histogram.record get_hist elapsed_ns;
+      Histogram.record put_hist elapsed_ns);
+    ignore rng;
+    let widx = int_of_float ((now () -. !t0) /. window_seconds) in
+    if widx >= 0 && widx < max_windows then
+      ignore (Atomic.fetch_and_add window_ops.(widx) 1)
+  in
+  let worker id n_ops =
+    let w = Workload.thread shared ~id in
+    let rng = Rng.create (1000 + id) in
+    let put_hist = Histogram.create ()
+    and get_hist = Histogram.create ()
+    and scan_hist = Histogram.create () in
+    for _ = 1 to n_ops do
+      do_op w rng put_hist get_hist scan_hist table.(Rng.int rng 100)
+    done;
+    (put_hist, get_hist, scan_hist)
+  in
+  (* Warmup (cache priming, §5.3): run outside the measured span. *)
+  if warmup_ops > 0 then begin
+    t0 := now ();
+    ignore (worker 9999 warmup_ops)
+  end;
+  let per_thread = ops / threads in
+  t0 := now ();
+  let domains =
+    List.init threads (fun id -> Domain.spawn (fun () -> worker id per_thread))
+  in
+  let results = List.map Domain.join domains in
+  let seconds = now () -. !t0 in
+  let put_hist = Histogram.create ()
+  and get_hist = Histogram.create ()
+  and scan_hist = Histogram.create () in
+  List.iter
+    (fun (p, g, s) ->
+      Histogram.merge_into ~src:p ~dst:put_hist;
+      Histogram.merge_into ~src:g ~dst:get_hist;
+      Histogram.merge_into ~src:s ~dst:scan_hist)
+    results;
+  let total_ops = per_thread * threads in
+  let windows =
+    let acc = ref [] in
+    let last = int_of_float (seconds /. window_seconds) in
+    for i = min last (max_windows - 1) downto 0 do
+      let n = Atomic.get window_ops.(i) in
+      acc := ((float_of_int (i + 1) *. window_seconds), float_of_int n /. window_seconds /. 1000.0) :: !acc
+    done;
+    !acc
+  in
+  {
+    ops = total_ops;
+    seconds;
+    kops = (if seconds > 0.0 then float_of_int total_ops /. seconds /. 1000.0 else 0.0);
+    put_hist;
+    get_hist;
+    scan_hist;
+    windows;
+  }

@@ -1,0 +1,48 @@
+(** Multi-domain workload runner (the YCSB driver of §5.1).
+
+    Spawns worker domains that issue an identical operation mix
+    against one engine, collecting per-operation latency histograms
+    and a throughput-over-time series (for the dynamics figures). *)
+
+open Evendb_util
+
+type op =
+  | Update  (** put to an existing (distribution-sampled) key *)
+  | Insert  (** put to a fresh key *)
+  | Read
+  | Scan of int  (** scan this many rows from a sampled start key *)
+  | Read_modify_write
+
+type mix = (op * int) list
+(** Operation percentages; must sum to 100. *)
+
+val workload_p : mix
+val workload_a : mix
+val workload_b : mix
+val workload_c : mix
+val workload_d : mix
+val workload_e : int -> mix
+val workload_f : mix
+
+type result = {
+  ops : int;
+  seconds : float;
+  kops : float;
+  put_hist : Histogram.t;
+  get_hist : Histogram.t;
+  scan_hist : Histogram.t;
+  windows : (float * float) list;
+      (** (window end time in s, throughput in Kops) series. *)
+}
+
+val load : Engine.t -> Workload.shared -> unit
+(** Insert the initial dataset in ascending key order, then run the
+    engine's maintenance to quiescence (the paper's load phase). *)
+
+val run :
+  ?window_seconds:float ->
+  ?warmup_ops:int ->
+  Engine.t -> Workload.shared -> mix -> ops:int -> threads:int -> result
+(** Execute [ops] operations split across [threads] domains. Raises
+    [Invalid_argument] if the mix does not sum to 100 or
+    [threads < 1]. *)

@@ -1,0 +1,76 @@
+open Evendb_util
+
+type t = {
+  n_apps : int;
+  zipf : Power_law.t;
+  rng : Rng.t;
+  value_bytes : int;
+  mutable clock : int; (* global event timestamp *)
+  per_app_seq : int array; (* events emitted per app *)
+  value_base : string;
+}
+
+let create ?(apps = 2000) ?(theta = 1.7) ?(value_bytes = 800) ~seed () =
+  if apps <= 0 then invalid_arg "Trace.create: apps <= 0";
+  let rng = Rng.create seed in
+  {
+    n_apps = apps;
+    zipf = Power_law.create ~exponent:theta apps;
+    rng;
+    value_bytes;
+    clock = 0;
+    per_app_seq = Array.make apps 0;
+    value_base = Rng.string rng value_bytes;
+  }
+
+let apps t = t.n_apps
+
+(* Rank -> app id dispersal, so popular apps are spread over the id
+   space like real app ids. *)
+let app_of_rank t rank = Zipf.scramble t.n_apps rank
+
+let sample_app t = app_of_rank t (Power_law.next t.zipf t.rng)
+
+let key ~app ~ts ~seq = Printf.sprintf "app%05d/%010d/%04d" app ts seq
+
+let next_event t =
+  let app = sample_app t in
+  t.clock <- t.clock + 1;
+  let seq = t.per_app_seq.(app) in
+  t.per_app_seq.(app) <- seq + 1;
+  let k = key ~app ~ts:t.clock ~seq:(seq land 9999) in
+  let v =
+    let b = Bytes.of_string t.value_base in
+    let stamp = string_of_int t.clock in
+    Bytes.blit_string stamp 0 b 0 (min (String.length stamp) (Bytes.length b));
+    Bytes.unsafe_to_string b
+  in
+  (k, v)
+
+let app_of_key k =
+  if String.length k < 8 || String.sub k 0 3 <> "app" then invalid_arg "Trace.app_of_key";
+  int_of_string (String.sub k 3 5)
+
+let app_range t app =
+  if app < 0 || app >= t.n_apps then invalid_arg "Trace.app_range";
+  (Printf.sprintf "app%05d/" app, Printf.sprintf "app%05d~" app)
+
+let recent_range t app ~events =
+  (* Events of one app are spread over the global clock; approximate
+     the "last N events" window by a timestamp range sized by the
+     app's observed event share. *)
+  let emitted = max 1 t.per_app_seq.(app) in
+  let span = max 1 (t.clock * events / emitted) in
+  let lo_ts = max 0 (t.clock - span) in
+  (Printf.sprintf "app%05d/%010d" app lo_ts, Printf.sprintf "app%05d~" app)
+
+let popularity t ~samples =
+  let counts = Array.make t.n_apps 0 in
+  let rng = Rng.copy t.rng in
+  for _ = 1 to samples do
+    let rank = Power_law.next t.zipf rng in
+    counts.(rank) <- counts.(rank) + 1
+  done;
+  Array.to_list counts
+  |> List.mapi (fun rank c -> (rank + 1, float_of_int c /. float_of_int samples))
+  |> List.filter (fun (_, p) -> p > 0.0)

@@ -1,0 +1,43 @@
+(** Synthetic production-analytics trace (§1.1, §5.2).
+
+    Stand-in for the paper's proprietary mobile-analytics log: a
+    stream of app events whose app-id popularity is heavy-tailed
+    (Figure 1 shows ~1% of apps covering ~94% of events), keyed by the
+    composite [app id · timestamp · sequence] and carrying ~800-byte
+    records. Events arrive in timestamp order — i.e., *not* in primary
+    key order, which is exactly the spatial-locality stress the paper
+    studies.
+
+    Determinism: the same [seed] yields the same trace. *)
+
+
+type t
+
+val create : ?apps:int -> ?theta:float -> ?value_bytes:int -> seed:int -> unit -> t
+(** Defaults: 2000 apps (scaled from the paper's 60K), power-law
+    exponent [theta = 1.7] (matching the paper's head coverage: ~1%
+    of apps cover ~94% of events), 800-byte values. *)
+
+val apps : t -> int
+
+val next_event : t -> string * string
+(** [(key, value)] of the next event; keys are composite
+    ["app<id5>/<ts10>/<seq4>"] so all events of an app share a key
+    prefix. *)
+
+val app_of_key : string -> int
+
+val sample_app : t -> int
+(** An app id drawn from the popularity distribution (for queries:
+    popular apps are queried more often, §5.2). *)
+
+val app_range : t -> int -> string * string
+(** Key range covering all events of an app. *)
+
+val recent_range : t -> int -> events:int -> string * string
+(** Key range approximately covering the app's most recent [events]
+    events (the paper's "1-minute history" scans). *)
+
+val popularity : t -> samples:int -> (int * float) list
+(** Empirical (rank, probability) pairs from [samples] draws —
+    regenerates Figure 1. *)

@@ -1,0 +1,139 @@
+open Evendb_util
+
+type dist =
+  | Zipf_simple of float
+  | Zipf_composite of float
+  | Latest
+  | Uniform
+
+let dist_name = function
+  | Zipf_simple _ -> "Zipf-simple"
+  | Zipf_composite _ -> "Zipf-composite"
+  | Latest -> "Latest-simple"
+  | Uniform -> "Uniform"
+
+type shared = {
+  sh_dist : dist;
+  sh_items : int;
+  item_count : int Atomic.t;
+  sh_value_bytes : int;
+  p_count : int; (* composite: number of live prefixes *)
+  per_prefix : int; (* composite: items per prefix *)
+  prefix_stride : int; (* spread of prefix values over the 14-bit space *)
+  suffix_stride : int;
+  seed : int;
+}
+
+type t = {
+  sh : shared;
+  rng : Rng.t;
+  zipf : Zipf.t option;
+  latest : Zipf.t option;
+  value_base : Bytes.t;
+  mutable value_tick : int;
+}
+
+let suffix_space = 1 lsl (Keys.key_bits - Keys.prefix_bits)
+let prefix_space = 1 lsl Keys.prefix_bits
+
+let create_shared ?(value_bytes = 800) dist ~items ~seed =
+  if items <= 0 then invalid_arg "Workload.create_shared: items <= 0";
+  let p_count = max 1 (min prefix_space (items / 64)) in
+  let per_prefix = max 1 (items / p_count) in
+  {
+    sh_dist = dist;
+    sh_items = items;
+    item_count = Atomic.make items;
+    sh_value_bytes = value_bytes;
+    p_count;
+    per_prefix;
+    prefix_stride = max 1 (prefix_space / p_count);
+    suffix_stride = max 1 (suffix_space / per_prefix);
+    seed;
+  }
+
+let initial_items sh = sh.sh_items
+let current_items sh = Atomic.get sh.item_count
+let value_bytes sh = sh.sh_value_bytes
+let dist sh = sh.sh_dist
+
+let thread sh ~id =
+  let rng = Rng.create (sh.seed + (id * 7919) + 13) in
+  let zipf =
+    match sh.sh_dist with
+    | Zipf_simple theta -> Some (Zipf.create ~theta sh.sh_items)
+    | Zipf_composite theta -> Some (Zipf.create ~theta sh.p_count)
+    | Latest | Uniform -> None
+  in
+  let latest =
+    match sh.sh_dist with Latest -> Some (Zipf.latest ~item_count:sh.sh_items) | _ -> None
+  in
+  {
+    sh;
+    rng;
+    zipf;
+    latest;
+    value_base = Bytes.of_string (Rng.string rng sh.sh_value_bytes);
+    value_tick = 0;
+  }
+
+(* Simple keys: item j maps to a stable pseudo-random 32-bit position,
+   dispersing the dataset across the key space. *)
+let item_key j = Keys.encode (Zipf.scramble (1 lsl Keys.key_bits) j)
+
+let composite_key sh ~prefix_idx ~k =
+  Keys.composite ~prefix:(prefix_idx * sh.prefix_stride) ~suffix:(k * sh.suffix_stride)
+
+let load_keys sh =
+  match sh.sh_dist with
+  | Uniform -> []
+  | Zipf_composite _ ->
+    List.concat
+      (List.init sh.p_count (fun prefix_idx ->
+           List.init sh.per_prefix (fun k -> composite_key sh ~prefix_idx ~k)))
+  | Zipf_simple _ | Latest ->
+    List.sort_uniq String.compare (List.init sh.sh_items item_key)
+
+let sample_key t =
+  match t.sh.sh_dist with
+  | Zipf_simple _ ->
+    let rank = Zipf.next (Option.get t.zipf) t.rng in
+    item_key (Zipf.scramble t.sh.sh_items rank)
+  | Zipf_composite _ ->
+    let rank = Zipf.next (Option.get t.zipf) t.rng in
+    let prefix_idx = Zipf.scramble t.sh.p_count rank in
+    composite_key t.sh ~prefix_idx ~k:(Rng.int t.rng t.sh.per_prefix)
+  | Latest ->
+    let j =
+      Zipf.next_latest (Option.get t.latest) t.rng ~max_key:(Atomic.get t.sh.item_count)
+    in
+    item_key j
+  | Uniform -> Keys.encode (Rng.int t.rng (1 lsl Keys.key_bits))
+
+let insert_key t =
+  match t.sh.sh_dist with
+  | Zipf_composite _ ->
+    ignore (Atomic.fetch_and_add t.sh.item_count 1);
+    let rank = Zipf.next (Option.get t.zipf) t.rng in
+    let prefix_idx = Zipf.scramble t.sh.p_count rank in
+    Keys.composite ~prefix:(prefix_idx * t.sh.prefix_stride)
+      ~suffix:(Rng.int t.rng suffix_space)
+  | Uniform ->
+    ignore (Atomic.fetch_and_add t.sh.item_count 1);
+    Keys.encode (Rng.int t.rng (1 lsl Keys.key_bits))
+  | Zipf_simple _ | Latest ->
+    let j = Atomic.fetch_and_add t.sh.item_count 1 in
+    item_key j
+
+let scan_start = sample_key
+
+let make_value t =
+  (* Refresh a small window so values differ between puts without
+     regenerating the whole buffer. *)
+  t.value_tick <- t.value_tick + 1;
+  let b = Bytes.copy t.value_base in
+  let tick = string_of_int t.value_tick in
+  Bytes.blit_string tick 0 b 0 (min (String.length tick) (Bytes.length b));
+  Bytes.unsafe_to_string b
+
+let key_space_high = "user~"

@@ -1,0 +1,55 @@
+(** YCSB-style workload generation (§5.3.1).
+
+    Four key-access distributions from the paper:
+
+    - {e Zipf-simple} — Zipfian ranks over a random permutation of
+      simple keys;
+    - {e Zipf-composite} — a Zipfian primary attribute (the key's top
+      14 bits) with a uniform remainder;
+    - {e Latest} — skewed towards recently inserted keys;
+    - {e Uniform} — uniformly random keys (ingestion only).
+
+    A {!shared} value holds the dataset geometry and the (atomic) item
+    counter; each worker domain derives a deterministic per-thread
+    generator with {!thread}. *)
+
+type dist =
+  | Zipf_simple of float  (** theta *)
+  | Zipf_composite of float
+  | Latest
+  | Uniform
+
+val dist_name : dist -> string
+
+type shared
+type t
+
+val create_shared : ?value_bytes:int -> dist -> items:int -> seed:int -> shared
+(** [items] is the initial dataset cardinality; [value_bytes]
+    defaults to 800 (the paper's value size). *)
+
+val thread : shared -> id:int -> t
+(** Deterministic independent generator for worker [id]. *)
+
+val initial_items : shared -> int
+val current_items : shared -> int
+val value_bytes : shared -> int
+val dist : shared -> dist
+
+val load_keys : shared -> string list
+(** The initial dataset's keys in ascending order (the paper loads in
+    key order). Empty for [Uniform] (pure ingestion). *)
+
+val sample_key : t -> string
+(** A key to read or update, drawn from the distribution. *)
+
+val insert_key : t -> string
+(** A fresh key (workloads D/E); advances the shared item counter. *)
+
+val scan_start : t -> string
+
+val make_value : t -> string
+(** A value of [value_bytes] length, cheaply varied per call. *)
+
+val key_space_high : string
+(** Upper bound above every generated key (open-ended scans). *)

@@ -1,0 +1,129 @@
+(* Bloom filter tests: the no-false-negative invariant (a correctness
+   requirement — a false negative would lose data on the read path),
+   false-positive bounds, serialization, and the partitioned variant's
+   segment accounting. *)
+
+open Evendb_bloom
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let no_false_negatives =
+  QCheck.Test.make ~name:"bloom: no false negatives" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (string_of_size Gen.(int_range 1 16)))
+    (fun keys ->
+      let b = Bloom.create (List.length keys) in
+      List.iter (Bloom.add b) keys;
+      List.for_all (Bloom.mem b) keys)
+
+let false_positive_rate () =
+  let n = 2000 in
+  let b = Bloom.create ~bits_per_key:10 n in
+  for i = 0 to n - 1 do
+    Bloom.add b (Printf.sprintf "present%08d" i)
+  done;
+  let fp = ref 0 in
+  let probes = 10_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem b (Printf.sprintf "absent%08d" i) then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int probes in
+  (* 10 bits/key gives ~1%; allow generous slack. *)
+  Alcotest.(check bool) (Printf.sprintf "fp rate %.4f < 0.05" rate) true (rate < 0.05)
+
+let serialization_roundtrip =
+  QCheck.Test.make ~name:"bloom: serialize/deserialize" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 50) (string_of_size Gen.(int_range 1 8)))
+    (fun keys ->
+      let b = Bloom.create (List.length keys) in
+      List.iter (Bloom.add b) keys;
+      let b' = Bloom.deserialize (Bloom.serialize b) in
+      List.for_all (Bloom.mem b') keys)
+
+let deserialize_garbage () =
+  Alcotest.check_raises "garbage rejected"
+    (Invalid_argument "Bloom.deserialize: malformed input") (fun () ->
+      ignore (Bloom.deserialize "not a bloom filter"))
+
+let empty_filter () =
+  let b = Bloom.create 10 in
+  Alcotest.(check bool) "nothing present" false (Bloom.mem b "anything");
+  Alcotest.(check (float 0.0001)) "no bits set" 0.0 (Bloom.fill_ratio b)
+
+(* ---- Partitioned bloom ---- *)
+
+let partitioned_segments () =
+  let p = Partitioned_bloom.create ~segment_bytes:100 ~expected_keys_per_segment:16 () in
+  (* Three segments worth of appends. *)
+  for i = 0 to 29 do
+    Partitioned_bloom.add p ~key:(Printf.sprintf "k%02d" i) ~log_offset:(i * 10)
+  done;
+  Alcotest.(check int) "segment count" 3 (Partitioned_bloom.segment_count p);
+  (* A key in the first segment: its byte range must cover its offset. *)
+  let segs = Partitioned_bloom.segments_maybe_containing p "k03" in
+  Alcotest.(check bool) "found somewhere" true (segs <> []);
+  Alcotest.(check bool) "covers offset 30" true
+    (List.exists (fun (lo, hi) -> lo <= 30 && 30 < hi) segs)
+
+let partitioned_no_false_negative =
+  QCheck.Test.make ~name:"partitioned bloom: no false negatives" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (string_of_size Gen.(int_range 1 12)))
+    (fun keys ->
+      let p = Partitioned_bloom.create ~segment_bytes:64 ~expected_keys_per_segment:8 () in
+      List.iteri (fun i k -> Partitioned_bloom.add p ~key:k ~log_offset:(i * 16)) keys;
+      List.for_all
+        (fun k ->
+          Partitioned_bloom.may_contain p k
+          && Partitioned_bloom.segments_maybe_containing p k <> [])
+        keys)
+
+let partitioned_ranges_newest_first () =
+  let p = Partitioned_bloom.create ~segment_bytes:50 ~expected_keys_per_segment:8 () in
+  (* Same key in two segments: ranges must come newest first. *)
+  Partitioned_bloom.add p ~key:"dup" ~log_offset:0;
+  for i = 1 to 9 do
+    Partitioned_bloom.add p ~key:(Printf.sprintf "pad%d" i) ~log_offset:(i * 10)
+  done;
+  Partitioned_bloom.add p ~key:"dup" ~log_offset:100;
+  let segs = Partitioned_bloom.segments_maybe_containing p "dup" in
+  Alcotest.(check bool) "at least two segments" true (List.length segs >= 2);
+  (match segs with
+  | (lo1, _) :: (lo2, _) :: _ ->
+    Alcotest.(check bool) "newest first" true (lo1 > lo2)
+  | _ -> Alcotest.fail "expected 2+ segments");
+  (* Tail segment is open-ended. *)
+  match segs with
+  | (_, hi) :: _ -> Alcotest.(check int) "open tail" max_int hi
+  | [] -> Alcotest.fail "no segments"
+
+let partitioned_absent_key () =
+  let p = Partitioned_bloom.create ~segment_bytes:100 ~expected_keys_per_segment:8 () in
+  for i = 0 to 19 do
+    Partitioned_bloom.add p ~key:(Printf.sprintf "key%04d" i) ~log_offset:(i * 20)
+  done;
+  (* Probing many absent keys: most must return no segments (the
+     point of the filter: bounding log searches). *)
+  let hits = ref 0 in
+  for i = 0 to 999 do
+    if Partitioned_bloom.segments_maybe_containing p (Printf.sprintf "no%06d" i) <> [] then
+      incr hits
+  done;
+  Alcotest.(check bool) "few false positives" true (!hits < 100)
+
+let suite =
+  [
+    ( "bloom",
+      [
+        qtest no_false_negatives;
+        Alcotest.test_case "false-positive rate" `Quick false_positive_rate;
+        qtest serialization_roundtrip;
+        Alcotest.test_case "garbage rejected" `Quick deserialize_garbage;
+        Alcotest.test_case "empty filter" `Quick empty_filter;
+      ] );
+    ( "partitioned_bloom",
+      [
+        Alcotest.test_case "segment rotation" `Quick partitioned_segments;
+        Alcotest.test_case "ranges newest first, open tail" `Quick partitioned_ranges_newest_first;
+        Alcotest.test_case "absent keys mostly filtered" `Quick partitioned_absent_key;
+        qtest partitioned_no_false_negative;
+      ] );
+  ]

@@ -1,0 +1,204 @@
+(* Row cache and LFU munk-cache policy tests. *)
+
+open Evendb_cache
+
+(* ---- Row cache ---- *)
+
+let basic () =
+  let c = Row_cache.create ~capacity_per_table:4 () in
+  Alcotest.(check (option string)) "miss" None (Row_cache.find c "k");
+  Row_cache.insert c "k" "v" ~version:1 ~counter:0;
+  Alcotest.(check (option string)) "hit" (Some "v") (Row_cache.find c "k");
+  Alcotest.(check int) "hits" 1 (Row_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Row_cache.misses c)
+
+let bulk_eviction () =
+  (* 3 tables x capacity 2: inserting 7 fresh keys must evict the
+     oldest batch. *)
+  let c = Row_cache.create ~tables:3 ~capacity_per_table:2 () in
+  for i = 0 to 6 do
+    Row_cache.insert c (Printf.sprintf "k%d" i) "v" ~version:i ~counter:0
+  done;
+  Alcotest.(check (option string)) "oldest evicted" None (Row_cache.find c "k0");
+  Alcotest.(check (option string)) "recent kept" (Some "v") (Row_cache.find c "k6")
+
+let promotion_survives_rotation () =
+  let c = Row_cache.create ~tables:3 ~capacity_per_table:2 () in
+  Row_cache.insert c "hot" "v" ~version:1 ~counter:0;
+  (* Keep touching "hot" while churning through other keys. *)
+  for i = 0 to 19 do
+    Row_cache.insert c (Printf.sprintf "churn%d" i) "x" ~version:1 ~counter:0;
+    ignore (Row_cache.find c "hot")
+  done;
+  Alcotest.(check (option string)) "hot survived churn" (Some "v") (Row_cache.find c "hot")
+
+let update_if_present () =
+  let c = Row_cache.create ~capacity_per_table:4 () in
+  (* Not present: put must NOT populate (write-heavy pollution). *)
+  Row_cache.update_if_present c "k" "v1" ~version:1 ~counter:0;
+  Alcotest.(check (option string)) "not populated" None (Row_cache.find c "k");
+  Row_cache.insert c "k" "v1" ~version:1 ~counter:0;
+  Row_cache.update_if_present c "k" "v2" ~version:2 ~counter:0;
+  Alcotest.(check (option string)) "refreshed" (Some "v2") (Row_cache.find c "k")
+
+let same_version_counter_ordering () =
+  (* Concurrent same-version puts are ordered by the per-chunk counter:
+     a stale (lower-counter) update must not clobber a newer one. *)
+  let c = Row_cache.create ~capacity_per_table:4 () in
+  Row_cache.insert c "k" "newer" ~version:5 ~counter:9;
+  Row_cache.update_if_present c "k" "older" ~version:5 ~counter:3;
+  Alcotest.(check (option string)) "stale update ignored" (Some "newer") (Row_cache.find c "k");
+  Row_cache.update_if_present c "k" "newest" ~version:5 ~counter:12;
+  Alcotest.(check (option string)) "newer update lands" (Some "newest") (Row_cache.find c "k");
+  (* Same for the read path's insert. *)
+  Row_cache.insert c "k" "ancient" ~version:1 ~counter:0;
+  Alcotest.(check (option string)) "stale insert ignored" (Some "newest") (Row_cache.find c "k")
+
+let invalidate () =
+  let c = Row_cache.create ~capacity_per_table:4 () in
+  Row_cache.insert c "k" "v" ~version:1 ~counter:0;
+  Row_cache.invalidate c "k";
+  Alcotest.(check (option string)) "gone" None (Row_cache.find c "k")
+
+let invalidate_range () =
+  let c = Row_cache.create ~capacity_per_table:8 () in
+  List.iter
+    (fun k -> Row_cache.insert c k "v" ~version:1 ~counter:0)
+    [ "a"; "m1"; "m2"; "z" ];
+  Row_cache.invalidate_range c ~low:"m" ~high:(Some "n");
+  Alcotest.(check (option string)) "below kept" (Some "v") (Row_cache.find c "a");
+  Alcotest.(check (option string)) "in range gone" None (Row_cache.find c "m1");
+  Alcotest.(check (option string)) "in range gone 2" None (Row_cache.find c "m2");
+  Alcotest.(check (option string)) "above kept" (Some "v") (Row_cache.find c "z");
+  Row_cache.invalidate_range c ~low:"y" ~high:None;
+  Alcotest.(check (option string)) "unbounded high" None (Row_cache.find c "z")
+
+let length_dedups_shared () =
+  let c = Row_cache.create ~tables:3 ~capacity_per_table:4 () in
+  Row_cache.insert c "k" "v" ~version:1 ~counter:0;
+  (* Force rotation so "k" gets shared into the head table via find. *)
+  for i = 0 to 3 do
+    Row_cache.insert c (Printf.sprintf "f%d" i) "x" ~version:1 ~counter:0
+  done;
+  ignore (Row_cache.find c "k");
+  Alcotest.(check bool) "length counts keys once" true (Row_cache.length c <= 6)
+
+let clear () =
+  let c = Row_cache.create ~capacity_per_table:4 () in
+  Row_cache.insert c "k" "v" ~version:1 ~counter:0;
+  Row_cache.clear c;
+  Alcotest.(check int) "empty" 0 (Row_cache.length c)
+
+(* ---- LFU ---- *)
+
+let lfu_admission () =
+  let l = Lfu.create ~capacity:2 () in
+  (match Lfu.on_access l 1 with
+  | Lfu.Admit None -> ()
+  | _ -> Alcotest.fail "expected Admit None");
+  (match Lfu.on_access l 2 with
+  | Lfu.Admit None -> ()
+  | _ -> Alcotest.fail "expected Admit None for second");
+  Alcotest.(check bool) "1 cached" true (Lfu.is_cached l 1);
+  (* A one-hit wonder cannot displace an equally warm resident. *)
+  (match Lfu.on_access l 3 with
+  | Lfu.Skip -> ()
+  | _ -> Alcotest.fail "expected Skip");
+  (* Make 3 hotter than the coldest resident. *)
+  (match Lfu.on_access l 3 with
+  | Lfu.Admit (Some victim) ->
+    Alcotest.(check bool) "victim was resident" true (victim = 1 || victim = 2)
+  | d ->
+    Alcotest.failf "expected Admit Some, got %s"
+      (match d with
+      | Lfu.Skip -> "Skip"
+      | Lfu.Already_cached -> "Already_cached"
+      | Lfu.Evict_other _ -> "Evict_other"
+      | Lfu.Admit _ -> "Admit"))
+
+let lfu_already_cached () =
+  let l = Lfu.create ~capacity:2 () in
+  ignore (Lfu.on_access l 1);
+  (match Lfu.on_access l 1 with
+  | Lfu.Already_cached -> ()
+  | _ -> Alcotest.fail "expected Already_cached")
+
+let lfu_hot_resists_eviction () =
+  let l = Lfu.create ~capacity:1 () in
+  for _ = 1 to 10 do
+    ignore (Lfu.on_access l 1)
+  done;
+  (* A few accesses of 2 cannot displace well-established 1. *)
+  (match Lfu.on_access l 2 with
+  | Lfu.Skip -> ()
+  | _ -> Alcotest.fail "cold challenger should be skipped");
+  Alcotest.(check bool) "hot stays" true (Lfu.is_cached l 1)
+
+let lfu_decay () =
+  let l = Lfu.create ~capacity:1 ~decay_every:10 () in
+  for _ = 1 to 8 do
+    ignore (Lfu.on_access l 1)
+  done;
+  Alcotest.(check int) "freq before decay" 8 (Lfu.frequency l 1);
+  (* Cross the decay threshold. *)
+  ignore (Lfu.on_access l 2);
+  ignore (Lfu.on_access l 2);
+  Alcotest.(check bool) "frequency halved" true (Lfu.frequency l 1 <= 4)
+
+let lfu_transfer () =
+  let l = Lfu.create ~capacity:4 () in
+  for _ = 1 to 5 do
+    ignore (Lfu.on_access l 10)
+  done;
+  Lfu.transfer l ~old_id:10 ~new_ids:[ 20; 21 ];
+  Alcotest.(check bool) "old forgotten" false (Lfu.is_cached l 10);
+  Alcotest.(check bool) "child cached" true (Lfu.is_cached l 20 && Lfu.is_cached l 21);
+  Alcotest.(check int) "frequency inherited" 5 (Lfu.frequency l 20)
+
+let lfu_over_capacity_drains () =
+  let l = Lfu.create ~capacity:2 () in
+  ignore (Lfu.on_access l 1);
+  ignore (Lfu.on_access l 2);
+  ignore (Lfu.on_access l 2);
+  (* Splitting 1 into two children overshoots capacity. *)
+  Lfu.transfer l ~old_id:1 ~new_ids:[ 11; 12 ];
+  Alcotest.(check int) "transiently over" 3 (List.length (Lfu.cached l));
+  (match Lfu.on_access l 2 with
+  | Lfu.Evict_other v -> Alcotest.(check bool) "evicts a child" true (v = 11 || v = 12)
+  | _ -> Alcotest.fail "expected Evict_other to drain overflow");
+  Alcotest.(check int) "back at capacity" 2 (List.length (Lfu.cached l))
+
+let lfu_force_insert_and_drop () =
+  let l = Lfu.create ~capacity:1 () in
+  Alcotest.(check (option int)) "first force" None (Lfu.force_insert l 1);
+  (match Lfu.force_insert l 2 with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "expected eviction of 1");
+  Lfu.drop_cached l 2;
+  Alcotest.(check bool) "dropped" false (Lfu.is_cached l 2)
+
+let suite =
+  [
+    ( "row_cache",
+      [
+        Alcotest.test_case "basic hit/miss" `Quick basic;
+        Alcotest.test_case "bulk eviction via table rotation" `Quick bulk_eviction;
+        Alcotest.test_case "promotion survives rotation" `Quick promotion_survives_rotation;
+        Alcotest.test_case "update only if present" `Quick update_if_present;
+        Alcotest.test_case "same-version counter ordering" `Quick same_version_counter_ordering;
+        Alcotest.test_case "invalidate" `Quick invalidate;
+        Alcotest.test_case "invalidate range" `Quick invalidate_range;
+        Alcotest.test_case "length dedups shared entries" `Quick length_dedups_shared;
+        Alcotest.test_case "clear" `Quick clear;
+      ] );
+    ( "lfu",
+      [
+        Alcotest.test_case "admission and eviction" `Quick lfu_admission;
+        Alcotest.test_case "already cached" `Quick lfu_already_cached;
+        Alcotest.test_case "hot resists eviction" `Quick lfu_hot_resists_eviction;
+        Alcotest.test_case "exponential decay" `Quick lfu_decay;
+        Alcotest.test_case "split transfer" `Quick lfu_transfer;
+        Alcotest.test_case "over-capacity drains" `Quick lfu_over_capacity_drains;
+        Alcotest.test_case "force insert / drop" `Quick lfu_force_insert_and_drop;
+      ] );
+  ]

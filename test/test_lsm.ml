@@ -1,0 +1,195 @@
+(* LSM baseline tests: correctness of the leveled engine so that the
+   paper's comparisons measure performance, not bugs. *)
+
+open Evendb_storage
+open Evendb_lsm
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tiny_config =
+  {
+    Lsm.Config.default with
+    memtable_bytes = 2 * 1024;
+    level_base_bytes = 8 * 1024;
+    target_file_bytes = 4 * 1024;
+  }
+
+let with_db ?(config = tiny_config) f =
+  let env = Env.memory () in
+  let db = Lsm.open_ ~config env in
+  Fun.protect ~finally:(fun () -> Lsm.close db) (fun () -> f env db)
+
+let key i = Printf.sprintf "key%06d" i
+
+let put_get_delete () =
+  with_db (fun _ db ->
+      Lsm.put db "k" "v";
+      Alcotest.(check (option string)) "get" (Some "v") (Lsm.get db "k");
+      Lsm.put db "k" "v2";
+      Alcotest.(check (option string)) "overwrite" (Some "v2") (Lsm.get db "k");
+      Lsm.delete db "k";
+      Alcotest.(check (option string)) "delete" None (Lsm.get db "k");
+      Alcotest.(check (option string)) "absent" None (Lsm.get db "nope"))
+
+let survives_flush_and_compaction () =
+  with_db (fun _ db ->
+      let n = 3000 in
+      for i = 0 to n - 1 do
+        Lsm.put db (key (i * 17 mod n)) (Printf.sprintf "v%d" i)
+      done;
+      Lsm.compact_now db;
+      let counts = Lsm.level_file_counts db in
+      Alcotest.(check bool) "deep levels populated" true (List.nth counts 1 + List.nth counts 2 > 0);
+      for i = 0 to n - 1 do
+        if Lsm.get db (key i) = None then Alcotest.failf "lost %s" (key i)
+      done)
+
+let deletes_across_levels () =
+  with_db (fun _ db ->
+      for i = 0 to 499 do
+        Lsm.put db (key i) "v"
+      done;
+      Lsm.compact_now db;
+      (* Tombstones land above the values, then compaction merges. *)
+      for i = 0 to 99 do
+        Lsm.delete db (key i)
+      done;
+      Lsm.compact_now db;
+      for i = 0 to 99 do
+        Alcotest.(check (option string)) "deleted stays deleted" None (Lsm.get db (key i))
+      done;
+      Alcotest.(check (option string)) "survivor intact" (Some "v") (Lsm.get db (key 100));
+      Alcotest.(check int) "scan count" 400
+        (List.length (Lsm.scan db ~low:"" ~high:"zzzz" ())))
+
+let scan_semantics () =
+  with_db (fun _ db ->
+      for i = 0 to 99 do
+        Lsm.put db (key i) (string_of_int i)
+      done;
+      Lsm.compact_now db;
+      for i = 100 to 149 do
+        Lsm.put db (key i) (string_of_int i)
+      done;
+      (* Scan spanning SSTables and the memtable. *)
+      let r = Lsm.scan db ~low:(key 90) ~high:(key 110) () in
+      Alcotest.(check int) "range size" 21 (List.length r);
+      Alcotest.(check bool) "sorted" true (List.sort compare r = r);
+      Alcotest.(check int) "limit" 5 (List.length (Lsm.scan db ~limit:5 ~low:"" ~high:"zzzz" ())))
+
+let wal_recovery () =
+  let env = Env.memory () in
+  let db = Lsm.open_ ~config:tiny_config env in
+  for i = 0 to 199 do
+    Lsm.put db (key i) "persisted"
+  done;
+  Lsm.flush_wal db;
+  Env.crash env;
+  let db = Lsm.open_ ~config:tiny_config env in
+  for i = 0 to 199 do
+    Alcotest.(check (option string)) "replayed from WAL" (Some "persisted") (Lsm.get db (key i))
+  done;
+  Lsm.close db
+
+let crash_loses_unsynced_wal () =
+  let env = Env.memory () in
+  let db = Lsm.open_ ~config:{ tiny_config with Lsm.Config.wal_fsync_every = 0 } env in
+  Lsm.put db "k" "v";
+  Env.crash env;
+  let db = Lsm.open_ ~config:tiny_config env in
+  Alcotest.(check (option string)) "unsynced put lost" None (Lsm.get db "k");
+  Lsm.close db
+
+let concurrent_readers_writer () =
+  with_db (fun _ db ->
+      for i = 0 to 99 do
+        Lsm.put db (key i) "init"
+      done;
+      let stop = Atomic.make false in
+      let misses = Atomic.make 0 in
+      let readers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                while not (Atomic.get stop) do
+                  for i = 0 to 99 do
+                    if Lsm.get db (key i) = None then Atomic.incr misses
+                  done
+                done))
+      in
+      for round = 0 to 10 do
+        for i = 0 to 99 do
+          Lsm.put db (key i) (Printf.sprintf "r%d" round)
+        done
+      done;
+      Atomic.set stop true;
+      List.iter Domain.join readers;
+      Alcotest.(check int) "no reads lost during compactions" 0 (Atomic.get misses))
+
+let scan_snapshot_invariant () =
+  with_db (fun _ db ->
+      Lsm.put db "aaa" "0";
+      Lsm.put db "bbb" "0";
+      let stop = Atomic.make false in
+      let violations = Atomic.make 0 in
+      let scanner =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              let r = Lsm.scan db ~low:"aaa" ~high:"bbb" () in
+              match (List.assoc_opt "aaa" r, List.assoc_opt "bbb" r) with
+              | Some a, Some b ->
+                if int_of_string b > int_of_string a then Atomic.incr violations
+              | _ -> Atomic.incr violations
+            done)
+      in
+      for i = 1 to 2000 do
+        Lsm.put db "aaa" (string_of_int i);
+        Lsm.put db "bbb" (string_of_int i)
+      done;
+      Atomic.set stop true;
+      Domain.join scanner;
+      Alcotest.(check int) "atomic scans" 0 (Atomic.get violations))
+
+let model_random =
+  QCheck.Test.make ~name:"lsm matches map model" ~count:20
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 400)
+        (pair (int_range 0 80) (option (string_of_size (Gen.return 4)))))
+    (fun ops ->
+      let env = Env.memory () in
+      let db = Lsm.open_ ~config:tiny_config env in
+      let module M = Map.Make (String) in
+      let model = ref M.empty in
+      List.iter
+        (fun (k, v) ->
+          let k = key k in
+          (match v with Some v -> Lsm.put db k v | None -> Lsm.delete db k);
+          model := M.add k v !model)
+        ops;
+      let ok = M.for_all (fun k v -> Lsm.get db k = v) !model in
+      Lsm.close db;
+      ok)
+
+let write_amp_reported () =
+  with_db (fun _ db ->
+      for i = 0 to 999 do
+        Lsm.put db (key i) (String.make 100 'v')
+      done;
+      Alcotest.(check bool) "wa > 1 (wal + flush)" true (Lsm.write_amplification db > 1.0))
+
+let suite =
+  [
+    ( "lsm",
+      [
+        Alcotest.test_case "put/get/delete" `Quick put_get_delete;
+        Alcotest.test_case "flush and compaction" `Quick survives_flush_and_compaction;
+        Alcotest.test_case "deletes across levels" `Quick deletes_across_levels;
+        Alcotest.test_case "scan semantics" `Quick scan_semantics;
+        Alcotest.test_case "WAL recovery" `Quick wal_recovery;
+        Alcotest.test_case "unsynced WAL lost on crash" `Quick crash_loses_unsynced_wal;
+        Alcotest.test_case "readers during compactions" `Quick concurrent_readers_writer;
+        Alcotest.test_case "scan snapshot invariant" `Quick scan_snapshot_invariant;
+        Alcotest.test_case "write amplification reported" `Quick write_amp_reported;
+        qtest model_random;
+      ] );
+  ]

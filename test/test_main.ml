@@ -1,0 +1,21 @@
+(* Aggregates every suite into one alcotest binary: `dune runtest`. *)
+
+let () =
+  Alcotest.run "evendb"
+    (List.concat
+       [
+         Test_util.suite;
+         Test_storage.suite;
+         Test_bloom.suite;
+         Test_log.suite;
+         Test_sstable.suite;
+         Test_cache.suite;
+         Test_munk.suite;
+         Test_core.suite;
+         Test_funk.suite;
+         Test_recovery.suite;
+         Test_concurrency.suite;
+         Test_lsm.suite;
+         Test_flsm.suite;
+         Test_ycsb.suite;
+       ])

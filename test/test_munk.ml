@@ -1,0 +1,253 @@
+(* Munk tests: the array-based linked list with sorted prefix and
+   bypasses — ordering, versioned lookups, in-place overwrites,
+   rebalance, splits, and a model-based property test. *)
+
+open Evendb_util
+open Evendb_munk.Munk
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let e ?(version = 0) ?(counter = 0) ?value key : Kv_iter.entry = { key; value; version; counter }
+
+let always_discard ~old_version:_ ~new_version:_ = true
+let never_discard ~old_version:_ ~new_version:_ = false
+
+let of_sorted_and_find () =
+  let m = of_sorted [ e ~value:"a" "ka"; e ~value:"b" "kb"; e ~value:"c" "kc" ] in
+  Alcotest.(check int) "count" 3 (entry_count m);
+  Alcotest.(check (option string)) "find kb" (Some "b")
+    (Option.bind (find_latest m "kb") (fun x -> x.Kv_iter.value));
+  Alcotest.(check bool) "absent" true (find_latest m "kz" = None);
+  Alcotest.(check bool) "below range" true (find_latest m "a" = None)
+
+let out_of_order_rejected () =
+  try
+    ignore (of_sorted [ e "b"; e "a" ]);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let bypass_inserts () =
+  let m = of_sorted [ e ~value:"1" "b"; e ~value:"3" "f" ] in
+  put m (e ~version:1 ~value:"2" "d");
+  put m (e ~version:1 ~value:"0" "a"); (* before the prefix head *)
+  put m (e ~version:1 ~value:"4" "z"); (* after the prefix tail *)
+  let keys = List.map (fun (x : Kv_iter.entry) -> x.key) (Kv_iter.to_list (iter m)) in
+  Alcotest.(check (list string)) "list order with bypasses" [ "a"; "b"; "d"; "f"; "z" ] keys;
+  Alcotest.(check int) "appended" 3 (appended_count m)
+
+let version_chain () =
+  let m = of_sorted [] in
+  put m (e ~version:1 ~counter:0 ~value:"v1" "k");
+  put m (e ~version:5 ~counter:1 ~value:"v5" "k");
+  put m (e ~version:9 ~counter:2 ~value:"v9" "k");
+  Alcotest.(check int) "all versions retained (never discard)" 3 (entry_count m);
+  Alcotest.(check (option string)) "latest" (Some "v9")
+    (Option.bind (find_latest m "k") (fun x -> x.Kv_iter.value));
+  Alcotest.(check (option string)) "at 6" (Some "v5")
+    (Option.bind (find_latest m ~max_version:6 "k") (fun x -> x.Kv_iter.value));
+  Alcotest.(check (option string)) "at 1" (Some "v1")
+    (Option.bind (find_latest m ~max_version:1 "k") (fun x -> x.Kv_iter.value));
+  Alcotest.(check bool) "below all" true (find_latest m ~max_version:0 "k" = None)
+
+let in_place_overwrite () =
+  let m = of_sorted [] in
+  put m (e ~version:1 ~counter:0 ~value:"v1" "k");
+  put m ~may_discard:always_discard (e ~version:2 ~counter:1 ~value:"v2" "k");
+  Alcotest.(check int) "overwritten in place" 1 (entry_count m);
+  Alcotest.(check (option string)) "new value" (Some "v2")
+    (Option.bind (find_latest m "k") (fun x -> x.Kv_iter.value))
+
+let stale_put_does_not_clobber () =
+  (* A put with an older (version, counter) must not overwrite a newer
+     entry, even when discards are allowed. *)
+  let m = of_sorted [] in
+  put m (e ~version:5 ~counter:8 ~value:"newer" "k");
+  put m ~may_discard:always_discard (e ~version:5 ~counter:2 ~value:"older" "k");
+  Alcotest.(check (option string)) "newest wins" (Some "newer")
+    (Option.bind (find_latest m "k") (fun x -> x.Kv_iter.value))
+
+let tombstone_lookup () =
+  let m = of_sorted [ e ~version:1 ~value:"v" "k" ] in
+  put m (e ~version:3 ~counter:1 "k");
+  (match find_latest m "k" with
+  | Some { Kv_iter.value = None; _ } -> ()
+  | _ -> Alcotest.fail "expected tombstone");
+  match find_latest m ~max_version:2 "k" with
+  | Some { Kv_iter.value = Some "v"; _ } -> ()
+  | _ -> Alcotest.fail "old version reachable below tombstone"
+
+let iter_range_bounds () =
+  let m = of_sorted (List.init 10 (fun i -> e ~value:"v" (Printf.sprintf "k%02d" i))) in
+  let keys it = List.map (fun (x : Kv_iter.entry) -> x.key) (Kv_iter.to_list it) in
+  Alcotest.(check (list string)) "middle range" [ "k03"; "k04"; "k05" ]
+    (keys (iter_range m ~low:"k03" ~high:"k05"));
+  Alcotest.(check (list string)) "from below" [ "k00" ] (keys (iter_range m ~low:"" ~high:"k00"));
+  Alcotest.(check (list string)) "empty range" [] (keys (iter_range m ~low:"k08" ~high:"k07"))
+
+let rebalance_compacts () =
+  let m = of_sorted [] in
+  for v = 1 to 10 do
+    put m (e ~version:v ~counter:v ~value:(string_of_int v) "k")
+  done;
+  Alcotest.(check int) "versions pile up" 10 (entry_count m);
+  let m' = rebalance m ~min_retained_version:None in
+  Alcotest.(check int) "compacted to newest" 1 (entry_count m');
+  Alcotest.(check (option string)) "newest kept" (Some "10")
+    (Option.bind (find_latest m' "k") (fun x -> x.Kv_iter.value));
+  Alcotest.(check int) "appended reset" 0 (appended_count m')
+
+let rebalance_retains_floor () =
+  let m = of_sorted [] in
+  List.iter (fun v -> put m (e ~version:v ~counter:v ~value:(string_of_int v) "k")) [ 2; 5; 9 ];
+  let m' = rebalance m ~min_retained_version:(Some 6) in
+  (* Keep 9 (newest) and 5 (newest <= 6); drop 2. *)
+  Alcotest.(check int) "two retained" 2 (entry_count m');
+  Alcotest.(check (option string)) "floor version reachable" (Some "5")
+    (Option.bind (find_latest m' ~max_version:6 "k") (fun x -> x.Kv_iter.value))
+
+let rebalance_drops_tombstoned_key () =
+  let m = of_sorted [ e ~version:1 ~value:"v" "k"; e ~version:0 ~value:"w" "other" ] in
+  put m (e ~version:3 ~counter:1 "k");
+  let m' = rebalance m ~min_retained_version:None in
+  Alcotest.(check bool) "tombstoned key removed" true (find_latest m' "k" = None);
+  Alcotest.(check int) "other key kept" 1 (entry_count m')
+
+let split_halves () =
+  let m =
+    of_sorted (List.init 20 (fun i -> e ~value:(String.make 40 'x') (Printf.sprintf "k%02d" i)))
+  in
+  let left, right = split_entries m ~min_retained_version:None in
+  Alcotest.(check int) "no loss" 20 (List.length left + List.length right);
+  Alcotest.(check bool) "both non-empty" true (left <> [] && right <> []);
+  let last_left = (List.nth left (List.length left - 1) : Kv_iter.entry).key in
+  let first_right = (List.hd right : Kv_iter.entry).key in
+  Alcotest.(check bool) "disjoint ordered halves" true (String.compare last_left first_right < 0)
+
+let split_single_key () =
+  let m = of_sorted [ e ~value:"v" "only" ] in
+  let left, right = split_entries m ~min_retained_version:None in
+  Alcotest.(check int) "left has it" 1 (List.length left);
+  Alcotest.(check int) "right empty" 0 (List.length right)
+
+let split_keeps_versions_together () =
+  let m = of_sorted [] in
+  (* One fat multi-version key plus neighbours. *)
+  List.iter (fun v -> put m (e ~version:v ~counter:v ~value:(String.make 60 'x') "mid")) [ 1; 2; 3 ];
+  put m (e ~version:1 ~value:(String.make 60 'y') "aaa");
+  put m (e ~version:1 ~value:(String.make 60 'z') "zzz");
+  let left, right = split_entries m ~min_retained_version:(Some 0) in
+  let sides_of_mid =
+    List.filter (fun (x : Kv_iter.entry) -> x.key = "mid") left,
+    List.filter (fun (x : Kv_iter.entry) -> x.key = "mid") right
+  in
+  match sides_of_mid with
+  | [], [] -> Alcotest.fail "mid lost"
+  | l, [] -> Alcotest.(check int) "all versions left" 3 (List.length l)
+  | [], r -> Alcotest.(check int) "all versions right" 3 (List.length r)
+  | _ -> Alcotest.fail "versions of one key split across halves"
+
+let grow_beyond_initial_capacity () =
+  let m = of_sorted [] in
+  for i = 0 to 499 do
+    put m (e ~version:i ~counter:i ~value:"v" (Printf.sprintf "k%05d" (i * 7 mod 500)))
+  done;
+  Alcotest.(check int) "all inserted" 500 (entry_count m);
+  Alcotest.(check bool) "still searchable" true (find_latest m "k00007" <> None)
+
+let model_property =
+  QCheck.Test.make ~name:"munk matches map model" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (pair (int_range 0 30) (option (string_of_size (Gen.return 3)))))
+    (fun ops ->
+      let m = of_sorted [] in
+      let module M = Map.Make (String) in
+      let model = ref M.empty in
+      List.iteri
+        (fun i (k, v) ->
+          let key = Printf.sprintf "key%02d" k in
+          put m (e ~version:1 ~counter:i ?value:v key);
+          model := M.add key v !model)
+        ops;
+      M.for_all
+        (fun key v ->
+          match find_latest m key with
+          | Some found -> found.Kv_iter.value = v
+          | None -> false)
+        !model)
+
+let byte_size_tracks () =
+  let m = of_sorted [] in
+  let before = byte_size m in
+  put m (e ~version:1 ~value:(String.make 100 'v') "key");
+  Alcotest.(check bool) "grew by at least payload" true (byte_size m - before >= 103)
+
+let suite =
+  [
+    ( "munk",
+      [
+        Alcotest.test_case "of_sorted + find" `Quick of_sorted_and_find;
+        Alcotest.test_case "out-of-order rejected" `Quick out_of_order_rejected;
+        Alcotest.test_case "bypass inserts keep order" `Quick bypass_inserts;
+        Alcotest.test_case "version chain lookups" `Quick version_chain;
+        Alcotest.test_case "in-place overwrite" `Quick in_place_overwrite;
+        Alcotest.test_case "stale put does not clobber" `Quick stale_put_does_not_clobber;
+        Alcotest.test_case "tombstone lookup" `Quick tombstone_lookup;
+        Alcotest.test_case "iter_range bounds" `Quick iter_range_bounds;
+        Alcotest.test_case "rebalance compacts versions" `Quick rebalance_compacts;
+        Alcotest.test_case "rebalance honors floor" `Quick rebalance_retains_floor;
+        Alcotest.test_case "rebalance drops tombstoned keys" `Quick rebalance_drops_tombstoned_key;
+        Alcotest.test_case "split into ordered halves" `Quick split_halves;
+        Alcotest.test_case "split single key" `Quick split_single_key;
+        Alcotest.test_case "split keeps versions together" `Quick split_keeps_versions_together;
+        Alcotest.test_case "growth" `Quick grow_beyond_initial_capacity;
+        Alcotest.test_case "byte size tracking" `Quick byte_size_tracks;
+        qtest model_property;
+      ] );
+  ]
+
+(* ---- Concurrency regression: readers during array growth ---- *)
+
+let concurrent_growth_readers () =
+  (* A reader may follow a next-pointer published into a freshly grown
+     array; it must re-fetch the container instead of faulting (a real
+     bug found by the benchmark harness). *)
+  let m = of_sorted [] in
+  let stop = Atomic.make false in
+  let errors = Atomic.make 0 in
+  let readers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              (try
+                 ignore (find_latest m "k00500");
+                 ignore (Kv_iter.to_list (iter_range m ~low:"k00100" ~high:"k00200"))
+               with _ -> Atomic.incr errors)
+            done))
+  in
+  for i = 0 to 4999 do
+    put m (e ~version:i ~counter:i ~value:"v" (Printf.sprintf "k%05d" (i * 7 mod 1000)))
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "no reader faults across growth" 0 (Atomic.get errors);
+  Alcotest.(check int) "all entries present" 5000 (entry_count m)
+
+let tombstone_counting () =
+  let m = of_sorted [ e ~version:0 ~value:"v" "a"; e ~version:0 "dead" ] in
+  Alcotest.(check int) "initial tombstones" 1 (tombstone_count m);
+  put m (e ~version:1 ~counter:1 "a");
+  Alcotest.(check int) "appended tombstone" 2 (tombstone_count m);
+  (* In-place overwrite of a tombstone with a value decrements. *)
+  put m ~may_discard:always_discard (e ~version:2 ~counter:2 ~value:"alive" "dead");
+  Alcotest.(check int) "resurrection decrements" 1 (tombstone_count m);
+  let m' = rebalance m ~min_retained_version:None in
+  Alcotest.(check int) "rebalance clears tombstones" 0 (tombstone_count m')
+
+let suite =
+  suite
+  @ [
+      ( "munk_concurrency",
+        [
+          Alcotest.test_case "readers during growth" `Quick concurrent_growth_readers;
+          Alcotest.test_case "tombstone counting" `Quick tombstone_counting;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Storage environment tests: both backends, plus the memory backend's
+   crash semantics that the recovery tests build on. *)
+
+open Evendb_storage
+
+let with_disk_env f =
+  let dir = Filename.temp_file "evendb_test" "" in
+  Sys.remove dir;
+  let env = Env.disk dir in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun name -> try Env.delete env name with _ -> ()) (Env.list_files env);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f env)
+
+let both_backends name f =
+  [
+    Alcotest.test_case (name ^ " (memory)") `Quick (fun () -> f (Env.memory ()));
+    Alcotest.test_case (name ^ " (disk)") `Quick (fun () -> with_disk_env f);
+  ]
+
+let append_read env =
+  let file = Env.create env "a.dat" in
+  Env.append file "hello ";
+  Env.append file "world";
+  Env.flush file;
+  Alcotest.(check int) "file_size" 11 (Env.file_size file);
+  Alcotest.(check int) "size" 11 (Env.size env "a.dat");
+  Alcotest.(check string) "read_all" "hello world" (Env.read_all env "a.dat");
+  Alcotest.(check string) "read_at" "world" (Env.read_at env "a.dat" ~off:6 ~len:5);
+  Env.close_file file
+
+let reopen_append env =
+  let f1 = Env.create env "b.dat" in
+  Env.append f1 "one";
+  Env.close_file f1;
+  let f2 = Env.open_append env "b.dat" in
+  Alcotest.(check int) "resume position" 3 (Env.file_size f2);
+  Env.append f2 "two";
+  Env.close_file f2;
+  Alcotest.(check string) "appended" "onetwo" (Env.read_all env "b.dat")
+
+let rename_delete env =
+  let f = Env.create env "old.dat" in
+  Env.append f "data";
+  Env.close_file f;
+  Env.rename env ~old_name:"old.dat" ~new_name:"new.dat";
+  Alcotest.(check bool) "old gone" false (Env.exists env "old.dat");
+  Alcotest.(check string) "content moved" "data" (Env.read_all env "new.dat");
+  Env.delete env "new.dat";
+  Alcotest.(check bool) "deleted" false (Env.exists env "new.dat");
+  (* Deleting a missing file is a no-op. *)
+  Env.delete env "new.dat"
+
+let read_out_of_range env =
+  let f = Env.create env "c.dat" in
+  Env.append f "abc";
+  Env.close_file f;
+  Alcotest.check_raises "beyond end" (Invalid_argument "Env.read_at: range beyond end of file")
+    (fun () -> ignore (Env.read_at env "c.dat" ~off:1 ~len:5))
+
+let missing_file env =
+  Alcotest.(check bool) "exists" false (Env.exists env "nope");
+  (try
+     ignore (Env.size env "nope");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ())
+
+let list_and_space env =
+  let f1 = Env.create env "x1" and f2 = Env.create env "x2" in
+  Env.append f1 "12345";
+  Env.append f2 "123";
+  Env.close_file f1;
+  Env.close_file f2;
+  let files = List.sort compare (Env.list_files env) in
+  Alcotest.(check (list string)) "files" [ "x1"; "x2" ] files;
+  Alcotest.(check int) "space" 8 (Env.space_used env)
+
+let stats_accounting env =
+  Io_stats.reset (Env.stats env);
+  let f = Env.create env "s.dat" in
+  Env.append f "0123456789";
+  Env.fsync f;
+  ignore (Env.read_at env "s.dat" ~off:0 ~len:4);
+  Env.close_file f;
+  let s = Io_stats.snapshot (Env.stats env) in
+  Alcotest.(check int) "bytes written" 10 s.Io_stats.bytes_written;
+  Alcotest.(check int) "bytes read" 4 s.Io_stats.bytes_read;
+  Alcotest.(check bool) "fsync counted" true (s.Io_stats.fsyncs >= 1)
+
+(* ---- Crash semantics (memory backend only) ---- *)
+
+let crash_discards_unsynced () =
+  let env = Env.memory () in
+  let f = Env.create env "w.log" in
+  Env.append f "durable";
+  Env.fsync f;
+  Env.append f "-volatile";
+  Env.crash env;
+  Alcotest.(check string) "unsynced suffix dropped" "durable" (Env.read_all env "w.log")
+
+let crash_never_synced () =
+  let env = Env.memory () in
+  let f = Env.create env "v.log" in
+  Env.append f "gone";
+  Env.crash env;
+  Alcotest.(check int) "empty after crash" 0 (Env.size env "v.log");
+  ignore f
+
+let crash_invalidates_handles () =
+  let env = Env.memory () in
+  let f = Env.create env "h.log" in
+  Env.crash env;
+  (try
+     Env.append f "x";
+     Alcotest.fail "expected stale handle failure"
+   with Failure _ -> ())
+
+let fsync_all_marks_everything () =
+  let env = Env.memory () in
+  let f1 = Env.create env "f1" and f2 = Env.create env "f2" in
+  Env.append f1 "aaa";
+  Env.append f2 "bbb";
+  Env.fsync_all env;
+  Env.crash env;
+  Alcotest.(check string) "f1 survived" "aaa" (Env.read_all env "f1");
+  Alcotest.(check string) "f2 survived" "bbb" (Env.read_all env "f2")
+
+let crash_disk_rejected () =
+  with_disk_env (fun env ->
+      try
+        Env.crash env;
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+let concurrent_appends () =
+  let env = Env.memory () in
+  let f = Env.create env "conc" in
+  let threads =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 500 do
+              Env.append f "xy"
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "all appends landed" 4000 (Env.size env "conc")
+
+let suite =
+  [
+    ( "env",
+      both_backends "append/read" append_read
+      @ both_backends "reopen append" reopen_append
+      @ both_backends "rename/delete" rename_delete
+      @ both_backends "read out of range" read_out_of_range
+      @ both_backends "missing file" missing_file
+      @ both_backends "list/space" list_and_space
+      @ both_backends "io stats" stats_accounting );
+    ( "crash",
+      [
+        Alcotest.test_case "drops unsynced suffix" `Quick crash_discards_unsynced;
+        Alcotest.test_case "never-synced file empties" `Quick crash_never_synced;
+        Alcotest.test_case "invalidates handles" `Quick crash_invalidates_handles;
+        Alcotest.test_case "fsync_all makes durable" `Quick fsync_all_marks_everything;
+        Alcotest.test_case "disk backend rejects crash" `Quick crash_disk_rejected;
+        Alcotest.test_case "concurrent appends" `Quick concurrent_appends;
+      ] );
+  ]
