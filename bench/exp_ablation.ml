@@ -41,12 +41,15 @@ let engine_of ?env cfg =
     close = (fun () -> Db.close db);
     env;
     logical_bytes = (fun () -> Db.logical_bytes_written db);
+    metrics = (fun () -> Db.metrics_dump db `Json);
   }
 
 let run_a (h : Harness.t) cfg ~items =
   let e = engine_of cfg in
   Fun.protect
-    ~finally:(fun () -> e.Engine.close ())
+    ~finally:(fun () ->
+      Harness.dump_metrics e ~phase:"final";
+      e.Engine.close ())
     (fun () ->
       (* Zipf-simple: the distribution where the row cache earns its
          keep (§5.3: "the row cache becomes instrumental as spatial
@@ -62,7 +65,9 @@ let run_a (h : Harness.t) cfg ~items =
 let run_scans (h : Harness.t) cfg ~events =
   let e = engine_of cfg in
   Fun.protect
-    ~finally:(fun () -> e.Engine.close ())
+    ~finally:(fun () ->
+      Harness.dump_metrics e ~phase:"final";
+      e.Engine.close ())
     (fun () ->
       let trace = Trace.create ~apps:(2000 * h.scale) ~value_bytes:h.value_bytes ~seed:41 () in
       for _ = 1 to events do
@@ -100,7 +105,9 @@ let run (h : Harness.t) =
          (* Real files: fsync cost is the whole point here. *)
          let e = engine_of ~env:(Harness.fresh_env { h with Harness.on_disk = true }) cfg in
          Fun.protect
-           ~finally:(fun () -> e.Engine.close ())
+           ~finally:(fun () ->
+      Harness.dump_metrics e ~phase:"final";
+      e.Engine.close ())
            (fun () ->
              let shared =
                Workload.create_shared ~value_bytes:h.value_bytes Workload.Uniform

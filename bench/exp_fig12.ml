@@ -20,10 +20,13 @@ let run_one (h : Harness.t) cfg dist ~items ~mix ~ops =
       close = (fun () -> Db.close db);
       env;
       logical_bytes = (fun () -> Db.logical_bytes_written db);
+      metrics = (fun () -> Db.metrics_dump db `Json);
     }
   in
   Fun.protect
-    ~finally:(fun () -> e.Engine.close ())
+    ~finally:(fun () ->
+      Harness.dump_metrics e ~phase:"final";
+      e.Engine.close ())
     (fun () ->
       let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:29 in
       Runner.load e shared;

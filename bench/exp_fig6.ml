@@ -13,9 +13,11 @@ let run_cell (h : Harness.t) which dist ~items ~mix ~ops =
         Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:99
       in
       Runner.load e shared;
+      Harness.dump_metrics e ~phase:"load";
       (* Warm caches with reads, as the paper does before measuring. *)
       let warm = Runner.run e shared Runner.workload_c ~ops:(min 2000 ops) ~threads:1 in
       ignore warm;
+      Harness.dump_metrics e ~phase:"warm";
       let before_logical = e.Engine.logical_bytes () in
       let before_written = Engine.bytes_written e in
       let r = Runner.run e shared mix ~ops ~threads:h.threads in

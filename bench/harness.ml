@@ -40,6 +40,46 @@ let flsm_config _h = Evendb_flsm.Flsm.Config.scaled ~factor:config_factor ()
 
 let bench_dir = "/tmp/evendb_bench"
 
+(* ------------------------------------------------------------------ *)
+(* Metrics artifacts: every experiment run leaves per-phase JSON
+   snapshots of the engine's Evendb_obs registry under
+   <bench_dir>/metrics/<experiment>_<engine>_<phase>.json. *)
+
+let current_experiment = ref "exp"
+let set_experiment name = current_experiment := name
+
+let metrics_dir = bench_dir ^ "/metrics"
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> Char.lowercase_ascii c
+      | _ -> '_')
+    s
+
+let mkdir_p dir =
+  List.fold_left
+    (fun acc part ->
+      let acc = if acc = "" then part else acc ^ "/" ^ part in
+      (try Unix.mkdir ("/" ^ acc) 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      acc)
+    ""
+    (String.split_on_char '/' dir |> List.filter (fun p -> p <> ""))
+
+let dump_metrics (e : Engine.t) ~phase =
+  try
+    ignore (mkdir_p metrics_dir);
+    let file =
+      Printf.sprintf "%s/%s_%s_%s.json" metrics_dir !current_experiment
+        (sanitize e.Engine.name) (sanitize phase)
+    in
+    let oc = open_out file in
+    output_string oc (e.Engine.metrics ());
+    output_char oc '\n';
+    close_out oc
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
 let fresh_env h =
   if h.on_disk then begin
     let dir =
@@ -65,4 +105,8 @@ let items_for h bytes = max 256 (bytes / (h.value_bytes + 14) * h.scale)
 
 let with_engine h which f =
   let e = make_engine h which in
-  Fun.protect ~finally:(fun () -> e.Engine.close ()) (fun () -> f e)
+  Fun.protect
+    ~finally:(fun () ->
+      dump_metrics e ~phase:"final";
+      e.Engine.close ())
+    (fun () -> f e)

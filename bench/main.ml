@@ -54,6 +54,7 @@ let run_selected scale threads ops disk names =
         let canon = Option.value ~default:name (List.assoc_opt name canonical) in
         if not (Hashtbl.mem seen canon) then begin
           Hashtbl.replace seen canon ();
+          Harness.set_experiment canon;
           f h
         end)
     names;

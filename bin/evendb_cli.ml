@@ -5,7 +5,7 @@
      evendb del  <dir> <key>
      evendb scan <dir> <low> <high> [--limit N]
      evendb load <dir> [--items N] [--dist zipf|composite|uniform]
-     evendb stat <dir>
+     evendb stat <dir> [--json | --prometheus]
      evendb checkpoint <dir>
 
    Every invocation opens (recovering if needed) and cleanly closes
@@ -78,14 +78,28 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc:"Bulk-load a synthetic dataset") Term.(const run $ dir_arg $ items $ dist)
 
 let stat_cmd =
-  let run dir =
-    with_db dir (fun db ->
-        Printf.printf "chunks:              %d\n" (Db.chunk_count db);
-        Printf.printf "resident munks:      %d\n" (Db.munk_count db);
-        Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
-        Printf.printf "current epoch:       %d\n" (Db.current_epoch db))
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Dump the full metrics registry (counters, gauges, op-latency timers, maintenance spans) as JSON.")
   in
-  Cmd.v (Cmd.info "stat" ~doc:"Store statistics") Term.(const run $ dir_arg)
+  let prometheus =
+    Arg.(value & flag & info [ "prometheus" ] ~doc:"Dump the metrics registry in Prometheus text format.")
+  in
+  let run dir json prometheus =
+    with_db dir (fun db ->
+        if json then print_string (Db.metrics_dump db `Json)
+        else if prometheus then print_string (Db.metrics_dump db `Prometheus)
+        else begin
+          Printf.printf "chunks:              %d\n" (Db.chunk_count db);
+          Printf.printf "resident munks:      %d\n" (Db.munk_count db);
+          Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
+          Printf.printf "current epoch:       %d\n" (Db.current_epoch db)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Store statistics (--json/--prometheus for the metrics registry)")
+    Term.(const run $ dir_arg $ json $ prometheus)
 
 let checkpoint_cmd =
   let run dir = with_db dir (fun db -> Db.checkpoint db) in

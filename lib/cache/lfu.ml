@@ -11,6 +11,9 @@ type t = {
   freq : (int, int) Hashtbl.t;
   cached_set : (int, unit) Hashtbl.t;
   mutable accesses : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable eviction_count : int;
 }
 
 let create ~capacity ?(decay_every = 10_000) () =
@@ -22,6 +25,9 @@ let create ~capacity ?(decay_every = 10_000) () =
     freq = Hashtbl.create 256;
     cached_set = Hashtbl.create 256;
     accesses = 0;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
   }
 
 let with_lock t f =
@@ -55,6 +61,7 @@ let on_access t id =
   with_lock t (fun () ->
       let f = bump t id in
       if Hashtbl.mem t.cached_set id then begin
+        t.hit_count <- t.hit_count + 1;
         (* Splits can leave the cache transiently over capacity
            (children inherit the parent's cached status); drain the
            excess here. *)
@@ -62,22 +69,27 @@ let on_access t id =
           match victim ~but:id t with
           | Some (vid, _) ->
             Hashtbl.remove t.cached_set vid;
+            t.eviction_count <- t.eviction_count + 1;
             Evict_other vid
           | None -> Already_cached
         end
         else Already_cached
       end
-      else if Hashtbl.length t.cached_set < t.capacity then begin
-        Hashtbl.replace t.cached_set id ();
-        Admit None
-      end
-      else
-        match victim t with
-        | Some (vid, vf) when f > vf ->
-          Hashtbl.remove t.cached_set vid;
+      else begin
+        t.miss_count <- t.miss_count + 1;
+        if Hashtbl.length t.cached_set < t.capacity then begin
           Hashtbl.replace t.cached_set id ();
-          Admit (Some vid)
-        | _ -> Skip)
+          Admit None
+        end
+        else
+          match victim t with
+          | Some (vid, vf) when f > vf ->
+            Hashtbl.remove t.cached_set vid;
+            t.eviction_count <- t.eviction_count + 1;
+            Hashtbl.replace t.cached_set id ();
+            Admit (Some vid)
+          | _ -> Skip
+      end)
 
 let is_cached t id = with_lock t (fun () -> Hashtbl.mem t.cached_set id)
 
@@ -90,6 +102,7 @@ let force_insert t id =
           match victim ~but:id t with
           | Some (vid, _) ->
             Hashtbl.remove t.cached_set vid;
+            t.eviction_count <- t.eviction_count + 1;
             Some vid
           | None -> None
         end
@@ -120,3 +133,7 @@ let frequency t id =
   with_lock t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.freq id))
 
 let drop_cached t id = with_lock t (fun () -> Hashtbl.remove t.cached_set id)
+
+let hits t = with_lock t (fun () -> t.hit_count)
+let misses t = with_lock t (fun () -> t.miss_count)
+let evictions t = with_lock t (fun () -> t.eviction_count)

@@ -50,3 +50,14 @@ val frequency : t -> int -> int
 val drop_cached : t -> int -> unit
 (** Mark a chunk as no longer cached but keep its frequency (explicit
     munk eviction). *)
+
+(** {2 Statistics}
+
+    A hit is an [on_access] to an already-cached chunk, a miss one to
+    an uncached chunk (whether or not it is then admitted). Evictions
+    count every removal decided by the policy ([Admit (Some _)],
+    [Evict_other], over-capacity [force_insert]). *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

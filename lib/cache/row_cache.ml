@@ -11,6 +11,7 @@ type t = {
   mutable queue : (string, cached) Hashtbl.t list; (* head first *)
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable eviction_count : int;
 }
 
 let create ?(tables = 3) ~capacity_per_table () =
@@ -23,6 +24,7 @@ let create ?(tables = 3) ~capacity_per_table () =
     queue = List.init tables (fun _ -> Hashtbl.create 64);
     hit_count = 0;
     miss_count = 0;
+    eviction_count = 0;
   }
 
 let with_lock t f =
@@ -38,6 +40,16 @@ let newer a ~version ~counter =
 let rotate_if_full t =
   if Hashtbl.length (head t) >= t.capacity then begin
     let keep = List.filteri (fun i _ -> i < t.n_tables - 1) t.queue in
+    (* Entries of the dropped tail are evicted unless a promoted copy
+       survives in a younger table. *)
+    (match List.nth_opt t.queue (t.n_tables - 1) with
+    | None -> ()
+    | Some tail ->
+      Hashtbl.iter
+        (fun k _ ->
+          if not (List.exists (fun table -> Hashtbl.mem table k) keep) then
+            t.eviction_count <- t.eviction_count + 1)
+        tail);
     t.queue <- Hashtbl.create 64 :: keep
   end
 
@@ -119,3 +131,4 @@ let length t =
 
 let hits t = t.hit_count
 let misses t = t.miss_count
+let evictions t = t.eviction_count

@@ -48,3 +48,7 @@ val length : t -> int
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries lost to tail-table drops (bulk LRU eviction); promoted
+    copies that survive in a younger table are not counted. *)

@@ -5,6 +5,7 @@ open Evendb_cache
 open Evendb_munk
 open Evendb_sstable
 open Evendb_log
+open Evendb_obs
 
 module K = Kv_iter
 
@@ -41,10 +42,25 @@ type t = {
   put_count : int Atomic.t;
   closed : bool Atomic.t;
   maint : maintainer option;
+  (* Observability: one registry per instance; handles cached here so
+     the hot paths bump without a hashtable lookup. *)
+  obs : Obs.t;
+  tm_put : Obs.Timer.t;
+  tm_get : Obs.Timer.t;
+  tm_delete : Obs.Timer.t;
+  tm_scan : Obs.Timer.t;
+  ctr_log_appends : Obs.Counter.t;
+  ctr_funk_flushes : Obs.Counter.t;
+  ctr_funk_merges : Obs.Counter.t;
 }
 
 let env t = t.env
 let config t = t.cfg
+let obs t = t.obs
+
+let metrics_dump t = function
+  | `Json -> Obs.to_json t.obs
+  | `Prometheus -> Obs.to_prometheus t.obs
 let current_version t = Atomic.get t.gv
 let current_epoch t = t.epoch
 let logical_bytes_written t = Atomic.get t.logical_written
@@ -197,19 +213,23 @@ let load_munk db c =
    accounting ([Funk.disown]) retires it only when the last owner lets
    go. *)
 let flush_munk_locked db c munk =
-  let floor = compaction_floor db c in
-  let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
-  let old_funk = Chunk.funk c in
-  let id = fresh_funk_id db in
-  let funk' =
-    Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id
-      ~min_key:(Chunk.min_key c) (Munk.iter compacted)
-  in
-  Chunk.set_munk c (Some compacted);
-  Chunk.set_funk c funk';
-  let last = Funk.disown old_funk in
-  manifest_update db ~add:[ id ] ~remove:(if last then [ Funk.id old_funk ] else []);
-  compacted
+  Obs.Trace.with_span (Obs.trace db.obs) ~name:"funk_flush" (fun sp ->
+      let floor = compaction_floor db c in
+      let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
+      Obs.Trace.add_attr sp "bytes" (Munk.byte_size compacted);
+      Obs.Trace.add_attr sp "entries" (Munk.entry_count compacted);
+      let old_funk = Chunk.funk c in
+      let id = fresh_funk_id db in
+      let funk' =
+        Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id
+          ~min_key:(Chunk.min_key c) (Munk.iter compacted)
+      in
+      Chunk.set_munk c (Some compacted);
+      Chunk.set_funk c funk';
+      let last = Funk.disown old_funk in
+      manifest_update db ~add:[ id ] ~remove:(if last then [ Funk.id old_funk ] else []);
+      Obs.Counter.incr db.ctr_funk_flushes;
+      compacted)
 
 let evict_munk_chunk db c =
   let lock = Chunk.rebalance_lock c in
@@ -269,7 +289,7 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let entry_to_value (e : K.entry) = e.value
 
-let rec get db key =
+let rec get_resolved db key =
   let detailed = db.cfg.collect_read_stats in
   let t0 = if detailed then now_ns () else 0 in
   let record comp =
@@ -320,7 +340,9 @@ let rec get db key =
             | None ->
               record Read_stats.Missing;
               None))
-      with Funk.Stale -> get db key))
+      with Funk.Stale -> get_resolved db key))
+
+let get db key = Obs.Timer.time db.tm_get (fun () -> get_resolved db key)
 
 (* ------------------------------------------------------------------ *)
 (* Rebalance and splits                                                *)
@@ -356,6 +378,12 @@ let split_chunk_locked db c compacted floor =
   match right with
   | [] -> Chunk.set_munk c (Some compacted)
   | (first_right : K.entry) :: _ ->
+    Obs.Trace.with_span (Obs.trace db.obs) ~name:"chunk_split"
+      ~attrs:
+        [
+          ("bytes", Munk.byte_size compacted); ("entries", Munk.entry_count compacted);
+        ]
+      (fun _sp ->
     let mid = first_right.key in
     let old_funk = Chunk.funk c in
     (* Phase 1: two new chunks sharing the old funk (§3.4). [c]'s
@@ -406,7 +434,7 @@ let split_chunk_locked db c compacted floor =
                 let last = Funk.disown old_funk in
                 manifest_update db ~add:[ id ]
                   ~remove:(if last then [ Funk.id old_funk ] else [])))
-      [ c1; c2 ]
+      [ c1; c2 ])
 
 (* Munk rebalance: compact in memory; split if over the size limit. *)
 let munk_rebalance db c =
@@ -419,11 +447,14 @@ let munk_rebalance db c =
         match Chunk.munk c with
         | None -> ()
         | Some munk ->
-          let floor = compaction_floor db c in
-          let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
-          if Munk.byte_size compacted > db.cfg.max_chunk_bytes then
-            split_chunk_locked db c compacted floor
-          else Chunk.set_munk c (Some compacted))
+          Obs.Trace.with_span (Obs.trace db.obs) ~name:"munk_rebalance" (fun sp ->
+              let floor = compaction_floor db c in
+              let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
+              Obs.Trace.add_attr sp "bytes" (Munk.byte_size compacted);
+              Obs.Trace.add_attr sp "entries" (Munk.entry_count compacted);
+              if Munk.byte_size compacted > db.cfg.max_chunk_bytes then
+                split_chunk_locked db c compacted floor
+              else Chunk.set_munk c (Some compacted)))
 
 let split_entry_list entries =
   let entry_bytes (e : K.entry) =
@@ -448,15 +479,19 @@ let cold_funk_rebalance db c =
   Funk.with_pin
     ~current:(fun () -> Chunk.funk c)
     (fun funk ->
+      Obs.Trace.with_span (Obs.trace db.obs) ~name:"cold_funk_rebalance" (fun sp ->
       let log_end = Funk.log_size funk in
       let floor = compaction_floor db c in
       let merged =
         K.to_list (K.compact ~min_retained_version:floor (chunk_entries db c funk))
       in
+      Obs.Counter.incr db.ctr_funk_merges;
+      Obs.Trace.add_attr sp "entries" (List.length merged);
       let entry_bytes (e : K.entry) =
         String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 64
       in
       let total = List.fold_left (fun acc e -> acc + entry_bytes e) 0 merged in
+      Obs.Trace.add_attr sp "bytes" total;
       let divert_records target_of =
         (* Copy post-merge appends into the new funk(s). Current-epoch
            records only can appear here. *)
@@ -533,7 +568,7 @@ let cold_funk_rebalance db c =
                 manifest_update db ~add:[ id1; id2 ]
                   ~remove:(if last then [ Funk.id funk ] else [])
               end)
-      end)
+      end))
 
 (* Funk rebalance dispatch: with a munk we flush (in-memory compaction
    + sequential write); without, we merge on disk. One rebuild per funk
@@ -623,6 +658,7 @@ let merge_chunks db c n =
           ~finally:(fun () -> Rwlock.unlock_exclusive ln)
           (fun () ->
             if not (Chunk.retired n) then begin
+              Obs.Trace.with_span (Obs.trace db.obs) ~name:"chunk_merge" (fun sp ->
               let floor = min (compaction_floor db c) (compaction_floor db n) in
               (* Under both exclusive locks the funks cannot be flipped
                  or retired (we are their owners), so direct reads are
@@ -669,7 +705,8 @@ let merge_chunks db c n =
                 (if last_c then [ Funk.id old_c ] else [])
                 @ (if last_n then [ Funk.id old_n ] else [])
               in
-              manifest_update db ~add:[ id ] ~remove:removed
+              Obs.Trace.add_attr sp "entries" (List.length entries);
+              manifest_update db ~add:[ id ] ~remove:removed)
             end)
       end)
 
@@ -701,6 +738,7 @@ let rec put_entry db key value_opt =
             let entry : K.entry = { key; value = value_opt; version = gv; counter } in
             let funk = Chunk.funk c in
             let off = Funk.append funk entry in
+            Obs.Counter.incr db.ctr_log_appends;
             (if db.cfg.persistence = Config.Sync then Funk.fsync_log funk);
             match Chunk.munk c with
             | Some munk ->
@@ -747,11 +785,12 @@ and put_entry_and_maintain db key value_opt =
 (* Checkpoint (§3.5)                                                   *)
 
 and checkpoint_locked db =
-  let gv = Atomic.fetch_and_add db.gv 1 in
-  Pending_ops.wait_pending_puts db.po ~low:"" ~high:None ~upto:gv;
-  Env.fsync_all db.env;
-  Checkpoint_file.store db.env ~version:gv;
-  Atomic.set db.last_checkpoint gv
+  Obs.Trace.with_span (Obs.trace db.obs) ~name:"checkpoint" (fun _sp ->
+      let gv = Atomic.fetch_and_add db.gv 1 in
+      Pending_ops.wait_pending_puts db.po ~low:"" ~high:None ~upto:gv;
+      Env.fsync_all db.env;
+      Checkpoint_file.store db.env ~version:gv;
+      Atomic.set db.last_checkpoint gv)
 
 (* Opportunistic (put-path) checkpoint: skip if one is in flight. *)
 and checkpoint_auto db =
@@ -764,8 +803,10 @@ let checkpoint db =
   Fun.protect ~finally:(fun () -> Mutex.unlock db.checkpoint_mutex) (fun () ->
       checkpoint_locked db)
 
-let put db key value = put_entry_and_maintain db key (Some value)
-let delete db key = put_entry_and_maintain db key None
+let put db key value =
+  Obs.Timer.time db.tm_put (fun () -> put_entry_and_maintain db key (Some value))
+
+let delete db key = Obs.Timer.time db.tm_delete (fun () -> put_entry_and_maintain db key None)
 
 (* ------------------------------------------------------------------ *)
 (* Scan (§3.3)                                                         *)
@@ -781,7 +822,7 @@ let bounded_iter it ~high =
         stopped := true;
         None
 
-let scan db ?limit ~low ~high () =
+let scan_internal db ?limit ~low ~high () =
   if String.compare low high > 0 then []
   else begin
     let slot = Pending_ops.begin_scan db.po ~low ~high:(Some high) in
@@ -852,6 +893,9 @@ let scan db ?limit ~low ~high () =
         List.rev !acc)
   end
 
+let scan db ?limit ~low ~high () =
+  Obs.Timer.time db.tm_scan (fun () -> scan_internal db ?limit ~low ~high ())
+
 (* ------------------------------------------------------------------ *)
 (* Open / recovery / close                                             *)
 
@@ -884,14 +928,59 @@ let parse_funk_file name =
     | None -> None
   else None
 
-let make_db env cfg ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_funk_id ~live =
+let span_names =
+  [
+    "munk_rebalance";
+    "chunk_split";
+    "cold_funk_rebalance";
+    "funk_flush";
+    "chunk_merge";
+    "checkpoint";
+    "recovery";
+  ]
+
+(* Snapshot-time gauges: mirror counters owned by layers below obs
+   (caches, Io_stats) and structural state, so exports always reflect
+   the live store without the lower layers depending on Evendb_obs. *)
+let register_probes db =
+  let p = Obs.probe db.obs in
+  p "cache.row.hits" (fun () -> Row_cache.hits db.row_cache);
+  p "cache.row.misses" (fun () -> Row_cache.misses db.row_cache);
+  p "cache.row.evictions" (fun () -> Row_cache.evictions db.row_cache);
+  p "cache.lfu.hits" (fun () -> Lfu.hits db.lfu);
+  p "cache.lfu.misses" (fun () -> Lfu.misses db.lfu);
+  p "cache.lfu.evictions" (fun () -> Lfu.evictions db.lfu);
+  p "db.chunks" (fun () -> Chunk_index.size (Atomic.get db.index));
+  p "db.munks" (fun () ->
+      List.length
+        (List.filter (fun c -> Chunk.munk c <> None) (Chunk_index.chunks (Atomic.get db.index))));
+  p "db.log_bytes" (fun () ->
+      List.fold_left
+        (fun acc c -> acc + Funk.log_size (Chunk.funk c))
+        0
+        (Chunk_index.chunks (Atomic.get db.index)));
+  p "db.logical_bytes_written" (fun () -> Atomic.get db.logical_written);
+  let st = Env.stats db.env in
+  List.iter
+    (fun kind ->
+      let kn = Io_stats.kind_name kind in
+      p
+        (Printf.sprintf "io.%s.bytes_written" kn)
+        (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_written);
+      p
+        (Printf.sprintf "io.%s.bytes_read" kn)
+        (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
+    Io_stats.all_kinds
+
+let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_funk_id ~live =
   let lfu = Lfu.create ~capacity:cfg.Config.munk_cache_capacity () in
   List.iter
     (fun c -> if Chunk.munk c <> None then ignore (Lfu.force_insert lfu (Chunk.id c)))
     chunks;
   let live_funks = Hashtbl.create 64 in
   List.iter (fun id -> Hashtbl.replace live_funks id ()) live;
-  {
+  List.iter (Obs.Trace.declare (Obs.trace obs)) span_names;
+  let db = {
     env;
     cfg;
     head = Atomic.make head;
@@ -925,7 +1014,18 @@ let make_db env cfg ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_funk_id 
              m_domain = None;
            }
        else None);
+    obs;
+    tm_put = Obs.timer obs "db.put";
+    tm_get = Obs.timer obs "db.get";
+    tm_delete = Obs.timer obs "db.delete";
+    tm_scan = Obs.timer obs "db.scan";
+    ctr_log_appends = Obs.counter obs "funk.log_appends";
+    ctr_funk_flushes = Obs.counter obs "funk.flushes";
+    ctr_funk_merges = Obs.counter obs "funk.merges";
   }
+  in
+  register_probes db;
+  db
 
 let maintainer_loop db m =
   let rec next () =
@@ -982,6 +1082,7 @@ let stop_maintainer db =
   | None -> ()
 
 let open_internal config env =
+  let obs = Obs.create () in
   match Manifest.load env with
   | None ->
     (* Fresh database: one sentinel chunk covering the whole key space,
@@ -994,12 +1095,15 @@ let open_internal config env =
     Recovery_table.store env Recovery_table.empty;
     store_mode env config.Config.persistence;
     let chunk = Chunk.create ~id:0 ~min_key:"" ~funk ~munk:(Some (Munk.of_sorted [])) in
-    make_db env config ~head:chunk ~chunks:[ chunk ] ~gv:(Version.pack ~epoch:0 ~seq:0)
+    make_db env config ~obs ~head:chunk ~chunks:[ chunk ] ~gv:(Version.pack ~epoch:0 ~seq:0)
       ~rt:Recovery_table.empty ~epoch:0 ~last_checkpoint:(-1) ~next_funk_id:1 ~live:[ 0 ]
   | Some manifest ->
     (* Recovery (§3.5): bump the epoch, record the previous epoch's
        checkpoint in the recovery table, rebuild chunk metadata from
        the funk files, and resume; data loads into munks lazily. *)
+    Obs.Trace.with_span (Obs.trace obs) ~name:"recovery"
+      ~attrs:[ ("funks", List.length manifest.Manifest.live) ]
+      (fun recovery_sp ->
     let rt_old = Recovery_table.load env in
     let ckpt = Checkpoint_file.load env in
     let prev_epoch = Recovery_table.max_epoch rt_old + 1 in
@@ -1047,9 +1151,12 @@ let open_internal config env =
     link chunks;
     let head = List.hd chunks in
     let last_ckpt = match ckpt with Some v -> v | None -> -1 in
-    make_db env config ~head ~chunks ~gv:(Version.pack ~epoch ~seq:0) ~rt ~epoch
+    Obs.Trace.add_attr recovery_sp "chunks" (List.length chunks);
+    Obs.Trace.add_attr recovery_sp "bytes"
+      (List.fold_left (fun acc f -> acc + Funk.total_bytes f) 0 funks);
+    make_db env config ~obs ~head ~chunks ~gv:(Version.pack ~epoch ~seq:0) ~rt ~epoch
       ~last_checkpoint:last_ckpt ~next_funk_id:manifest.Manifest.next_id
-      ~live:manifest.Manifest.live
+      ~live:manifest.Manifest.live)
 
 let open_ ?(config = Config.default) env =
   let db = open_internal config env in

@@ -96,3 +96,17 @@ val log_space : t -> int
 
 val current_version : t -> int
 val current_epoch : t -> int
+
+(** {2 Observability} *)
+
+val obs : t -> Evendb_obs.Obs.t
+(** The instance's metrics registry and trace: op-latency timers
+    ([db.put]/[db.get]/[db.delete]/[db.scan]), funk log-append, flush
+    and merge counters, cache and per-file-kind I/O probes, and spans
+    around maintenance ([munk_rebalance], [chunk_split],
+    [cold_funk_rebalance], [funk_flush], [chunk_merge], [checkpoint],
+    [recovery]) with bytes/entries attributes. *)
+
+val metrics_dump : t -> [ `Json | `Prometheus ] -> string
+(** Render the registry with the corresponding {!Evendb_obs.Obs}
+    exporter. *)

@@ -61,6 +61,7 @@ let env t = t.funk_env
 let append t e = Log_file.Writer.append t.log e
 
 let log_size t = Log_file.Writer.size t.log
+let log_append_count t = Log_file.Writer.append_count t.log
 
 let total_bytes t =
   let sst_bytes = try Env.size t.funk_env (sst_name t.funk_id) with Not_found -> 0 in

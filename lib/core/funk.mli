@@ -39,6 +39,10 @@ val append : t -> Kv_iter.entry -> int
 (** Append one record to the log; returns its byte offset. *)
 
 val log_size : t -> int
+
+val log_append_count : t -> int
+(** Records appended to this funk's log since it was opened. *)
+
 val total_bytes : t -> int
 val fsync_log : t -> unit
 

@@ -43,10 +43,17 @@ let record t comp nanos =
     Mutex.unlock t.hist_mutex
   end
 
+type latency = {
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
 type summary = {
   total : int;
   fractions : (component * float) list;
-  latencies : (component * (float * int)) list;
+  latencies : (component * latency) list;
 }
 
 let summarize t =
@@ -63,7 +70,9 @@ let summarize t =
       List.map
         (fun c ->
           let h = t.hists.(index c) in
-          (c, (Histogram.mean h, Histogram.percentile h 95.0)))
+          match Histogram.percentiles h [ 50.0; 95.0; 99.0 ] with
+          | [ p50; p95; p99 ] -> (c, { mean = Histogram.mean h; p50; p95; p99 })
+          | _ -> assert false)
         all
     in
     Mutex.unlock t.hist_mutex;

@@ -17,10 +17,17 @@ val record : t -> component -> int -> unit
 (** [record t comp nanos]: count a get served by [comp]; latency is
     folded into the component histogram when [detailed]. *)
 
+type latency = {
+  mean : float;  (** nanoseconds *)
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
 type summary = {
   total : int;
   fractions : (component * float) list; (* share of gets per component *)
-  latencies : (component * (float * int)) list; (* (mean ns, p95 ns) *)
+  latencies : (component * latency) list; (* per-component, in ns *)
 }
 
 val summarize : t -> summary

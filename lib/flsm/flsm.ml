@@ -2,6 +2,7 @@ open Evendb_util
 open Evendb_storage
 open Evendb_sstable
 open Evendb_log
+open Evendb_obs
 
 module K = Kv_iter
 module Memtable = Evendb_lsm.Memtable
@@ -80,6 +81,13 @@ type t = {
   logical_written : int Atomic.t;
   put_count : int Atomic.t;
   closed : bool Atomic.t;
+  obs : Obs.t;
+  tm_put : Obs.Timer.t;
+  tm_get : Obs.Timer.t;
+  tm_delete : Obs.Timer.t;
+  tm_scan : Obs.Timer.t;
+  ctr_stalls : Obs.Counter.t;
+  ctr_wal_appends : Obs.Counter.t;
 }
 
 let sst_name fid = Printf.sprintf "flsm_%08d.sst" fid
@@ -88,6 +96,11 @@ let manifest_name = "FLSM_MANIFEST"
 
 let env t = t.env
 let logical_bytes_written t = Atomic.get t.logical_written
+let obs t = t.obs
+
+let metrics_dump t = function
+  | `Json -> Obs.to_json t.obs
+  | `Prometheus -> Obs.to_prometheus t.obs
 
 let write_amplification t =
   let written = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_written in
@@ -219,15 +232,20 @@ let open_fragment env fid =
   }
 
 let build_fragment t entries =
-  let fid = Atomic.fetch_and_add t.next_fid 1 in
-  let builder =
-    Sstable.Builder.create t.env ~block_size:t.cfg.sstable_block_bytes
-      ~bloom_bits_per_key:t.cfg.bloom_bits_per_key ~with_bloom:true ~name:(sst_name fid)
-      ~min_key:"" ()
-  in
-  List.iter (Sstable.Builder.add builder) entries;
-  Sstable.Builder.finish builder;
-  open_fragment t.env fid
+  Obs.Trace.with_span (Obs.trace t.obs) ~name:"fragment_append"
+    ~attrs:[ ("entries", List.length entries) ]
+    (fun sp ->
+      let fid = Atomic.fetch_and_add t.next_fid 1 in
+      let builder =
+        Sstable.Builder.create t.env ~block_size:t.cfg.sstable_block_bytes
+          ~bloom_bits_per_key:t.cfg.bloom_bits_per_key ~with_bloom:true ~name:(sst_name fid)
+          ~min_key:"" ()
+      in
+      List.iter (Sstable.Builder.add builder) entries;
+      Sstable.Builder.finish builder;
+      let frag = open_fragment t.env fid in
+      Obs.Trace.add_attr sp "bytes" frag.bytes;
+      frag)
 
 let entry_bytes (e : K.entry) =
   String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 16
@@ -315,10 +333,21 @@ let distribute_to_children t child_guards entries =
 
 (* Merge all fragments of a guard into one sorted entry list. *)
 let merge_guard t guard ~drop_tombstones =
-  let floor = min_snapshot t ~default:(Atomic.get t.seq) in
-  K.to_list
-    (K.compact ~min_retained_version:floor ~drop_tombstones
-       (K.merge (List.map (fun f -> Sstable.Reader.iter f.reader) guard.fragments)))
+  Obs.Trace.with_span (Obs.trace t.obs) ~name:"guard_merge"
+    ~attrs:
+      [
+        ("fragments", List.length guard.fragments);
+        ("bytes", List.fold_left (fun acc f -> acc + f.bytes) 0 guard.fragments);
+      ]
+    (fun sp ->
+      let floor = min_snapshot t ~default:(Atomic.get t.seq) in
+      let merged =
+        K.to_list
+          (K.compact ~min_retained_version:floor ~drop_tombstones
+             (K.merge (List.map (fun f -> Sstable.Reader.iter f.reader) guard.fragments)))
+      in
+      Obs.Trace.add_attr sp "entries" (List.length merged);
+      merged)
 
 (* Compact the whole of level [i] into level [i+1]: each guard's
    fragments are merged and the output appended under the child
@@ -416,7 +445,11 @@ let rec compact t =
 
 let flush_memtable t =
   let s = Atomic.get t.state in
-  if not (Memtable.is_empty s.mem) then begin
+  if not (Memtable.is_empty s.mem) then
+    Obs.Trace.with_span (Obs.trace t.obs) ~name:"memtable_flush"
+      ~attrs:[ ("bytes", Memtable.byte_size s.mem) ]
+      (fun _sp ->
+        begin
     let old_wal_gen = t.wal_gen in
     let old_wal = t.wal in
     t.wal_gen <- t.wal_gen + 1;
@@ -439,7 +472,7 @@ let flush_memtable t =
     store_manifest t levels;
     Log_file.Writer.close old_wal;
     Env.delete t.env (wal_name old_wal_gen)
-  end
+  end)
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
@@ -452,6 +485,7 @@ let put_entry t key value_opt =
       let seq = Atomic.fetch_and_add t.seq 1 + 1 in
       let entry : K.entry = { key; value = value_opt; version = seq; counter = 0 } in
       ignore (Log_file.Writer.append t.wal entry);
+      Obs.Counter.incr t.ctr_wal_appends;
       if t.cfg.sync_writes then Log_file.Writer.fsync t.wal
       else begin
         let n = Atomic.fetch_and_add t.put_count 1 + 1 in
@@ -464,12 +498,13 @@ let put_entry t key value_opt =
         (Atomic.fetch_and_add t.logical_written
            (String.length key + match value_opt with Some v -> String.length v | None -> 0));
       if Memtable.byte_size (Atomic.get t.state).mem >= t.cfg.memtable_bytes then begin
+        Obs.Counter.incr t.ctr_stalls;
         flush_memtable t;
         compact t
       end)
 
-let put t key value = put_entry t key (Some value)
-let delete t key = put_entry t key None
+let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
+let delete t key = Obs.Timer.time t.tm_delete (fun () -> put_entry t key None)
 
 let guard_for guards key =
   (* Last guard with guard_key <= key; guards sorted, first is "". *)
@@ -480,6 +515,7 @@ let guard_for guards key =
   go None guards
 
 let get t key =
+  Obs.Timer.time t.tm_get @@ fun () ->
   let s = pin_state t in
   Fun.protect
     ~finally:(fun () -> release_state t s)
@@ -551,6 +587,7 @@ let bounded it ~high =
         None
 
 let scan t ?limit ~low ~high () =
+  Obs.Timer.time t.tm_scan @@ fun () ->
   if String.compare low high > 0 then []
   else begin
     Mutex.lock t.writer;
@@ -601,7 +638,26 @@ let scan t ?limit ~low ~high () =
 
 let empty_levels n = Array.init n (fun _ -> [ { guard_key = ""; fragments = [] } ])
 
+let span_names = [ "fragment_append"; "guard_merge"; "memtable_flush"; "recovery" ]
+
+let setup_obs env =
+  let obs = Obs.create () in
+  List.iter (Obs.Trace.declare (Obs.trace obs)) span_names;
+  let st = Env.stats env in
+  List.iter
+    (fun kind ->
+      let kn = Io_stats.kind_name kind in
+      Obs.probe obs
+        (Printf.sprintf "io.%s.bytes_written" kn)
+        (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_written);
+      Obs.probe obs
+        (Printf.sprintf "io.%s.bytes_read" kn)
+        (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
+    Io_stats.all_kinds;
+  obs
+
 let open_ ?(config = Config.default) env =
+  let obs = setup_obs env in
   match load_manifest env with
   | None ->
     let t =
@@ -628,11 +684,19 @@ let open_ ?(config = Config.default) env =
         logical_written = Atomic.make 0;
         put_count = Atomic.make 0;
         closed = Atomic.make false;
+        obs;
+        tm_put = Obs.timer obs "db.put";
+        tm_get = Obs.timer obs "db.get";
+        tm_delete = Obs.timer obs "db.delete";
+        tm_scan = Obs.timer obs "db.scan";
+        ctr_stalls = Obs.counter obs "flsm.stalls";
+        ctr_wal_appends = Obs.counter obs "wal.appends";
       }
     in
     store_manifest t (empty_levels config.max_levels);
     t
   | Some (next_fid, wal_gen, seq, level_guards) ->
+    Obs.Trace.with_span (Obs.trace obs) ~name:"recovery" (fun recovery_sp ->
     let levels =
       Array.map
         (fun guards ->
@@ -650,11 +714,14 @@ let open_ ?(config = Config.default) env =
       levels;
     let mem = ref Memtable.empty in
     let max_seq = ref seq in
+    let replayed = ref 0 in
     List.iter
       (fun (_off, e) ->
         mem := Memtable.add !mem e;
+        incr replayed;
         if e.K.version > !max_seq then max_seq := e.K.version)
       (Log_file.Reader.entries env (wal_name wal_gen));
+    Obs.Trace.add_attr recovery_sp "entries" !replayed;
     {
       env;
       cfg = config;
@@ -678,7 +745,14 @@ let open_ ?(config = Config.default) env =
       logical_written = Atomic.make 0;
       put_count = Atomic.make 0;
       closed = Atomic.make false;
-    }
+      obs;
+      tm_put = Obs.timer obs "db.put";
+      tm_get = Obs.timer obs "db.get";
+      tm_delete = Obs.timer obs "db.delete";
+      tm_scan = Obs.timer obs "db.scan";
+      ctr_stalls = Obs.counter obs "flsm.stalls";
+      ctr_wal_appends = Obs.counter obs "wal.appends";
+    })
 
 let compact_now t =
   Mutex.lock t.writer;

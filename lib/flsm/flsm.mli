@@ -62,3 +62,13 @@ val guard_counts : t -> int list
 
 val debug_locate : t -> string -> string
 (** Diagnostic: brute-force description of where a key's versions live. *)
+
+(** {2 Observability} *)
+
+val obs : t -> Evendb_obs.Obs.t
+(** Op-latency timers ([db.put]/[db.get]/[db.delete]/[db.scan]),
+    [flsm.stalls] (puts that paid an inline flush/compaction),
+    [wal.appends], per-file-kind I/O probes, and spans around
+    [fragment_append], [guard_merge], [memtable_flush] and [recovery]. *)
+
+val metrics_dump : t -> [ `Json | `Prometheus ] -> string

@@ -80,14 +80,27 @@ module Writer = struct
     buf : Buffer.t;
     mutex : Mutex.t;
     mutable pos : int;
+    mutable appends : int;
   }
 
   let create env name =
-    { file = Env.create env name; buf = Buffer.create 1024; mutex = Mutex.create (); pos = 0 }
+    {
+      file = Env.create env name;
+      buf = Buffer.create 1024;
+      mutex = Mutex.create ();
+      pos = 0;
+      appends = 0;
+    }
 
   let open_append env name =
     let file = Env.open_append env name in
-    { file; buf = Buffer.create 1024; mutex = Mutex.create (); pos = Env.file_size file }
+    {
+      file;
+      buf = Buffer.create 1024;
+      mutex = Mutex.create ();
+      pos = Env.file_size file;
+      appends = 0;
+    }
 
   let append t e =
     Mutex.lock t.mutex;
@@ -100,9 +113,14 @@ module Writer = struct
         let len = Buffer.length t.buf in
         Env.append t.file (Buffer.contents t.buf);
         t.pos <- start + len;
+        t.appends <- t.appends + 1;
         start)
 
   let size t = t.pos
+
+  let append_count t =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> t.appends)
   let fsync t = Env.fsync t.file
   let close t = Env.close_file t.file
 end

@@ -41,6 +41,11 @@ module Writer : sig
       (fed to the partitioned bloom filter). Thread-safe. *)
 
   val size : t -> int
+
+  val append_count : t -> int
+  (** Records appended through this writer (excludes records already
+      in the file when it was opened with {!open_append}). *)
+
   val fsync : t -> unit
   val close : t -> unit
 end

@@ -2,6 +2,7 @@ open Evendb_util
 open Evendb_storage
 open Evendb_sstable
 open Evendb_log
+open Evendb_obs
 
 module K = Kv_iter
 
@@ -80,6 +81,13 @@ type t = {
   logical_written : int Atomic.t;
   put_count : int Atomic.t;
   closed : bool Atomic.t;
+  obs : Obs.t;
+  tm_put : Obs.Timer.t;
+  tm_get : Obs.Timer.t;
+  tm_delete : Obs.Timer.t;
+  tm_scan : Obs.Timer.t;
+  ctr_stalls : Obs.Counter.t; (* puts that paid an inline flush/compaction *)
+  ctr_wal_appends : Obs.Counter.t;
 }
 
 let sst_name fid = Printf.sprintf "lsm_%08d.sst" fid
@@ -88,6 +96,11 @@ let manifest_name = "LSM_MANIFEST"
 
 let env t = t.env
 let logical_bytes_written t = Atomic.get t.logical_written
+let obs t = t.obs
+
+let metrics_dump t = function
+  | `Json -> Obs.to_json t.obs
+  | `Prometheus -> Obs.to_prometheus t.obs
 
 let write_amplification t =
   let written = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_written in
@@ -285,7 +298,11 @@ let level_limit t i = t.cfg.level_base_bytes * int_of_float (float_of_int t.cfg.
 (* All callers hold the writer mutex. *)
 let flush_memtable t =
   let s = Atomic.get t.state in
-  if not (Memtable.is_empty s.mem) then begin
+  if not (Memtable.is_empty s.mem) then
+    Obs.Trace.with_span (Obs.trace t.obs) ~name:"memtable_flush"
+      ~attrs:[ ("bytes", Memtable.byte_size s.mem) ]
+      (fun _sp ->
+        begin
     (* Rotate the WAL first so that records of the new memtable land in
        the new log. *)
     let old_wal_gen = t.wal_gen in
@@ -308,14 +325,17 @@ let flush_memtable t =
     store_manifest t levels;
     Log_file.Writer.close old_wal;
     Env.delete t.env (wal_name old_wal_gen)
-  end
+  end)
 
 let rec compact t =
   let s = Atomic.get t.state in
   let levels = s.levels in
   if List.length levels.(0) >= t.cfg.l0_compaction_trigger then begin
+    Obs.Trace.with_span (Obs.trace t.obs) ~name:"compaction" ~attrs:[ ("level", 0) ]
+      (fun sp ->
     (* L0 -> L1: merge every L0 file with all overlapping L1 files. *)
     let l0 = levels.(0) in
+    Obs.Trace.add_attr sp "bytes" (level_total l0);
     let low = List.fold_left (fun acc fm -> min acc fm.smallest) (List.hd l0).smallest l0 in
     let high = List.fold_left (fun acc fm -> max acc fm.largest) (List.hd l0).largest l0 in
     let l1_in, l1_out = List.partition (fun fm -> overlaps fm ~low ~high) levels.(1) in
@@ -341,7 +361,7 @@ let rec compact t =
     levels'.(0) <- [];
     levels'.(1) <- new_l1;
     publish t (fresh_state ~mem:s.mem ~imm:s.imm ~levels:levels');
-    store_manifest t levels';
+    store_manifest t levels');
     compact t
   end
   else begin
@@ -357,6 +377,9 @@ let rec compact t =
       (match levels.(i) with
       | [] -> ()
       | victim :: _ ->
+        Obs.Trace.with_span (Obs.trace t.obs) ~name:"compaction"
+          ~attrs:[ ("level", i); ("bytes", victim.bytes) ]
+          (fun _sp ->
         let child_in, child_out =
           List.partition
             (fun fm -> overlaps fm ~low:victim.smallest ~high:victim.largest)
@@ -383,7 +406,7 @@ let rec compact t =
         levels'.(i) <- List.tl levels.(i);
         levels'.(i + 1) <- new_child;
         publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels:levels');
-        store_manifest t levels';
+        store_manifest t levels');
         compact t)
   end
 
@@ -398,6 +421,7 @@ let put_entry t key value_opt =
       let seq = Atomic.fetch_and_add t.seq 1 + 1 in
       let entry : K.entry = { key; value = value_opt; version = seq; counter = 0 } in
       ignore (Log_file.Writer.append t.wal entry);
+      Obs.Counter.incr t.ctr_wal_appends;
       if t.cfg.sync_writes then Log_file.Writer.fsync t.wal
       else begin
         let n = Atomic.fetch_and_add t.put_count 1 + 1 in
@@ -416,12 +440,15 @@ let put_entry t key value_opt =
         (Atomic.fetch_and_add t.logical_written
            (String.length key + match value_opt with Some v -> String.length v | None -> 0));
       if Memtable.byte_size mem' >= t.cfg.memtable_bytes then begin
+        (* This put pays for the flush (and any cascading compaction)
+           inline — the paper's write stall. *)
+        Obs.Counter.incr t.ctr_stalls;
         flush_memtable t;
         compact t
       end)
 
-let put t key value = put_entry t key (Some value)
-let delete t key = put_entry t key None
+let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
+let delete t key = Obs.Timer.time t.tm_delete (fun () -> put_entry t key None)
 
 let find_in_levels s ~max_version key =
   (* L0 newest-first, then deeper levels; the first hit is the newest
@@ -448,6 +475,7 @@ let find_in_levels s ~max_version key =
   search_levels 0
 
 let get t key =
+  Obs.Timer.time t.tm_get @@ fun () ->
   let s = pin_state t in
   Fun.protect
     ~finally:(fun () -> release_state t s)
@@ -476,6 +504,7 @@ let bounded it ~high =
         None
 
 let scan t ?limit ~low ~high () =
+  Obs.Timer.time t.tm_scan @@ fun () ->
   if String.compare low high > 0 then []
   else begin
     (* Take the writer mutex briefly so (state, seq) are consistent:
@@ -520,7 +549,26 @@ let scan t ?limit ~low ~high () =
 (* ------------------------------------------------------------------ *)
 (* Open / close                                                        *)
 
+let span_names = [ "memtable_flush"; "compaction"; "recovery" ]
+
+let setup_obs env =
+  let obs = Obs.create () in
+  List.iter (Obs.Trace.declare (Obs.trace obs)) span_names;
+  let st = Env.stats env in
+  List.iter
+    (fun kind ->
+      let kn = Io_stats.kind_name kind in
+      Obs.probe obs
+        (Printf.sprintf "io.%s.bytes_written" kn)
+        (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_written);
+      Obs.probe obs
+        (Printf.sprintf "io.%s.bytes_read" kn)
+        (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
+    Io_stats.all_kinds;
+  obs
+
 let open_ ?(config = Config.default) env =
+  let obs = setup_obs env in
   match load_manifest env with
   | None ->
     let t =
@@ -547,11 +595,19 @@ let open_ ?(config = Config.default) env =
         logical_written = Atomic.make 0;
         put_count = Atomic.make 0;
         closed = Atomic.make false;
+        obs;
+        tm_put = Obs.timer obs "db.put";
+        tm_get = Obs.timer obs "db.get";
+        tm_delete = Obs.timer obs "db.delete";
+        tm_scan = Obs.timer obs "db.scan";
+        ctr_stalls = Obs.counter obs "lsm.stalls";
+        ctr_wal_appends = Obs.counter obs "wal.appends";
       }
     in
     store_manifest t (Array.make config.max_levels []);
     t
   | Some (next_fid, wal_gen, seq, level_fids) ->
+    Obs.Trace.with_span (Obs.trace obs) ~name:"recovery" (fun recovery_sp ->
     let levels =
       Array.map (List.map (fun fid -> open_file_meta env fid)) level_fids
     in
@@ -564,11 +620,14 @@ let open_ ?(config = Config.default) env =
     (* Replay the WAL (an LSM must; contrast §3.5). *)
     let mem = ref Memtable.empty in
     let max_seq = ref seq in
+    let replayed = ref 0 in
     List.iter
       (fun (_off, e) ->
         mem := Memtable.add !mem e;
+        incr replayed;
         if e.K.version > !max_seq then max_seq := e.K.version)
       (Log_file.Reader.entries env (wal_name wal_gen));
+    Obs.Trace.add_attr recovery_sp "entries" !replayed;
     {
       env;
       cfg = config;
@@ -592,7 +651,14 @@ let open_ ?(config = Config.default) env =
       logical_written = Atomic.make 0;
       put_count = Atomic.make 0;
       closed = Atomic.make false;
-    }
+      obs;
+      tm_put = Obs.timer obs "db.put";
+      tm_get = Obs.timer obs "db.get";
+      tm_delete = Obs.timer obs "db.delete";
+      tm_scan = Obs.timer obs "db.scan";
+      ctr_stalls = Obs.counter obs "lsm.stalls";
+      ctr_wal_appends = Obs.counter obs "wal.appends";
+    })
 
 let compact_now t =
   Mutex.lock t.writer;

@@ -66,3 +66,14 @@ val logical_bytes_written : t -> int
 val write_amplification : t -> float
 val level_file_counts : t -> int list
 val level_bytes : t -> int list
+
+(** {2 Observability} *)
+
+val obs : t -> Evendb_obs.Obs.t
+(** Op-latency timers ([db.put]/[db.get]/[db.delete]/[db.scan]),
+    [lsm.stalls] (puts that paid an inline flush/compaction),
+    [wal.appends], per-file-kind I/O probes, and spans around
+    [memtable_flush], [compaction] (with a [level] attribute) and
+    [recovery]. *)
+
+val metrics_dump : t -> [ `Json | `Prometheus ] -> string

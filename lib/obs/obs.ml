@@ -1,0 +1,469 @@
+open Evendb_util
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make () : t = Atomic.make 0
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let make () : t = Atomic.make 0
+  let set t v = Atomic.set t v
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
+end
+
+module Timer = struct
+  type t = { mutex : Mutex.t; hist : Histogram.t }
+
+  let make () = { mutex = Mutex.create (); hist = Histogram.create () }
+
+  let record_ns t ns =
+    Mutex.lock t.mutex;
+    Histogram.record t.hist ns;
+    Mutex.unlock t.mutex
+
+  let time t f =
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> record_ns t (now_ns () - t0)) f
+
+  let count t =
+    Mutex.lock t.mutex;
+    let n = Histogram.count t.hist in
+    Mutex.unlock t.mutex;
+    n
+
+  (* (count, mean, [p50; p95; p99], max) under the lock, one pass. *)
+  let summary t =
+    Mutex.lock t.mutex;
+    let n = Histogram.count t.hist in
+    let mean = Histogram.mean t.hist in
+    let ps = Histogram.percentiles t.hist [ 50.0; 95.0; 99.0 ] in
+    let mx = Histogram.max_value t.hist in
+    Mutex.unlock t.mutex;
+    (n, mean, ps, mx)
+
+  let reset t =
+    Mutex.lock t.mutex;
+    Histogram.reset t.hist;
+    Mutex.unlock t.mutex
+end
+
+(* ------------------------------------------------------------------ *)
+(* Event tracing                                                       *)
+
+module Trace = struct
+  type event = {
+    ev_name : string;
+    ev_start_ns : int;
+    ev_dur_ns : int;
+    ev_attrs : (string * int) list;
+  }
+
+  type agg = {
+    mutable agg_count : int;
+    mutable agg_total_ns : int;
+    agg_attrs : (string, int) Hashtbl.t;
+  }
+
+  type t = {
+    mutex : Mutex.t;
+    ring : event option array;
+    mutable head : int; (* next write position *)
+    aggs : (string, agg) Hashtbl.t;
+  }
+
+  type span = {
+    sp_trace : t;
+    sp_name : string;
+    sp_start_ns : int;
+    sp_mutex : Mutex.t;
+    mutable sp_attrs : (string * int) list;
+  }
+
+  type span_stat = {
+    span_name : string;
+    span_count : int;
+    span_total_ns : int;
+    span_attr_totals : (string * int) list;
+  }
+
+  let create ?(capacity = 256) () =
+    if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity <= 0";
+    { mutex = Mutex.create (); ring = Array.make capacity None; head = 0; aggs = Hashtbl.create 16 }
+
+  let agg_of_locked t name =
+    match Hashtbl.find_opt t.aggs name with
+    | Some a -> a
+    | None ->
+      let a = { agg_count = 0; agg_total_ns = 0; agg_attrs = Hashtbl.create 4 } in
+      Hashtbl.replace t.aggs name a;
+      a
+
+  let declare t name =
+    Mutex.lock t.mutex;
+    ignore (agg_of_locked t name);
+    Mutex.unlock t.mutex
+
+  let add_attr span key v =
+    Mutex.lock span.sp_mutex;
+    span.sp_attrs <-
+      (match List.assoc_opt key span.sp_attrs with
+      | Some prev -> (key, prev + v) :: List.remove_assoc key span.sp_attrs
+      | None -> (key, v) :: span.sp_attrs);
+    Mutex.unlock span.sp_mutex
+
+  let close_span span =
+    let dur = now_ns () - span.sp_start_ns in
+    let dur = if dur < 0 then 0 else dur in
+    let t = span.sp_trace in
+    Mutex.lock t.mutex;
+    let a = agg_of_locked t span.sp_name in
+    a.agg_count <- a.agg_count + 1;
+    a.agg_total_ns <- a.agg_total_ns + dur;
+    List.iter
+      (fun (k, v) ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt a.agg_attrs k) in
+        Hashtbl.replace a.agg_attrs k (prev + v))
+      span.sp_attrs;
+    t.ring.(t.head) <-
+      Some
+        {
+          ev_name = span.sp_name;
+          ev_start_ns = span.sp_start_ns;
+          ev_dur_ns = dur;
+          ev_attrs = List.rev span.sp_attrs;
+        };
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    Mutex.unlock t.mutex
+
+  let with_span t ?(attrs = []) ~name f =
+    let span =
+      {
+        sp_trace = t;
+        sp_name = name;
+        sp_start_ns = now_ns ();
+        sp_mutex = Mutex.create ();
+        sp_attrs = List.rev attrs;
+      }
+    in
+    Fun.protect ~finally:(fun () -> close_span span) (fun () -> f span)
+
+  let stats t =
+    Mutex.lock t.mutex;
+    let all =
+      Hashtbl.fold
+        (fun name a acc ->
+          let attrs =
+            List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) a.agg_attrs [])
+          in
+          {
+            span_name = name;
+            span_count = a.agg_count;
+            span_total_ns = a.agg_total_ns;
+            span_attr_totals = attrs;
+          }
+          :: acc)
+        t.aggs []
+    in
+    Mutex.unlock t.mutex;
+    List.sort (fun a b -> String.compare a.span_name b.span_name) all
+
+  let recent t =
+    Mutex.lock t.mutex;
+    let n = Array.length t.ring in
+    let acc = ref [] in
+    for i = 0 to n - 1 do
+      match t.ring.((t.head + i) mod n) with
+      | Some e -> acc := e :: !acc
+      | None -> ()
+    done;
+    Mutex.unlock t.mutex;
+    List.rev !acc
+
+  let reset t =
+    Mutex.lock t.mutex;
+    Array.fill t.ring 0 (Array.length t.ring) None;
+    t.head <- 0;
+    Hashtbl.iter
+      (fun _ a ->
+        a.agg_count <- 0;
+        a.agg_total_ns <- 0;
+        Hashtbl.reset a.agg_attrs)
+      t.aggs;
+    Mutex.unlock t.mutex
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_timer of Timer.t
+  | I_probe of (unit -> int)
+
+type t = {
+  mutex : Mutex.t; (* protects registration only; bumps are lock-free *)
+  instruments : (string, instrument) Hashtbl.t;
+  tr : Trace.t;
+}
+
+let create ?trace_capacity () =
+  {
+    mutex = Mutex.create ();
+    instruments = Hashtbl.create 64;
+    tr = Trace.create ?capacity:trace_capacity ();
+  }
+
+let trace t = t.tr
+
+let register t name make describe =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.instruments name with
+    | Some i -> describe i
+    | None ->
+      let i, v = make () in
+      Hashtbl.replace t.instruments name i;
+      Some v
+  in
+  Mutex.unlock t.mutex;
+  match r with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Obs: %S already registered with another type" name)
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = Counter.make () in
+      (I_counter c, c))
+    (function I_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = Gauge.make () in
+      (I_gauge g, g))
+    (function I_gauge g -> Some g | _ -> None)
+
+let timer t name =
+  register t name
+    (fun () ->
+      let tm = Timer.make () in
+      (I_timer tm, tm))
+    (function I_timer tm -> Some tm | _ -> None)
+
+let probe t name f =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.instruments name (I_probe f);
+  Mutex.unlock t.mutex
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type timer_summary = {
+  t_count : int;
+  t_mean_ns : float;
+  t_p50_ns : int;
+  t_p95_ns : int;
+  t_p99_ns : int;
+  t_max_ns : int;
+}
+
+type value = Counter of int | Gauge of int | Timer of timer_summary
+
+type snapshot = {
+  metrics : (string * value) list;
+  spans : Trace.span_stat list;
+}
+
+let snapshot t : snapshot =
+  let instruments =
+    Mutex.lock t.mutex;
+    let l = Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.instruments [] in
+    Mutex.unlock t.mutex;
+    l
+  in
+  let metrics =
+    List.map
+      (fun (name, i) ->
+        let v =
+          match i with
+          | I_counter c -> Counter (Counter.get c)
+          | I_gauge g -> Gauge (Gauge.get g)
+          | I_probe f -> Gauge (try f () with _ -> 0)
+          | I_timer tm ->
+            let n, mean, ps, mx = Timer.summary tm in
+            let p50, p95, p99 =
+              match ps with [ a; b; c ] -> (a, b, c) | _ -> (0, 0, 0)
+            in
+            Timer
+              {
+                t_count = n;
+                t_mean_ns = mean;
+                t_p50_ns = p50;
+                t_p95_ns = p95;
+                t_p99_ns = p99;
+                t_max_ns = mx;
+              }
+        in
+        (name, v))
+      instruments
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { metrics; spans = Trace.stats t.tr }
+
+let reset t =
+  Mutex.lock t.mutex;
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | I_counter c -> Counter.reset c
+      | I_gauge g -> Gauge.reset g
+      | I_timer tm -> Timer.reset tm
+      | I_probe _ -> ())
+    t.instruments;
+  Mutex.unlock t.mutex;
+  Trace.reset t.tr
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_json_obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, render) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape k);
+      Buffer.add_string buf "\":";
+      render buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let jint v buf = Buffer.add_string buf (string_of_int v)
+let jfloat v buf = Buffer.add_string buf (Printf.sprintf "%.1f" v)
+
+let to_json t =
+  let s = snapshot t in
+  let counters = List.filter_map (function n, Counter v -> Some (n, jint v) | _ -> None) s.metrics in
+  let gauges = List.filter_map (function n, Gauge v -> Some (n, jint v) | _ -> None) s.metrics in
+  let timers =
+    List.filter_map
+      (function
+        | n, Timer tm ->
+          Some
+            ( n,
+              fun buf ->
+                add_json_obj buf
+                  [
+                    ("count", jint tm.t_count);
+                    ("mean_ns", jfloat tm.t_mean_ns);
+                    ("p50_ns", jint tm.t_p50_ns);
+                    ("p95_ns", jint tm.t_p95_ns);
+                    ("p99_ns", jint tm.t_p99_ns);
+                    ("max_ns", jint tm.t_max_ns);
+                  ] )
+        | _ -> None)
+      s.metrics
+  in
+  let spans =
+    List.map
+      (fun (st : Trace.span_stat) ->
+        ( st.Trace.span_name,
+          fun buf ->
+            add_json_obj buf
+              [
+                ("count", jint st.Trace.span_count);
+                ("total_ns", jint st.Trace.span_total_ns);
+                ( "attrs",
+                  fun buf ->
+                    add_json_obj buf
+                      (List.map (fun (k, v) -> (k, jint v)) st.Trace.span_attr_totals) );
+              ] ))
+      s.spans
+  in
+  let buf = Buffer.create 1024 in
+  add_json_obj buf
+    [
+      ("counters", fun buf -> add_json_obj buf counters);
+      ("gauges", fun buf -> add_json_obj buf gauges);
+      ("timers", fun buf -> add_json_obj buf timers);
+      ("spans", fun buf -> add_json_obj buf spans);
+    ];
+  Buffer.contents buf
+
+let sanitize name =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') name
+
+let to_prometheus t =
+  let s = snapshot t in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = "evendb_" ^ sanitize name in
+      match v with
+      | Counter c ->
+        line "# TYPE %s counter" m;
+        line "%s %d" m c
+      | Gauge g ->
+        line "# TYPE %s gauge" m;
+        line "%s %d" m g
+      | Timer tm ->
+        line "# TYPE %s_ns summary" m;
+        line "%s_ns{quantile=\"0.5\"} %d" m tm.t_p50_ns;
+        line "%s_ns{quantile=\"0.95\"} %d" m tm.t_p95_ns;
+        line "%s_ns{quantile=\"0.99\"} %d" m tm.t_p99_ns;
+        line "%s_ns_count %d" m tm.t_count;
+        line "%s_ns_mean %.1f" m tm.t_mean_ns;
+        line "%s_ns_max %d" m tm.t_max_ns)
+    s.metrics;
+  if s.spans <> [] then begin
+    line "# TYPE evendb_span_count counter";
+    List.iter
+      (fun (st : Trace.span_stat) ->
+        line "evendb_span_count{name=\"%s\"} %d" (sanitize st.Trace.span_name)
+          st.Trace.span_count)
+      s.spans;
+    line "# TYPE evendb_span_total_ns counter";
+    List.iter
+      (fun (st : Trace.span_stat) ->
+        line "evendb_span_total_ns{name=\"%s\"} %d" (sanitize st.Trace.span_name)
+          st.Trace.span_total_ns;
+        List.iter
+          (fun (k, v) ->
+            line "evendb_span_attr_total{name=\"%s\",attr=\"%s\"} %d"
+              (sanitize st.Trace.span_name) (sanitize k) v)
+          st.Trace.span_attr_totals)
+      s.spans
+  end;
+  Buffer.contents buf

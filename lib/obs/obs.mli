@@ -1,0 +1,150 @@
+(** Unified observability substrate: a thread-safe metrics registry
+    (counters, gauges, histogram-backed timers) plus a structured
+    event-trace ring buffer with span helpers for long-running
+    operations (rebalance, splits, compaction, checkpoints, recovery).
+
+    One {!t} is owned by each engine instance; every layer of that
+    engine bumps metrics registered in it. Registration is idempotent
+    ([counter t name] twice returns the same cell), so call sites
+    register once at open and keep the handle — bumping is a single
+    atomic increment and never allocates.
+
+    Two machine-readable exporters are provided: Prometheus-style text
+    ({!to_prometheus}) and JSON ({!to_json}); both render the same
+    {!snapshot}. *)
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (same clock as the engines' latency
+    measurements). *)
+
+(** {2 Instruments} *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Timer : sig
+  type t
+
+  val record_ns : t -> int -> unit
+  (** Fold one duration (nanoseconds) into the timer's histogram. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the function and record its wall-clock duration (also on
+      exception). *)
+
+  val count : t -> int
+end
+
+(** {2 Event tracing} *)
+
+module Trace : sig
+  type t
+
+  type span
+  (** A span in flight; attributes may be attached before it closes. *)
+
+  type event = {
+    ev_name : string;
+    ev_start_ns : int;
+    ev_dur_ns : int;
+    ev_attrs : (string * int) list;
+  }
+
+  type span_stat = {
+    span_name : string;
+    span_count : int;
+    span_total_ns : int;
+    span_attr_totals : (string * int) list;  (** summed over closed spans *)
+  }
+
+  val create : ?capacity:int -> unit -> t
+  (** Ring buffer of the [capacity] (default 256) most recent events.
+      Aggregates (count, cumulative duration, attribute sums per span
+      name) are kept forever. *)
+
+  val declare : t -> string -> unit
+  (** Pre-register a span name so it appears (zeroed) in {!stats} and
+      in exports even before the first occurrence. *)
+
+  val with_span : t -> ?attrs:(string * int) list -> name:string -> (span -> 'a) -> 'a
+  (** Run the function under a span. The span is closed (event recorded,
+      aggregates updated) when the function returns or raises. *)
+
+  val add_attr : span -> string -> int -> unit
+  (** Attach an integer attribute (bytes, entries, ...) to a span in
+      flight; attributes of the same name accumulate. *)
+
+  val stats : t -> span_stat list
+  (** Per-name aggregates, sorted by name. *)
+
+  val recent : t -> event list
+  (** Most recent events, oldest first. *)
+
+  val reset : t -> unit
+end
+
+(** {2 Registry} *)
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val timer : t -> string -> Timer.t
+
+val probe : t -> string -> (unit -> int) -> unit
+(** Register a gauge computed at snapshot time (e.g. mirroring a
+    counter owned by a lower layer that does not depend on this
+    library). Re-registering a name replaces its probe. *)
+
+val trace : t -> Trace.t
+
+(** {2 Snapshots and exporters} *)
+
+type timer_summary = {
+  t_count : int;
+  t_mean_ns : float;
+  t_p50_ns : int;
+  t_p95_ns : int;
+  t_p99_ns : int;
+  t_max_ns : int;
+}
+
+type value = Counter of int | Gauge of int | Timer of timer_summary
+
+type snapshot = {
+  metrics : (string * value) list;  (** sorted by name; probes render as gauges *)
+  spans : Trace.span_stat list;
+}
+
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+(** Zero every counter, gauge and timer and clear the trace. Probes
+    are left registered (they read external state). *)
+
+val to_json : t -> string
+(** One JSON document: [{"counters":{..},"gauges":{..},"timers":{..},
+    "spans":{..}}]. Timer entries carry count/mean/p50/p95/p99/max in
+    nanoseconds; span entries carry count, cumulative duration and
+    attribute totals. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: metric names are sanitized to
+    [evendb_<name>]; timers expose [_count], [_mean_ns] and quantile
+    samples; spans expose [evendb_span_count]/[evendb_span_total_ns]
+    keyed by a [name] label. *)

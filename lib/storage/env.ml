@@ -21,6 +21,7 @@ type t = {
 and file = {
   env : t;
   name : string;
+  kind : Io_stats.kind;
   id : int;
   gen : int;
   impl : file_impl;
@@ -37,6 +38,15 @@ let with_lock m f =
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let stats t = t.st
+
+(* Classify a file by its name so Io_stats can split bytes per kind.
+   All engines share the conventions: record logs (funk logs, WALs)
+   end in ".log", SSTables in ".sst"; anything else (manifests,
+   checkpoint/recovery markers) is metadata. *)
+let kind_of_name name : Io_stats.kind =
+  if Filename.check_suffix name ".log" then Io_stats.Log
+  else if Filename.check_suffix name ".sst" then Io_stats.Sstable
+  else Io_stats.Meta
 
 let is_memory t = match t.backend with Memory _ -> true | Disk _ -> false
 
@@ -82,7 +92,16 @@ let register t name impl =
       let id = t.next_id in
       t.next_id <- id + 1;
       let file =
-        { env = t; name; id; gen = t.generation; impl; f_mutex = Mutex.create (); closed = false }
+        {
+          env = t;
+          name;
+          kind = kind_of_name name;
+          id;
+          gen = t.generation;
+          impl;
+          f_mutex = Mutex.create ();
+          closed = false;
+        }
       in
       Hashtbl.replace t.open_files id file;
       file)
@@ -157,7 +176,7 @@ let append_bytes file b ~pos ~len =
             mem_ensure mf len;
             Bytes.blit b pos mf.data mf.len len;
             mf.len <- mf.len + len));
-      Io_stats.add_write file.env.st len)
+      Io_stats.add_write ~kind:file.kind file.env.st len)
 
 let append file s =
   append_bytes file (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
@@ -176,7 +195,7 @@ let fsync file =
       (match file.impl with
       | Dfile d -> Unix.fsync d.fd
       | Mfile mf -> with_lock mf.mf_mutex (fun () -> mf.synced <- mf.len));
-      Io_stats.add_fsync file.env.st)
+      Io_stats.add_fsync ~kind:file.kind file.env.st)
 
 let close_file file =
   with_lock file.f_mutex (fun () ->
@@ -240,7 +259,7 @@ let read_at t name ~off ~len =
           if off + len > mf.len then invalid_arg "Env.read_at: range beyond end of file";
           Bytes.sub_string mf.data off len)
   in
-  Io_stats.add_read t.st len;
+  Io_stats.add_read ~kind:(kind_of_name name) t.st len;
   result
 
 let read_all t name =

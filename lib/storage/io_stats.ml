@@ -1,10 +1,21 @@
-type t = {
-  bytes_written : int Atomic.t;
-  bytes_read : int Atomic.t;
-  write_ops : int Atomic.t;
-  read_ops : int Atomic.t;
-  fsyncs : int Atomic.t;
+type kind = Log | Sstable | Meta
+
+let kind_name = function Log -> "log" | Sstable -> "sstable" | Meta -> "meta"
+let all_kinds = [ Log; Sstable; Meta ]
+let kind_index = function Log -> 0 | Sstable -> 1 | Meta -> 2
+let n_kinds = 3
+
+(* One cell block per file kind; the aggregate snapshot sums them, so
+   the historical (kind-blind) accounting is unchanged. *)
+type cells = {
+  c_bytes_written : int Atomic.t;
+  c_bytes_read : int Atomic.t;
+  c_write_ops : int Atomic.t;
+  c_read_ops : int Atomic.t;
+  c_fsyncs : int Atomic.t;
 }
+
+type t = cells array (* indexed by kind *)
 
 type snapshot = {
   bytes_written : int;
@@ -15,41 +26,65 @@ type snapshot = {
 }
 
 let create () : t =
-  {
-    bytes_written = Atomic.make 0;
-    bytes_read = Atomic.make 0;
-    write_ops = Atomic.make 0;
-    read_ops = Atomic.make 0;
-    fsyncs = Atomic.make 0;
-  }
+  Array.init n_kinds (fun _ ->
+      {
+        c_bytes_written = Atomic.make 0;
+        c_bytes_read = Atomic.make 0;
+        c_write_ops = Atomic.make 0;
+        c_read_ops = Atomic.make 0;
+        c_fsyncs = Atomic.make 0;
+      })
 
 let add n c = ignore (Atomic.fetch_and_add c n)
 
-let add_write (t : t) n =
-  add n t.bytes_written;
-  add 1 t.write_ops
+let add_write ?(kind = Meta) (t : t) n =
+  let c = t.(kind_index kind) in
+  add n c.c_bytes_written;
+  add 1 c.c_write_ops
 
-let add_read (t : t) n =
-  add n t.bytes_read;
-  add 1 t.read_ops
+let add_read ?(kind = Meta) (t : t) n =
+  let c = t.(kind_index kind) in
+  add n c.c_bytes_read;
+  add 1 c.c_read_ops
 
-let add_fsync (t : t) = add 1 t.fsyncs
+let add_fsync ?(kind = Meta) (t : t) = add 1 t.(kind_index kind).c_fsyncs
 
-let snapshot (t : t) : snapshot =
+let snapshot_cells (c : cells) : snapshot =
   {
-    bytes_written = Atomic.get t.bytes_written;
-    bytes_read = Atomic.get t.bytes_read;
-    write_ops = Atomic.get t.write_ops;
-    read_ops = Atomic.get t.read_ops;
-    fsyncs = Atomic.get t.fsyncs;
+    bytes_written = Atomic.get c.c_bytes_written;
+    bytes_read = Atomic.get c.c_bytes_read;
+    write_ops = Atomic.get c.c_write_ops;
+    read_ops = Atomic.get c.c_read_ops;
+    fsyncs = Atomic.get c.c_fsyncs;
   }
 
+let sum_snapshots a b =
+  {
+    bytes_written = a.bytes_written + b.bytes_written;
+    bytes_read = a.bytes_read + b.bytes_read;
+    write_ops = a.write_ops + b.write_ops;
+    read_ops = a.read_ops + b.read_ops;
+    fsyncs = a.fsyncs + b.fsyncs;
+  }
+
+let zero = { bytes_written = 0; bytes_read = 0; write_ops = 0; read_ops = 0; fsyncs = 0 }
+
+let snapshot (t : t) : snapshot =
+  Array.fold_left (fun acc c -> sum_snapshots acc (snapshot_cells c)) zero t
+
+let snapshot_kind (t : t) kind = snapshot_cells t.(kind_index kind)
+
+let by_kind (t : t) = List.map (fun k -> (k, snapshot_kind t k)) all_kinds
+
 let reset (t : t) =
-  Atomic.set t.bytes_written 0;
-  Atomic.set t.bytes_read 0;
-  Atomic.set t.write_ops 0;
-  Atomic.set t.read_ops 0;
-  Atomic.set t.fsyncs 0
+  Array.iter
+    (fun c ->
+      Atomic.set c.c_bytes_written 0;
+      Atomic.set c.c_bytes_read 0;
+      Atomic.set c.c_write_ops 0;
+      Atomic.set c.c_read_ops 0;
+      Atomic.set c.c_fsyncs 0)
+    t
 
 let diff ~after ~before : snapshot =
   {

@@ -4,9 +4,22 @@
     {!Io_stats.t}, so write amplification (physical bytes written /
     logical user bytes) and the read-I/O volumes of Table 2 and
     Figures 3c/7 are measured rather than estimated. Counters are
-    atomics: safe to bump from any domain. *)
+    atomics: safe to bump from any domain.
+
+    Counters are additionally split by file {!kind} (log / sstable /
+    metadata), so write amplification can be decomposed per source;
+    the aggregate {!snapshot} sums the kinds and keeps its historical
+    shape. *)
 
 type t
+
+type kind = Log | Sstable | Meta
+(** What kind of file an I/O touched: an append-only record log (funk
+    logs, WALs), an SSTable, or metadata (manifests, checkpoint and
+    mode markers). *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
 
 type snapshot = {
   bytes_written : int;
@@ -18,11 +31,18 @@ type snapshot = {
 
 val create : unit -> t
 
-val add_write : t -> int -> unit
-val add_read : t -> int -> unit
-val add_fsync : t -> unit
+val add_write : ?kind:kind -> t -> int -> unit
+(** [kind] defaults to [Meta]. *)
+
+val add_read : ?kind:kind -> t -> int -> unit
+val add_fsync : ?kind:kind -> t -> unit
 
 val snapshot : t -> snapshot
+(** Aggregate over all kinds (backward-compatible shape). *)
+
+val snapshot_kind : t -> kind -> snapshot
+val by_kind : t -> (kind * snapshot) list
+
 val reset : t -> unit
 
 val diff : after:snapshot -> before:snapshot -> snapshot

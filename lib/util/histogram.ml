@@ -94,6 +94,49 @@ let percentile t p =
     !result
   end
 
+(* One pass over the buckets for any number of percentiles: targets are
+   visited in ascending rank order while the cumulative count advances,
+   so the cost is O(buckets + |ps| log |ps|) rather than a full sweep
+   per percentile. *)
+let percentiles t ps =
+  let n = List.length ps in
+  if t.total = 0 || n = 0 then List.map (fun _ -> 0) ps
+  else begin
+    let targets = Array.make n 1 in
+    List.iteri
+      (fun i p ->
+        let p = Float.max 0.0 (Float.min 100.0 p) in
+        let x = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+        targets.(i) <- max 1 x)
+      ps;
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare targets.(a) targets.(b)) order;
+    let results = Array.make n t.max_v in
+    let seen = ref 0 in
+    let next = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           if c > 0 then begin
+             seen := !seen + c;
+             while !next < n && targets.(order.(!next)) <= !seen do
+               results.(order.(!next)) <- min (value_of i) t.max_v;
+               incr next
+             done;
+             if !next >= n then raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    Array.to_list results
+  end
+
+let pp ppf t =
+  match percentiles t [ 50.0; 95.0; 99.0 ] with
+  | [ p50; p95; p99 ] ->
+    Format.fprintf ppf "count=%d mean=%.1f p50=%d p95=%d p99=%d max=%d" t.total (mean t) p50
+      p95 p99 (max_value t)
+  | _ -> assert false
+
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;

@@ -28,4 +28,12 @@ val percentile : t -> float -> int
 (** [percentile t p] is the value at percentile [p] (in [\[0, 100\]]),
     e.g. [percentile t 95.0]. Returns 0 for an empty histogram. *)
 
+val percentiles : t -> float list -> int list
+(** [percentiles t ps] evaluates every percentile in [ps] (same
+    convention as {!percentile}) in a single pass over the buckets,
+    returning results positionally. All zeros for an empty histogram. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p95/p99 and max. *)
+
 val reset : t -> unit

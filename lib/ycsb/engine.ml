@@ -10,6 +10,7 @@ type t = {
   close : unit -> unit;
   env : Env.t;
   logical_bytes : unit -> int;
+  metrics : unit -> string;
 }
 
 let evendb ?config env =
@@ -24,6 +25,7 @@ let evendb ?config env =
     close = (fun () -> Evendb_core.Db.close db);
     env;
     logical_bytes = (fun () -> Evendb_core.Db.logical_bytes_written db);
+    metrics = (fun () -> Evendb_core.Db.metrics_dump db `Json);
   }
 
 let lsm ?config env =
@@ -38,6 +40,7 @@ let lsm ?config env =
     close = (fun () -> Evendb_lsm.Lsm.close db);
     env;
     logical_bytes = (fun () -> Evendb_lsm.Lsm.logical_bytes_written db);
+    metrics = (fun () -> Evendb_lsm.Lsm.metrics_dump db `Json);
   }
 
 let flsm ?config env =
@@ -52,6 +55,7 @@ let flsm ?config env =
     close = (fun () -> Evendb_flsm.Flsm.close db);
     env;
     logical_bytes = (fun () -> Evendb_flsm.Flsm.logical_bytes_written db);
+    metrics = (fun () -> Evendb_flsm.Flsm.metrics_dump db `Json);
   }
 
 let bytes_written t = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_written

@@ -13,6 +13,7 @@ type t = {
   close : unit -> unit;
   env : Env.t;
   logical_bytes : unit -> int;
+  metrics : unit -> string;  (** JSON metrics snapshot (see {!Evendb_obs.Obs.to_json}). *)
 }
 
 val evendb : ?config:Evendb_core.Config.t -> Env.t -> t

@@ -5,6 +5,7 @@ let () =
     (List.concat
        [
          Test_util.suite;
+         Test_obs.suite;
          Test_storage.suite;
          Test_bloom.suite;
          Test_log.suite;

@@ -258,6 +258,33 @@ let histogram_empty () =
   Alcotest.(check int) "empty percentile" 0 (Histogram.percentile h 99.0);
   Alcotest.(check int) "empty min" 0 (Histogram.min_value h)
 
+let histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record h i
+  done;
+  (* One-pass extraction must agree with repeated single queries, even
+     when the requested quantiles arrive out of order. *)
+  let qs = [ 99.0; 50.0; 95.0 ] in
+  Alcotest.(check (list int))
+    "multi = repeated single"
+    (List.map (Histogram.percentile h) qs)
+    (Histogram.percentiles h qs);
+  Alcotest.(check (list int)) "empty list" [] (Histogram.percentiles h []);
+  let empty = Histogram.create () in
+  Alcotest.(check (list int)) "empty histogram" [ 0; 0 ] (Histogram.percentiles empty [ 50.0; 99.0 ])
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let histogram_pp () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3 ];
+  let s = Format.asprintf "%a" Histogram.pp h in
+  Alcotest.(check bool) "mentions count" true (contains_substring ~sub:"count=3" s)
+
 let histogram_all_magnitudes () =
   (* One value at every power of two: recording and percentile lookup
      must stay in bounds across the whole range. *)
@@ -485,6 +512,8 @@ let suite =
         Alcotest.test_case "empty" `Quick histogram_empty;
         Alcotest.test_case "reset" `Quick histogram_reset;
         Alcotest.test_case "all magnitudes in bounds" `Quick histogram_all_magnitudes;
+        Alcotest.test_case "one-pass percentiles" `Quick histogram_percentiles;
+        Alcotest.test_case "pp" `Quick histogram_pp;
         qtest histogram_relative_error;
       ] );
     ( "rwlock",
