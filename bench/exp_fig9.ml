@@ -22,6 +22,7 @@ let run_one (h : Harness.t) dist ~items ~ops =
       env;
       logical_bytes = (fun () -> Db.logical_bytes_written db);
       metrics = (fun () -> Db.metrics_dump db `Json);
+      absorbed_failures = (fun () -> 0);
     }
   in
   let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:23 in

@@ -15,11 +15,25 @@ type t = {
   ram_budget : int; (* bytes of munk cache *)
   ops : int; (* measured ops per run *)
   on_disk : bool;
+  fault_profile : (int * float) option;
+      (* (seed, rate): inject storage faults into every environment the
+         harness creates. Each engine gets a fresh plan from the same
+         seed, so runs stay comparable; injected counts appear in the
+         per-phase metrics dumps as "faults.injected". *)
 }
 
 let mib = 1024 * 1024
 
-let default = { scale = 1; threads = 2; value_bytes = 800; ram_budget = 4 * mib; ops = 20_000; on_disk = false }
+let default =
+  {
+    scale = 1;
+    threads = 2;
+    value_bytes = 800;
+    ram_budget = 4 * mib;
+    ops = 20_000;
+    on_disk = false;
+    fault_profile = None;
+  }
 
 let config_factor = 64 (* shrink paper thresholds 10MB chunks -> 160KB etc. *)
 
@@ -81,20 +95,24 @@ let dump_metrics (e : Engine.t) ~phase =
   with Sys_error _ | Unix.Unix_error _ -> ()
 
 let fresh_env h =
+  let faults = Option.map (fun (seed, rate) -> Fault.plan ~seed ~rate ()) h.fault_profile in
   if h.on_disk then begin
     let dir =
       Printf.sprintf "%s/%d_%d" bench_dir (Unix.getpid ()) (int_of_float (Unix.gettimeofday () *. 1e6))
     in
-    Env.disk dir
+    Env.disk ?faults dir
   end
-  else Env.memory ()
+  else Env.memory ?faults ()
 
 let make_engine h which =
   let env = fresh_env h in
-  match which with
-  | `Evendb -> Engine.evendb ~config:(evendb_config h) env
-  | `Lsm -> Engine.lsm ~config:(lsm_config h) env
-  | `Flsm -> Engine.flsm ~config:(flsm_config h) env
+  let e =
+    match which with
+    | `Evendb -> Engine.evendb ~config:(evendb_config h) env
+    | `Lsm -> Engine.lsm ~config:(lsm_config h) env
+    | `Flsm -> Engine.flsm ~config:(flsm_config h) env
+  in
+  if h.fault_profile = None then e else Engine.fault_tolerant e
 
 (* Dataset sizes relative to the RAM budget, mirroring the paper's
    4GB..256GB against 16GB RAM: below / at / 4x above. *)

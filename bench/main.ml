@@ -32,9 +32,19 @@ let experiments =
 let default_set =
   [ "fig1"; "fig3"; "fig5"; "fig6"; "fig8"; "fig9"; "fig10"; "table4"; "fig11"; "fig12"; "ablation"; "micro" ]
 
-let run_selected scale threads ops disk names =
+let run_selected scale threads ops disk fault_profile names =
+  let fault_profile =
+    Option.map
+      (fun s ->
+        (* Parse up front so a malformed profile fails before any
+           experiment runs; the harness re-seeds a fresh plan per
+           engine environment. *)
+        let p = Evendb_storage.Fault.parse_profile s in
+        (Evendb_storage.Fault.seed p, Evendb_storage.Fault.rate p))
+      fault_profile
+  in
   let h =
-    { Harness.default with Harness.scale; threads; ops; on_disk = disk }
+    { Harness.default with Harness.scale; threads; ops; on_disk = disk; fault_profile }
   in
   let names = if names = [] then default_set else names in
   (* Aliases (table2 -> fig3, fig7 -> fig6, ...) share a runner; dedupe
@@ -72,12 +82,22 @@ let ops_arg =
 let disk_arg =
   Arg.(value & flag & info [ "disk" ] ~doc:"Use real files under /tmp instead of the in-memory environment.")
 
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-profile" ] ~docv:"SEED:RATE"
+        ~doc:
+          "Inject storage faults while benchmarking: each append/fsync/rename fails with \
+           probability RATE under a deterministic schedule derived from SEED (e.g. 42:0.01). \
+           Injected counts are recorded in the per-phase metrics dumps.")
+
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (default: all).")
 
 let cmd =
   let doc = "Regenerate the EvenDB paper's tables and figures" in
   Cmd.v (Cmd.info "evendb-bench" ~doc)
-    Term.(const run_selected $ scale_arg $ threads_arg $ ops_arg $ disk_arg $ names_arg)
+    Term.(const run_selected $ scale_arg $ threads_arg $ ops_arg $ disk_arg $ fault_arg $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,45 +13,77 @@
 
 open Cmdliner
 module Db = Evendb_core.Db
+module Env = Evendb_storage.Env
+module Fault = Evendb_storage.Fault
 
-let with_db dir f =
-  let db = Db.open_dir dir in
-  Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
+let with_db ?fault_profile dir f =
+  let faults = Option.map Fault.parse_profile fault_profile in
+  let report () =
+    Option.iter
+      (fun p -> Printf.eprintf "injected faults (%s): %d\n" (Fault.profile_string p) (Fault.injected p))
+      faults
+  in
+  match
+    let db = Db.open_ (Env.disk ?faults dir) in
+    Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
+  with
+  | v ->
+    report ();
+    v
+  | exception Env.Io_error info ->
+    (* Storage failures (injected or real) are part of the CLI's
+       contract: report and exit non-zero, don't crash. *)
+    report ();
+    Printf.eprintf "evendb: %s\n" (Evendb_storage.Io_error.to_string info);
+    exit 3
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-profile" ] ~docv:"SEED:RATE"
+        ~doc:
+          "Inject deterministic storage faults for this invocation: each append/fsync/rename \
+           fails with probability RATE under a schedule derived from SEED (e.g. 42:0.01). \
+           Failures surface as typed I/O errors; the injected count is printed to stderr on \
+           exit.")
 
 let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
 let key_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY")
 let value_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE")
 
 let put_cmd =
-  let run dir key value = with_db dir (fun db -> Db.put db key value) in
-  Cmd.v (Cmd.info "put" ~doc:"Write one key") Term.(const run $ dir_arg $ key_arg $ value_arg)
+  let run fault_profile dir key value = with_db ?fault_profile dir (fun db -> Db.put db key value) in
+  Cmd.v (Cmd.info "put" ~doc:"Write one key")
+    Term.(const run $ fault_arg $ dir_arg $ key_arg $ value_arg)
 
 let get_cmd =
-  let run dir key =
-    with_db dir (fun db ->
+  let run fault_profile dir key =
+    with_db ?fault_profile dir (fun db ->
         match Db.get db key with
         | Some v -> print_endline v
         | None ->
           prerr_endline "(not found)";
           exit 1)
   in
-  Cmd.v (Cmd.info "get" ~doc:"Read one key") Term.(const run $ dir_arg $ key_arg)
+  Cmd.v (Cmd.info "get" ~doc:"Read one key") Term.(const run $ fault_arg $ dir_arg $ key_arg)
 
 let del_cmd =
-  let run dir key = with_db dir (fun db -> Db.delete db key) in
-  Cmd.v (Cmd.info "del" ~doc:"Delete one key") Term.(const run $ dir_arg $ key_arg)
+  let run fault_profile dir key = with_db ?fault_profile dir (fun db -> Db.delete db key) in
+  Cmd.v (Cmd.info "del" ~doc:"Delete one key") Term.(const run $ fault_arg $ dir_arg $ key_arg)
 
 let scan_cmd =
   let low = Arg.(required & pos 1 (some string) None & info [] ~docv:"LOW") in
   let high = Arg.(required & pos 2 (some string) None & info [] ~docv:"HIGH") in
   let limit = Arg.(value & opt int 1000 & info [ "limit" ] ~doc:"Max rows.") in
-  let run dir low high limit =
-    with_db dir (fun db ->
+  let run fault_profile dir low high limit =
+    with_db ?fault_profile dir (fun db ->
         List.iter
           (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
           (Db.scan db ~limit ~low ~high ()))
   in
-  Cmd.v (Cmd.info "scan" ~doc:"Atomic range query") Term.(const run $ dir_arg $ low $ high $ limit)
+  Cmd.v (Cmd.info "scan" ~doc:"Atomic range query")
+    Term.(const run $ fault_arg $ dir_arg $ low $ high $ limit)
 
 let load_cmd =
   let items = Arg.(value & opt int 10_000 & info [ "items" ] ~doc:"Keys to load.") in
@@ -61,21 +93,22 @@ let load_cmd =
       & opt (enum [ ("zipf", `Zipf); ("composite", `Composite); ("uniform", `Uniform) ]) `Composite
       & info [ "dist" ] ~doc:"Key distribution.")
   in
-  let run dir items dist =
+  let run fault_profile dir items dist =
     let d =
       match dist with
       | `Zipf -> Evendb_ycsb.Workload.Zipf_simple 0.99
       | `Composite -> Evendb_ycsb.Workload.Zipf_composite 0.99
       | `Uniform -> Evendb_ycsb.Workload.Uniform
     in
-    with_db dir (fun db ->
+    with_db ?fault_profile dir (fun db ->
         let sh = Evendb_ycsb.Workload.create_shared ~value_bytes:128 d ~items ~seed:1 in
         let w = Evendb_ycsb.Workload.thread sh ~id:0 in
         let keys = Evendb_ycsb.Workload.load_keys sh in
         List.iter (fun k -> Db.put db k (Evendb_ycsb.Workload.make_value w)) keys;
         Printf.printf "loaded %d keys\n" (List.length keys))
   in
-  Cmd.v (Cmd.info "load" ~doc:"Bulk-load a synthetic dataset") Term.(const run $ dir_arg $ items $ dist)
+  Cmd.v (Cmd.info "load" ~doc:"Bulk-load a synthetic dataset")
+    Term.(const run $ fault_arg $ dir_arg $ items $ dist)
 
 let stat_cmd =
   let json =
@@ -86,8 +119,8 @@ let stat_cmd =
   let prometheus =
     Arg.(value & flag & info [ "prometheus" ] ~doc:"Dump the metrics registry in Prometheus text format.")
   in
-  let run dir json prometheus =
-    with_db dir (fun db ->
+  let run fault_profile dir json prometheus =
+    with_db ?fault_profile dir (fun db ->
         if json then print_string (Db.metrics_dump db `Json)
         else if prometheus then print_string (Db.metrics_dump db `Prometheus)
         else begin
@@ -99,11 +132,12 @@ let stat_cmd =
   in
   Cmd.v
     (Cmd.info "stat" ~doc:"Store statistics (--json/--prometheus for the metrics registry)")
-    Term.(const run $ dir_arg $ json $ prometheus)
+    Term.(const run $ fault_arg $ dir_arg $ json $ prometheus)
 
 let checkpoint_cmd =
-  let run dir = with_db dir (fun db -> Db.checkpoint db) in
-  Cmd.v (Cmd.info "checkpoint" ~doc:"Force a durability checkpoint") Term.(const run $ dir_arg)
+  let run fault_profile dir = with_db ?fault_profile dir (fun db -> Db.checkpoint db) in
+  Cmd.v (Cmd.info "checkpoint" ~doc:"Force a durability checkpoint")
+    Term.(const run $ fault_arg $ dir_arg)
 
 let () =
   let doc = "EvenDB: a key-value store optimized for spatial locality" in

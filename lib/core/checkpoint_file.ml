@@ -10,13 +10,20 @@ let store env ~version =
   let crc = Crc32c.string payload in
   let tmp = file_name ^ ".tmp" in
   let file = Env.create env tmp in
-  Env.append file payload;
-  Env.append file
-    (String.init 4 (fun i ->
-         Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
-  Env.fsync file;
-  Env.close_file file;
-  Env.rename env ~old_name:tmp ~new_name:file_name
+  (* Write-tmp-then-rename: a failure anywhere leaves the previous
+     checkpoint untouched; only the tmp file needs sweeping up. *)
+  (try
+     Env.append file payload;
+     Env.append file
+       (String.init 4 (fun i ->
+            Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
+     Env.fsync file;
+     Env.close_file file;
+     Env.rename env ~old_name:tmp ~new_name:file_name
+   with exn ->
+     Env.close_file file;
+     (try Env.delete env tmp with _ -> ());
+     raise exn)
 
 let load env =
   if not (Env.exists env file_name) then None

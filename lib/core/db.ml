@@ -52,6 +52,7 @@ type t = {
   ctr_log_appends : Obs.Counter.t;
   ctr_funk_flushes : Obs.Counter.t;
   ctr_funk_merges : Obs.Counter.t;
+  ctr_io_errors : Obs.Counter.t; (* maintenance/checkpoint I/O failures absorbed *)
 }
 
 let env t = t.env
@@ -106,6 +107,9 @@ let manifest_update db ~add ~remove =
       List.iter (fun id -> Hashtbl.replace db.live_funks id ()) add;
       List.iter (fun id -> Hashtbl.remove db.live_funks id) remove;
       let live = Hashtbl.fold (fun id () acc -> id :: acc) db.live_funks [] in
+      (* [store] writes the complete live set every time, so if it fails
+         here the in-memory table stays authoritative and the next
+         successful store repairs the on-disk manifest in full. *)
       Manifest.store db.env { next_id = Atomic.get db.next_funk_id; live })
 
 (* ------------------------------------------------------------------ *)
@@ -535,8 +539,14 @@ let cold_funk_rebalance db c =
           in
           let id2 = fresh_funk_id db in
           let funk2 =
-            Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id:id2
-              ~min_key:mid (K.of_list right)
+            (* Neither half is in the manifest yet; if the second build
+               dies, discard the first so nothing lingers on disk. *)
+            try
+              Funk.create_from_iter db.env ~block_bytes:db.cfg.sstable_block_bytes ~id:id2
+                ~min_key:mid (K.of_list right)
+            with exn ->
+              Funk.retire funk1;
+              raise exn
           in
           let lock = Chunk.rebalance_lock c in
           Rwlock.lock_exclusive lock;
@@ -763,8 +773,15 @@ let rec put_entry db key value_opt =
 and put_entry_and_maintain db key value_opt =
   let c = put_entry db key value_opt in
   note_access db c;
+  (* The put itself is durable by this point (or already raised); an
+     I/O failure inside piggy-backed maintenance rolls itself back and
+     the next over-threshold put retries it, so it is absorbed here and
+     surfaced through the "io.errors" counter rather than failing an
+     acked write. *)
   (match db.maint with
-  | None -> maybe_maintain db c
+  | None -> (
+    try maybe_maintain db c
+    with Env.Io_error _ -> Obs.Counter.incr db.ctr_io_errors)
   | Some m ->
     if needs_munk_rebalance db c || needs_funk_rebalance db c then begin
       Mutex.lock m.m_mutex;
@@ -779,7 +796,12 @@ and put_entry_and_maintain db key value_opt =
     db.cfg.persistence = Config.Async
     && db.cfg.checkpoint_every_puts > 0
     && n mod db.cfg.checkpoint_every_puts = 0
-  then checkpoint_auto db
+  then
+    (* Same policy as maintenance: an opportunistic checkpoint that hits
+       an injected fault leaves the previous checkpoint intact and the
+       next interval retries; only an explicit [checkpoint] propagates. *)
+    try checkpoint_auto db
+    with Env.Io_error _ -> Obs.Counter.incr db.ctr_io_errors
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint (§3.5)                                                   *)
@@ -960,6 +982,7 @@ let register_probes db =
         0
         (Chunk_index.chunks (Atomic.get db.index)));
   p "db.logical_bytes_written" (fun () -> Atomic.get db.logical_written);
+  p "faults.injected" (fun () -> Env.faults_injected db.env);
   let st = Env.stats db.env in
   List.iter
     (fun kind ->
@@ -1022,6 +1045,7 @@ let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_fun
     ctr_log_appends = Obs.counter obs "funk.log_appends";
     ctr_funk_flushes = Obs.counter obs "funk.flushes";
     ctr_funk_merges = Obs.counter obs "funk.merges";
+    ctr_io_errors = Obs.counter obs "io.errors";
   }
   in
   register_probes db;
@@ -1060,7 +1084,12 @@ let maintainer_loop db m =
     match await () with
     | None -> ()
     | Some c ->
-      (try maybe_maintain db c with Funk.Stale -> ());
+      (try maybe_maintain db c with
+      | Funk.Stale -> ()
+      | Env.Io_error _ ->
+        (* Maintenance failed cleanly; the chunk re-queues on the next
+           over-threshold put. *)
+        Obs.Counter.incr db.ctr_io_errors);
       next ()
   in
   next ()
@@ -1238,7 +1267,15 @@ let evict_munk db key =
 let close db =
   if Atomic.compare_and_set db.closed false true then begin
     stop_maintainer db;
-    (match db.cfg.persistence with Config.Async -> checkpoint db | Config.Sync -> ());
-    Env.fsync_all db.env;
-    List.iter (fun c -> Funk.close_log (Chunk.funk c)) (all_chunks db)
+    (* An I/O failure in the final checkpoint/fsync propagates (the
+       caller learns the shutdown was not clean), but the log writers
+       are closed regardless so no descriptors leak. *)
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun c -> try Funk.close_log (Chunk.funk c) with _ -> ())
+          (all_chunks db))
+      (fun () ->
+        (match db.cfg.persistence with Config.Async -> checkpoint db | Config.Sync -> ());
+        Env.fsync_all db.env)
   end

@@ -27,9 +27,21 @@ let create_from_iter env ~block_bytes ~id ~min_key it =
       Sstable.Builder.add builder e;
       drain ()
   in
-  drain ();
+  (* A funk is never observable half-created: abort the builder if an
+     append dies mid-drain, and remove the finished table if the log
+     cannot be created, so the only partial artifacts a crash can leave
+     are swept as non-live at recovery. *)
+  (try drain ()
+   with exn ->
+     Sstable.Builder.abort builder;
+     raise exn);
   Sstable.Builder.finish builder;
-  let log = Log_file.Writer.create env (log_name id) in
+  let log =
+    try Log_file.Writer.create env (log_name id)
+    with exn ->
+      (try Env.delete env (sst_name id) with _ -> ());
+      raise exn
+  in
   {
     funk_id = id;
     funk_env = env;

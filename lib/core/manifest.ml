@@ -26,11 +26,18 @@ let store env t =
   let payload = Buffer.contents buf in
   let tmp = file_name ^ ".tmp" in
   let file = Env.create env tmp in
-  Env.append file payload;
-  Env.append file (u32_le_string (Crc32c.string payload));
-  Env.fsync file;
-  Env.close_file file;
-  Env.rename env ~old_name:tmp ~new_name:file_name
+  (* Write-tmp-then-rename: a failure anywhere leaves the previous
+     manifest untouched; only the tmp file needs sweeping up. *)
+  (try
+     Env.append file payload;
+     Env.append file (u32_le_string (Crc32c.string payload));
+     Env.fsync file;
+     Env.close_file file;
+     Env.rename env ~old_name:tmp ~new_name:file_name
+   with exn ->
+     Env.close_file file;
+     (try Env.delete env tmp with _ -> ());
+     raise exn)
 
 let load env =
   if not (Env.exists env file_name) then None

@@ -88,6 +88,7 @@ type t = {
   tm_scan : Obs.Timer.t;
   ctr_stalls : Obs.Counter.t;
   ctr_wal_appends : Obs.Counter.t;
+  ctr_io_errors : Obs.Counter.t; (* Io_errors observed by maintenance paths *)
 }
 
 let sst_name fid = Printf.sprintf "flsm_%08d.sst" fid
@@ -169,13 +170,19 @@ let store_manifest t levels =
   let crc = Crc32c.string payload in
   let tmp = manifest_name ^ ".tmp" in
   let file = Env.create t.env tmp in
-  Env.append file payload;
-  Env.append file
-    (String.init 4 (fun i ->
-         Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
-  Env.fsync file;
-  Env.close_file file;
-  Env.rename t.env ~old_name:tmp ~new_name:manifest_name
+  (* Write-tmp-then-rename: a failure leaves the old manifest intact. *)
+  try
+    Env.append file payload;
+    Env.append file
+      (String.init 4 (fun i ->
+           Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
+    Env.fsync file;
+    Env.close_file file;
+    Env.rename t.env ~old_name:tmp ~new_name:manifest_name
+  with exn ->
+    Env.close_file file;
+    (try Env.delete t.env tmp with _ -> ());
+    raise exn
 
 let load_manifest env =
   if not (Env.exists env manifest_name) then None
@@ -241,11 +248,25 @@ let build_fragment t entries =
           ~bloom_bits_per_key:t.cfg.bloom_bits_per_key ~with_bloom:true ~name:(sst_name fid)
           ~min_key:"" ()
       in
-      List.iter (Sstable.Builder.add builder) entries;
-      Sstable.Builder.finish builder;
+      (try
+         List.iter (Sstable.Builder.add builder) entries;
+         Sstable.Builder.finish builder
+       with exn ->
+         Sstable.Builder.abort builder;
+         raise exn);
       let frag = open_fragment t.env fid in
       Obs.Trace.add_attr sp "bytes" frag.bytes;
       frag)
+
+(* [built] collects fragments created during one structural change so
+   that, if it fails partway, every file it wrote can be removed. *)
+let build_fragment_tracked t built entries =
+  let f = build_fragment t entries in
+  built := f :: !built;
+  f
+
+let discard_built t built =
+  List.iter (fun f -> try Env.delete t.env (sst_name f.fid) with _ -> ()) !built
 
 let entry_bytes (e : K.entry) =
   String.length e.key + (match e.value with Some v -> String.length v | None -> 0) + 16
@@ -298,7 +319,7 @@ let min_snapshot t ~default =
    (sorted). Each child guard that overlaps gets one new fragment;
    oversized partitions spawn new guards. Returns the updated child
    guard list. *)
-let distribute_to_children t child_guards entries =
+let distribute_to_children t ~built child_guards entries =
   match entries with
   | [] -> child_guards
   | _ ->
@@ -322,12 +343,14 @@ let distribute_to_children t child_guards entries =
           match split_into_groups t part with
           | [] -> [ g ]
           | first :: extras ->
-            let g' = { g with fragments = build_fragment t first :: g.fragments } in
+            let g' =
+              { g with fragments = build_fragment_tracked t built first :: g.fragments }
+            in
             g'
             :: List.map
                  (fun group ->
                    let gk = (List.hd group : K.entry).key in
-                   { guard_key = gk; fragments = [ build_fragment t group ] })
+                   { guard_key = gk; fragments = [ build_fragment_tracked t built group ] })
                  extras))
       parts
 
@@ -360,7 +383,9 @@ let compact_level t i =
   let s = Atomic.get t.state in
   let levels = Array.copy s.levels in
   let bottom = i = Array.length levels - 1 in
-  if bottom then
+  let built = ref [] in
+  try
+    if bottom then
     levels.(i) <-
       List.concat_map
         (fun g ->
@@ -392,30 +417,38 @@ let compact_level t i =
             match split_into_groups t merged with
             | [] -> [ { g with fragments = [] } ]
             | first :: extras ->
-              { g with fragments = [ build_fragment t first ] }
+              { g with fragments = [ build_fragment_tracked t built first ] }
               :: List.map
                    (fun group ->
                      {
                        guard_key = (List.hd group : K.entry).key;
-                       fragments = [ build_fragment t group ];
+                       fragments = [ build_fragment_tracked t built group ];
                      })
                    extras
           end)
         levels.(i)
-  else begin
-    let children = ref levels.(i + 1) in
-    List.iter
-      (fun g ->
-        if g.fragments <> [] then begin
-          let merged = merge_guard t g ~drop_tombstones:false in
-          children := distribute_to_children t !children merged
-        end)
-      levels.(i);
-    levels.(i + 1) <- !children;
-    levels.(i) <- List.map (fun g -> { g with fragments = [] }) levels.(i)
-  end;
-  publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels);
-  store_manifest t levels
+    else begin
+      let children = ref levels.(i + 1) in
+      List.iter
+        (fun g ->
+          if g.fragments <> [] then begin
+            let merged = merge_guard t g ~drop_tombstones:false in
+            children := distribute_to_children t ~built !children merged
+          end)
+        levels.(i);
+      levels.(i + 1) <- !children;
+      levels.(i) <- List.map (fun g -> { g with fragments = [] }) levels.(i)
+    end;
+    (* Manifest before publish: publishing retires the old state, whose
+       refcount release deletes the input fragments — the on-disk
+       manifest must already reference the outputs by then. *)
+    store_manifest t levels;
+    publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels)
+  with exn ->
+    (* Nothing was published: remove every fragment this compaction
+       wrote and leave the engine on the old state. *)
+    discard_built t built;
+    raise exn
 
 let rec compact t =
   let s = Atomic.get t.state in
@@ -443,36 +476,52 @@ let rec compact t =
       compact t
   end
 
+(* All callers hold the writer mutex, so no put can race a flush.
+
+   Failure atomicity mirrors the LSM baseline: build the L0 fragment
+   and the rotated WAL first, commit through the manifest, then publish
+   and delete the old WAL. A failure before the manifest write leaves
+   the engine exactly as it was. *)
 let flush_memtable t =
   let s = Atomic.get t.state in
   if not (Memtable.is_empty s.mem) then
     Obs.Trace.with_span (Obs.trace t.obs) ~name:"memtable_flush"
       ~attrs:[ ("bytes", Memtable.byte_size s.mem) ]
       (fun _sp ->
-        begin
-    let old_wal_gen = t.wal_gen in
-    let old_wal = t.wal in
-    t.wal_gen <- t.wal_gen + 1;
-    t.wal <- Log_file.Writer.create t.env (wal_name t.wal_gen);
-    let imm = s.mem in
-    let s1 = fresh_state ~mem:Memtable.empty ~imm:(Some imm) ~levels:s.levels in
-    publish t s1;
-    let floor = min_snapshot t ~default:(Atomic.get t.seq) in
-    let entries =
-      K.to_list
-        (K.compact ~min_retained_version:floor ~drop_tombstones:false (Memtable.to_iter imm))
-    in
-    let frag = build_fragment t entries in
-    let levels = Array.copy s1.levels in
-    (levels.(0) <-
-       match levels.(0) with
-       | [ g ] -> [ { g with fragments = frag :: g.fragments } ]
-       | _ -> assert false);
-    publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:None ~levels);
-    store_manifest t levels;
-    Log_file.Writer.close old_wal;
-    Env.delete t.env (wal_name old_wal_gen)
-  end)
+        let floor = min_snapshot t ~default:(Atomic.get t.seq) in
+        let entries =
+          K.to_list
+            (K.compact ~min_retained_version:floor ~drop_tombstones:false
+               (Memtable.to_iter s.mem))
+        in
+        let frag = build_fragment t entries in
+        let old_wal_gen = t.wal_gen in
+        let old_wal = t.wal in
+        let new_wal_gen = old_wal_gen + 1 in
+        let new_wal =
+          try Log_file.Writer.create t.env (wal_name new_wal_gen)
+          with exn ->
+            (try Env.delete t.env (sst_name frag.fid) with _ -> ());
+            raise exn
+        in
+        let levels = Array.copy s.levels in
+        (levels.(0) <-
+           match levels.(0) with
+           | [ g ] -> [ { g with fragments = frag :: g.fragments } ]
+           | _ -> assert false);
+        t.wal_gen <- new_wal_gen;
+        t.wal <- new_wal;
+        (try store_manifest t levels
+         with exn ->
+           t.wal_gen <- old_wal_gen;
+           t.wal <- old_wal;
+           Log_file.Writer.close new_wal;
+           (try Env.delete t.env (wal_name new_wal_gen) with _ -> ());
+           (try Env.delete t.env (sst_name frag.fid) with _ -> ());
+           raise exn);
+        publish t (fresh_state ~mem:Memtable.empty ~imm:None ~levels);
+        Log_file.Writer.close old_wal;
+        (try Env.delete t.env (wal_name old_wal_gen) with _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
@@ -498,9 +547,14 @@ let put_entry t key value_opt =
         (Atomic.fetch_and_add t.logical_written
            (String.length key + match value_opt with Some v -> String.length v | None -> 0));
       if Memtable.byte_size (Atomic.get t.state).mem >= t.cfg.memtable_bytes then begin
+        (* The put itself is already durable and applied; a maintenance
+           I/O failure rolled itself back, so count it and carry on —
+           the next put over the threshold retries. *)
         Obs.Counter.incr t.ctr_stalls;
-        flush_memtable t;
-        compact t
+        try
+          flush_memtable t;
+          compact t
+        with Env.Io_error _ -> Obs.Counter.incr t.ctr_io_errors
       end)
 
 let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
@@ -654,6 +708,7 @@ let setup_obs env =
         (Printf.sprintf "io.%s.bytes_read" kn)
         (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
     Io_stats.all_kinds;
+  Obs.probe obs "faults.injected" (fun () -> Env.faults_injected env);
   obs
 
 let open_ ?(config = Config.default) env =
@@ -691,6 +746,7 @@ let open_ ?(config = Config.default) env =
         tm_scan = Obs.timer obs "db.scan";
         ctr_stalls = Obs.counter obs "flsm.stalls";
         ctr_wal_appends = Obs.counter obs "wal.appends";
+        ctr_io_errors = Obs.counter obs "io.errors";
       }
     in
     store_manifest t (empty_levels config.max_levels);
@@ -712,6 +768,26 @@ let open_ ?(config = Config.default) env =
           (fun g -> List.iter (fun f -> ignore (Atomic.fetch_and_add f.refs 1)) g.fragments)
           guards)
       levels;
+    (* Sweep orphans: fragments a crashed build left outside the
+       manifest, WALs of generations other than the live one, and
+       leftover manifest tmp files. *)
+    let live_fids =
+      List.concat_map (fun guards -> List.concat_map snd guards) (Array.to_list level_guards)
+    in
+    List.iter
+      (fun name ->
+        let orphan_sst =
+          match Scanf.sscanf_opt name "flsm_%d.sst" (fun fid -> fid) with
+          | Some fid -> not (List.mem fid live_fids)
+          | None -> false
+        and stale_wal =
+          match Scanf.sscanf_opt name "flsm_wal_%d.log" (fun gen -> gen) with
+          | Some gen -> gen <> wal_gen
+          | None -> false
+        in
+        if orphan_sst || stale_wal || name = manifest_name ^ ".tmp" then
+          try Env.delete env name with _ -> ())
+      (Env.list_files env);
     let mem = ref Memtable.empty in
     let max_seq = ref seq in
     let replayed = ref 0 in
@@ -752,6 +828,7 @@ let open_ ?(config = Config.default) env =
       tm_scan = Obs.timer obs "db.scan";
       ctr_stalls = Obs.counter obs "flsm.stalls";
       ctr_wal_appends = Obs.counter obs "wal.appends";
+        ctr_io_errors = Obs.counter obs "io.errors";
     })
 
 let compact_now t =

@@ -111,7 +111,14 @@ module Writer = struct
         Buffer.clear t.buf;
         Record.encode t.buf e;
         let len = Buffer.length t.buf in
-        Env.append t.file (Buffer.contents t.buf);
+        (try Env.append t.file (Buffer.contents t.buf)
+         with exn ->
+           (* A failed append may be torn: some prefix of the record
+              reached the backend. Resync to what actually landed so
+              the next record starts after the garbage — readers skip
+              it by CRC resynchronization. *)
+           t.pos <- Env.file_size t.file;
+           raise exn);
         t.pos <- start + len;
         t.appends <- t.appends + 1;
         start)
@@ -138,11 +145,17 @@ module Reader = struct
       if lo >= hi then init
       else begin
         let data = Env.read_at env name ~off:lo ~len:(hi - lo) in
+        (* Torn writes leave garbage mid-log when appends resume after a
+           failure. On a framing/CRC mismatch, resynchronize: scan ahead
+           byte-by-byte for the next position that decodes as a valid
+           record, so one torn record never hides the acknowledged
+           records behind it. A spurious match needs a 32-bit CRC
+           collision inside garbage. *)
         let rec go acc pos =
           if pos >= hi - lo then acc
           else
             match Record.decode data ~pos with
-            | None -> acc (* torn or corrupt tail: stop *)
+            | None -> go acc (pos + 1)
             | Some (e, next) -> go (f acc (lo + pos) e) next
         in
         go init 0

@@ -5,10 +5,13 @@
 
     {v [masked crc32c : 4B LE] [payload_len : varint] [payload] v}
 
-    where the payload encodes op/key/version/counter/value. The reader
-    stops cleanly at the first torn or corrupt record, so a crash that
-    tears the tail of a log loses only the unsynced suffix — the
-    behaviour the recovery semantics (§3.5) rely on. *)
+    where the payload encodes op/key/version/counter/value. A torn or
+    corrupt record is skipped, not fatal: the reader resynchronizes on
+    the next valid CRC frame, so a crash that tears the tail of a log
+    loses only the unsynced suffix — the behaviour the recovery
+    semantics (§3.5) rely on — and a torn record mid-log (a failed
+    append followed by successful ones) never hides the acknowledged
+    records written after it. *)
 
 open Evendb_util
 open Evendb_storage
@@ -57,7 +60,8 @@ module Reader : sig
       every record whose frame starts in [\[lo, hi)], in log order.
       [lo] must be a record boundary (0 or an offset returned by
       {!Writer.append}). Defaults: the whole log. Missing file =
-      empty log. *)
+      empty log. Undecodable bytes (torn or corrupt records) are
+      skipped via CRC resynchronization. *)
 
   val entries : Env.t -> string -> (int * Kv_iter.entry) list
   (** All valid records with their offsets, in append order. *)

@@ -88,6 +88,7 @@ type t = {
   tm_scan : Obs.Timer.t;
   ctr_stalls : Obs.Counter.t; (* puts that paid an inline flush/compaction *)
   ctr_wal_appends : Obs.Counter.t;
+  ctr_io_errors : Obs.Counter.t; (* Io_errors observed by maintenance paths *)
 }
 
 let sst_name fid = Printf.sprintf "lsm_%08d.sst" fid
@@ -162,13 +163,19 @@ let store_manifest t levels =
   let crc = Crc32c.string payload in
   let tmp = manifest_name ^ ".tmp" in
   let file = Env.create t.env tmp in
-  Env.append file payload;
-  Env.append file
-    (String.init 4 (fun i ->
-         Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
-  Env.fsync file;
-  Env.close_file file;
-  Env.rename t.env ~old_name:tmp ~new_name:manifest_name
+  (* Write-tmp-then-rename: a failure leaves the old manifest intact. *)
+  try
+    Env.append file payload;
+    Env.append file
+      (String.init 4 (fun i ->
+           Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
+    Env.fsync file;
+    Env.close_file file;
+    Env.rename t.env ~old_name:tmp ~new_name:manifest_name
+  with exn ->
+    Env.close_file file;
+    (try Env.delete t.env tmp with _ -> ());
+    raise exn
 
 let load_manifest env =
   if not (Env.exists env manifest_name) then None
@@ -218,15 +225,19 @@ let build_file t it =
       ~bloom_bits_per_key:t.cfg.bloom_bits_per_key ~with_bloom:true ~name:(sst_name fid)
       ~min_key:"" ()
   in
-  let rec drain () =
-    match it () with
-    | None -> ()
-    | Some e ->
-      Sstable.Builder.add builder e;
-      drain ()
-  in
-  drain ();
-  Sstable.Builder.finish builder;
+  (try
+     let rec drain () =
+       match it () with
+       | None -> ()
+       | Some e ->
+         Sstable.Builder.add builder e;
+         drain ()
+     in
+     drain ();
+     Sstable.Builder.finish builder
+   with exn ->
+     Sstable.Builder.abort builder;
+     raise exn);
   open_file_meta t.env fid
 
 (* Split a sorted entry stream into files of ~target bytes, breaking
@@ -259,8 +270,13 @@ let build_files t it =
       last_key := Some e.K.key;
       go ()
   in
-  go ();
-  flush_current ();
+  (try
+     go ();
+     flush_current ()
+   with exn ->
+     (* No partial output survives a failed multi-file build. *)
+     List.iter (delete_file t) !files;
+     raise exn);
   List.rev !files
 
 (* ------------------------------------------------------------------ *)
@@ -295,37 +311,54 @@ let level_total files = List.fold_left (fun acc fm -> acc + fm.bytes) 0 files
 
 let level_limit t i = t.cfg.level_base_bytes * int_of_float (float_of_int t.cfg.level_size_multiplier ** float_of_int (i - 1))
 
-(* All callers hold the writer mutex. *)
+(* All callers hold the writer mutex, so no put can race a flush: the
+   memtable and WAL are frozen for the duration.
+
+   Failure atomicity: build the L0 file and the rotated WAL first, then
+   commit through the manifest, and only then publish the new state and
+   delete the old WAL. An I/O failure before the manifest write leaves
+   the engine exactly as it was (old WAL, old manifest, memtable
+   intact) with any partial files removed; a crash after the manifest
+   write recovers the new state. *)
 let flush_memtable t =
   let s = Atomic.get t.state in
   if not (Memtable.is_empty s.mem) then
     Obs.Trace.with_span (Obs.trace t.obs) ~name:"memtable_flush"
       ~attrs:[ ("bytes", Memtable.byte_size s.mem) ]
       (fun _sp ->
-        begin
-    (* Rotate the WAL first so that records of the new memtable land in
-       the new log. *)
-    let old_wal_gen = t.wal_gen in
-    let old_wal = t.wal in
-    t.wal_gen <- t.wal_gen + 1;
-    t.wal <- Log_file.Writer.create t.env (wal_name t.wal_gen);
-    let imm = s.mem in
-    let s1 = fresh_state ~mem:Memtable.empty ~imm:(Some imm) ~levels:s.levels in
-    publish t s1;
-    (* Build the L0 file; mild compaction bounded by active snapshots. *)
-    let floor = min_snapshot t ~default:(Atomic.get t.seq) in
-    let file =
-      build_file t
-        (K.compact ~min_retained_version:floor ~drop_tombstones:false (Memtable.to_iter imm))
-    in
-    let levels = Array.copy s1.levels in
-    levels.(0) <- file :: levels.(0);
-    let s2 = fresh_state ~mem:(Atomic.get t.state).mem ~imm:None ~levels in
-    publish t s2;
-    store_manifest t levels;
-    Log_file.Writer.close old_wal;
-    Env.delete t.env (wal_name old_wal_gen)
-  end)
+        (* Build the L0 file; mild compaction bounded by active
+           snapshots. Readers keep seeing the old state (which still
+           holds the memtable) until publication. *)
+        let floor = min_snapshot t ~default:(Atomic.get t.seq) in
+        let file =
+          build_file t
+            (K.compact ~min_retained_version:floor ~drop_tombstones:false
+               (Memtable.to_iter s.mem))
+        in
+        let old_wal_gen = t.wal_gen in
+        let old_wal = t.wal in
+        let new_wal_gen = old_wal_gen + 1 in
+        let new_wal =
+          try Log_file.Writer.create t.env (wal_name new_wal_gen)
+          with exn ->
+            delete_file t file;
+            raise exn
+        in
+        let levels = Array.copy s.levels in
+        levels.(0) <- file :: levels.(0);
+        t.wal_gen <- new_wal_gen;
+        t.wal <- new_wal;
+        (try store_manifest t levels
+         with exn ->
+           t.wal_gen <- old_wal_gen;
+           t.wal <- old_wal;
+           Log_file.Writer.close new_wal;
+           (try Env.delete t.env (wal_name new_wal_gen) with _ -> ());
+           delete_file t file;
+           raise exn);
+        publish t (fresh_state ~mem:Memtable.empty ~imm:None ~levels);
+        Log_file.Writer.close old_wal;
+        (try Env.delete t.env (wal_name old_wal_gen) with _ -> ()))
 
 let rec compact t =
   let s = Atomic.get t.state in
@@ -360,8 +393,14 @@ let rec compact t =
     let levels' = Array.copy levels in
     levels'.(0) <- [];
     levels'.(1) <- new_l1;
-    publish t (fresh_state ~mem:s.mem ~imm:s.imm ~levels:levels');
-    store_manifest t levels');
+    (* Manifest before publish: publishing retires the old state, whose
+       refcount release deletes the input files — the on-disk manifest
+       must already reference the outputs by then. *)
+    (try store_manifest t levels'
+     with exn ->
+       List.iter (delete_file t) new_files;
+       raise exn);
+    publish t (fresh_state ~mem:s.mem ~imm:s.imm ~levels:levels'));
     compact t
   end
   else begin
@@ -405,8 +444,13 @@ let rec compact t =
         let levels' = Array.copy levels in
         levels'.(i) <- List.tl levels.(i);
         levels'.(i + 1) <- new_child;
-        publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels:levels');
-        store_manifest t levels');
+        (try store_manifest t levels'
+         with exn ->
+           List.iter (delete_file t) new_files;
+           raise exn);
+        publish t
+          (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm
+             ~levels:levels'));
         compact t)
   end
 
@@ -441,10 +485,15 @@ let put_entry t key value_opt =
            (String.length key + match value_opt with Some v -> String.length v | None -> 0));
       if Memtable.byte_size mem' >= t.cfg.memtable_bytes then begin
         (* This put pays for the flush (and any cascading compaction)
-           inline — the paper's write stall. *)
+           inline — the paper's write stall. The put itself is already
+           durable and applied; if maintenance hits an I/O failure it
+           rolled itself back, so count the fault and carry on — the
+           next put over the threshold retries. *)
         Obs.Counter.incr t.ctr_stalls;
-        flush_memtable t;
-        compact t
+        try
+          flush_memtable t;
+          compact t
+        with Env.Io_error _ -> Obs.Counter.incr t.ctr_io_errors
       end)
 
 let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
@@ -565,6 +614,7 @@ let setup_obs env =
         (Printf.sprintf "io.%s.bytes_read" kn)
         (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
     Io_stats.all_kinds;
+  Obs.probe obs "faults.injected" (fun () -> Env.faults_injected env);
   obs
 
 let open_ ?(config = Config.default) env =
@@ -602,6 +652,7 @@ let open_ ?(config = Config.default) env =
         tm_scan = Obs.timer obs "db.scan";
         ctr_stalls = Obs.counter obs "lsm.stalls";
         ctr_wal_appends = Obs.counter obs "wal.appends";
+        ctr_io_errors = Obs.counter obs "io.errors";
       }
     in
     store_manifest t (Array.make config.max_levels []);
@@ -617,6 +668,24 @@ let open_ ?(config = Config.default) env =
       else levels
     in
     Array.iter (fun files -> List.iter (fun fm -> ignore (Atomic.fetch_and_add fm.refs 1)) files) levels;
+    (* Sweep orphans: sstables a crashed build left outside the
+       manifest, WALs of generations other than the live one, and
+       leftover manifest tmp files. *)
+    let live_fids = List.concat (Array.to_list level_fids) in
+    List.iter
+      (fun name ->
+        let orphan_sst =
+          match Scanf.sscanf_opt name "lsm_%d.sst" (fun fid -> fid) with
+          | Some fid -> not (List.mem fid live_fids)
+          | None -> false
+        and stale_wal =
+          match Scanf.sscanf_opt name "lsm_wal_%d.log" (fun gen -> gen) with
+          | Some gen -> gen <> wal_gen
+          | None -> false
+        in
+        if orphan_sst || stale_wal || name = manifest_name ^ ".tmp" then
+          try Env.delete env name with _ -> ())
+      (Env.list_files env);
     (* Replay the WAL (an LSM must; contrast §3.5). *)
     let mem = ref Memtable.empty in
     let max_seq = ref seq in
@@ -658,6 +727,7 @@ let open_ ?(config = Config.default) env =
       tm_scan = Obs.timer obs "db.scan";
       ctr_stalls = Obs.counter obs "lsm.stalls";
       ctr_wal_appends = Obs.counter obs "wal.appends";
+        ctr_io_errors = Obs.counter obs "io.errors";
     })
 
 let compact_now t =

@@ -76,6 +76,7 @@ module Builder = struct
   type t = {
     env : Env.t;
     file : Env.file;
+    name : string;
     block_size : int;
     bloom_bits_per_key : int;
     with_bloom : bool;
@@ -101,6 +102,7 @@ module Builder = struct
     {
       env;
       file;
+      name;
       block_size;
       bloom_bits_per_key;
       with_bloom;
@@ -153,9 +155,14 @@ module Builder = struct
 
   let entry_count t = t.count
 
-  let finish t =
-    if t.finished then invalid_arg "Sstable.Builder.finish: already finished";
-    t.finished <- true;
+  let abort t =
+    if not t.finished then begin
+      t.finished <- true;
+      Env.close_file t.file;
+      (try Env.delete t.env t.name with _ -> ())
+    end
+
+  let finish_exn t =
     flush_block t;
     (* Bloom section *)
     let bloom_off = t.pos in
@@ -198,6 +205,17 @@ module Builder = struct
     Env.append t.file (Buffer.contents footer);
     Env.fsync t.file;
     Env.close_file t.file
+
+  (* A table is never observable half-written: if any append or fsync
+     of the tail sections fails, the partial file is deleted. *)
+  let finish t =
+    if t.finished then invalid_arg "Sstable.Builder.finish: already finished";
+    t.finished <- true;
+    try finish_exn t
+    with exn ->
+      Env.close_file t.file;
+      (try Env.delete t.env t.name with _ -> ());
+      raise exn
 end
 
 module Reader = struct

@@ -34,7 +34,14 @@ module Builder : sig
 
   val finish : t -> unit
   (** Write index + footer, fsync and close. A finished empty table is
-      valid and opens to an empty reader. *)
+      valid and opens to an empty reader. If an I/O failure interrupts
+      the tail sections, the partial file is deleted and the error
+      re-raised — a table never exists half-written. *)
+
+  val abort : t -> unit
+  (** Discard an unfinished build: close and delete the partial file.
+      Call when an {!Env.Io_error} interrupted {!add}. No-op after
+      [finish]. *)
 end
 
 module Reader : sig

@@ -1,0 +1,262 @@
+open Io_error
+
+module type BACKEND = sig
+  type handle
+
+  val backend_name : string
+  val create : string -> handle
+  val open_append : string -> handle
+  val append : handle -> bytes -> pos:int -> len:int -> unit
+  val handle_size : handle -> int
+  val fsync : handle -> unit
+  val close : handle -> unit
+  val size : string -> int
+  val read_at : string -> off:int -> len:int -> string
+  val exists : string -> bool
+  val delete : string -> unit
+  val rename : old_name:string -> new_name:string -> unit
+  val list_files : unit -> string list
+  val sync_namespace : unit -> bool
+  val supports_crash : bool
+  val crash : unit -> unit
+end
+
+type packed = B : (module BACKEND with type handle = 'h) -> packed
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Memory backend: an in-process filesystem that models crashes — each
+   file tracks its last-synced length and [crash] drops every unsynced
+   suffix.                                                             *)
+
+type mem_file = {
+  mutable data : Bytes.t;
+  mutable len : int;
+  mutable synced : int;
+  mf_mutex : Mutex.t;
+}
+
+let memory () : packed =
+  let files : (string, mem_file) Hashtbl.t = Hashtbl.create 64 in
+  let ns_mutex = Mutex.create () in
+  let new_mem_file () =
+    { data = Bytes.create 256; len = 0; synced = 0; mf_mutex = Mutex.create () }
+  in
+  let find name =
+    match with_lock ns_mutex (fun () -> Hashtbl.find_opt files name) with
+    | Some mf -> mf
+    | None -> raise Not_found
+  in
+  let mem_ensure mf extra =
+    let need = mf.len + extra in
+    if need > Bytes.length mf.data then begin
+      let cap = max need (2 * Bytes.length mf.data) in
+      let data = Bytes.create cap in
+      Bytes.blit mf.data 0 data 0 mf.len;
+      mf.data <- data
+    end
+  in
+  B
+    (module struct
+      type handle = mem_file
+
+      let backend_name = "memory"
+
+      let create name =
+        let mf = new_mem_file () in
+        with_lock ns_mutex (fun () -> Hashtbl.replace files name mf);
+        mf
+
+      let open_append name =
+        with_lock ns_mutex (fun () ->
+            match Hashtbl.find_opt files name with
+            | Some mf -> mf
+            | None ->
+              let mf = new_mem_file () in
+              Hashtbl.replace files name mf;
+              mf)
+
+      let append mf b ~pos ~len =
+        with_lock mf.mf_mutex (fun () ->
+            mem_ensure mf len;
+            Bytes.blit b pos mf.data mf.len len;
+            mf.len <- mf.len + len)
+
+      let handle_size mf = with_lock mf.mf_mutex (fun () -> mf.len)
+      let fsync mf = with_lock mf.mf_mutex (fun () -> mf.synced <- mf.len)
+      let close _mf = ()
+      let size name = handle_size (find name)
+
+      let read_at name ~off ~len =
+        let mf = find name in
+        with_lock mf.mf_mutex (fun () ->
+            if off + len > mf.len then
+              invalid_arg "Env.read_at: range beyond end of file";
+            Bytes.sub_string mf.data off len)
+
+      let exists name = with_lock ns_mutex (fun () -> Hashtbl.mem files name)
+      let delete name = with_lock ns_mutex (fun () -> Hashtbl.remove files name)
+
+      let rename ~old_name ~new_name =
+        with_lock ns_mutex (fun () ->
+            match Hashtbl.find_opt files old_name with
+            | None -> raise Not_found
+            | Some mf ->
+              Hashtbl.remove files old_name;
+              Hashtbl.replace files new_name mf)
+
+      let list_files () =
+        with_lock ns_mutex (fun () ->
+            Hashtbl.fold (fun name _ acc -> name :: acc) files [])
+
+      let sync_namespace () =
+        with_lock ns_mutex (fun () ->
+            Hashtbl.iter
+              (fun _ mf -> with_lock mf.mf_mutex (fun () -> mf.synced <- mf.len))
+              files);
+        true
+
+      let supports_crash = true
+
+      let crash () =
+        with_lock ns_mutex (fun () ->
+            Hashtbl.iter
+              (fun _ mf -> with_lock mf.mf_mutex (fun () -> mf.len <- mf.synced))
+              files)
+    end)
+
+(* ------------------------------------------------------------------ *)
+(* Disk backend: real files under a root directory. Unix failures
+   surface as typed [Io_error]s; ENOENT keeps its historical
+   [Not_found] meaning on reads.                                       *)
+
+type disk_file = { fd : Unix.file_descr; df_name : string; mutable dpos : int }
+
+let disk dir : packed =
+  let rec mkdir_p d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mkdir_p dir;
+  let read_fds : (string, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
+  let fds_mutex = Mutex.create () in
+  let path name = Filename.concat dir name in
+  let wrap ~op ~file f =
+    try f () with Unix.Unix_error (e, _, _) -> raise (of_unix ~op ~file e)
+  in
+  let drop_read_fd name =
+    with_lock fds_mutex (fun () ->
+        match Hashtbl.find_opt read_fds name with
+        | None -> ()
+        | Some fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Hashtbl.remove read_fds name)
+  in
+  let rec write_fully fd b pos len =
+    if len > 0 then begin
+      let n = Unix.write fd b pos len in
+      write_fully fd b (pos + n) (len - n)
+    end
+  in
+  B
+    (module struct
+      type handle = disk_file
+
+      let backend_name = "disk"
+
+      let create name =
+        drop_read_fd name;
+        let fd =
+          wrap ~op:"create" ~file:name (fun () ->
+              Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
+        in
+        { fd; df_name = name; dpos = 0 }
+
+      let open_append name =
+        wrap ~op:"open_append" ~file:name (fun () ->
+            let fd = Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+            let dpos = Unix.lseek fd 0 Unix.SEEK_END in
+            { fd; df_name = name; dpos })
+
+      let append d b ~pos ~len =
+        (* A short write still advances [dpos] by the bytes that made
+           it out, so the handle's view matches the file. *)
+        let written = ref 0 in
+        (try
+           write_fully d.fd b pos len;
+           written := len
+         with Unix.Unix_error (e, _, _) ->
+           d.dpos <- d.dpos + !written;
+           raise (of_unix ~op:"append" ~file:d.df_name e));
+        d.dpos <- d.dpos + len
+
+      let handle_size d = d.dpos
+
+      let fsync d = wrap ~op:"fsync" ~file:d.df_name (fun () -> Unix.fsync d.fd)
+
+      let close d = try Unix.close d.fd with Unix.Unix_error _ -> ()
+
+      let size name =
+        let st =
+          try Unix.stat (path name) with
+          | Unix.Unix_error (Unix.ENOENT, _, _) -> raise Not_found
+          | Unix.Unix_error (e, _, _) -> raise (of_unix ~op:"size" ~file:name e)
+        in
+        st.Unix.st_size
+
+      let read_at name ~off ~len =
+        let fd =
+          with_lock fds_mutex (fun () ->
+              match Hashtbl.find_opt read_fds name with
+              | Some fd -> fd
+              | None ->
+                let fd =
+                  try Unix.openfile (path name) [ Unix.O_RDONLY ] 0 with
+                  | Unix.Unix_error (Unix.ENOENT, _, _) -> raise Not_found
+                  | Unix.Unix_error (e, _, _) -> raise (of_unix ~op:"read" ~file:name e)
+                in
+                Hashtbl.replace read_fds name fd;
+                fd)
+        in
+        (* One shared fd per file: serialize the seek+read. *)
+        with_lock fds_mutex (fun () ->
+            wrap ~op:"read" ~file:name (fun () ->
+                let file_len = (Unix.fstat fd).Unix.st_size in
+                if off + len > file_len then
+                  invalid_arg "Env.read_at: range beyond end of file";
+                ignore (Unix.lseek fd off Unix.SEEK_SET);
+                let b = Bytes.create len in
+                let rec read_fully pos remaining =
+                  if remaining > 0 then begin
+                    let n = Unix.read fd b pos remaining in
+                    if n = 0 then invalid_arg "Env.read_at: unexpected end of file";
+                    read_fully (pos + n) (remaining - n)
+                  end
+                in
+                read_fully 0 len;
+                Bytes.unsafe_to_string b))
+
+      let exists name = Sys.file_exists (path name)
+
+      let delete name =
+        drop_read_fd name;
+        try Unix.unlink (path name) with
+        | Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+        | Unix.Unix_error (e, _, _) -> raise (of_unix ~op:"delete" ~file:name e)
+
+      let rename ~old_name ~new_name =
+        drop_read_fd old_name;
+        drop_read_fd new_name;
+        wrap ~op:"rename" ~file:old_name (fun () ->
+            Unix.rename (path old_name) (path new_name))
+
+      let list_files () = Array.to_list (Sys.readdir dir)
+      let sync_namespace () = false
+      let supports_crash = false
+      let crash () = invalid_arg "Env.crash: backend does not support crash simulation"
+    end)

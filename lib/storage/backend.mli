@@ -1,0 +1,60 @@
+(** Pluggable storage backends.
+
+    A backend is a flat namespace of append-only files, packaged as a
+    first-class module satisfying {!BACKEND}. {!Env} drives every
+    engine's I/O through exactly one (possibly middleware-wrapped)
+    backend, so engines run unchanged on any stack:
+
+    {v  Env  →  Counting (Io_stats)  →  [Fault]  →  Disk | Memory  v}
+
+    Middleware ({!Fault.wrap}, {!Counting.wrap}) consumes a {!packed}
+    backend and returns a new one wrapping it. Failures raise
+    {!Io_error.Io_error}; [Not_found] / [Invalid_argument] keep their
+    historical meaning for missing files and bad ranges. *)
+
+module type BACKEND = sig
+  type handle
+  (** An open, append-only file. *)
+
+  val backend_name : string
+
+  val create : string -> handle
+  (** Create (or truncate) a file, open for appending. *)
+
+  val open_append : string -> handle
+  (** Open positioned at the end; creates the file if absent. *)
+
+  val append : handle -> bytes -> pos:int -> len:int -> unit
+  val handle_size : handle -> int
+  val fsync : handle -> unit
+  val close : handle -> unit
+
+  val size : string -> int
+  (** Raises [Not_found] for a missing file. *)
+
+  val read_at : string -> off:int -> len:int -> string
+  val exists : string -> bool
+  val delete : string -> unit
+  val rename : old_name:string -> new_name:string -> unit
+  val list_files : unit -> string list
+
+  val sync_namespace : unit -> bool
+  (** Make the whole namespace durable in one shot, if the backend can;
+      [false] means the caller must fsync open handles itself. *)
+
+  val supports_crash : bool
+
+  val crash : unit -> unit
+  (** Discard all unsynced data (power-failure simulation). Raises
+      [Invalid_argument] when [supports_crash] is false. *)
+end
+
+type packed = B : (module BACKEND with type handle = 'h) -> packed
+
+val memory : unit -> packed
+(** In-process filesystem with crash simulation: each file tracks its
+    last-fsynced length and [crash] discards every unsynced suffix. *)
+
+val disk : string -> packed
+(** Real files under a directory (created if missing); fsync maps to
+    [Unix.fsync]. Unix failures surface as {!Io_error.Io_error}. *)

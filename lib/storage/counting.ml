@@ -1,0 +1,46 @@
+(* Io_stats as middleware: every byte that reaches the inner backend is
+   accounted, split by file kind. Failed operations are not counted —
+   the stats describe I/O that happened, and a torn append's partial
+   bytes are below this layer's resolution. *)
+
+let wrap st ~kind_of_name (Backend.B (module Inner) : Backend.packed) : Backend.packed =
+  Backend.B
+    (module struct
+      type handle = Io_stats.kind * Inner.handle
+
+      let backend_name = "counting+" ^ Inner.backend_name
+      let create name = (kind_of_name name, Inner.create name)
+      let open_append name = (kind_of_name name, Inner.open_append name)
+
+      let append (kind, h) b ~pos ~len =
+        Inner.append h b ~pos ~len;
+        Io_stats.add_write ~kind st len
+
+      let handle_size (_, h) = Inner.handle_size h
+
+      let fsync (kind, h) =
+        Inner.fsync h;
+        Io_stats.add_fsync ~kind st
+
+      let close (_, h) = Inner.close h
+      let size = Inner.size
+
+      let read_at name ~off ~len =
+        let s = Inner.read_at name ~off ~len in
+        Io_stats.add_read ~kind:(kind_of_name name) st len;
+        s
+
+      let exists = Inner.exists
+      let delete = Inner.delete
+      let rename = Inner.rename
+      let list_files = Inner.list_files
+
+      let sync_namespace () =
+        (* A whole-namespace sync is one aggregate (Meta) fsync. *)
+        let synced = Inner.sync_namespace () in
+        if synced then Io_stats.add_fsync st;
+        synced
+
+      let supports_crash = Inner.supports_crash
+      let crash = Inner.crash
+    end)

@@ -1,0 +1,11 @@
+(** I/O accounting middleware.
+
+    [wrap st ~kind_of_name backend] routes every append, read and
+    fsync of [backend] through {!Io_stats}, classifying each file with
+    [kind_of_name]. This is the layer behind {!Env.stats}: the engines'
+    write-amplification and read-I/O numbers are measured here, not
+    estimated. Operations that fail (including injected {!Fault}
+    failures from further down the stack) are not counted. *)
+
+val wrap :
+  Io_stats.t -> kind_of_name:(string -> Io_stats.kind) -> Backend.packed -> Backend.packed

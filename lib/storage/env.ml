@@ -1,18 +1,16 @@
-type mem_file = {
-  mutable data : Bytes.t;
-  mutable len : int;
-  mutable synced : int;
-  mf_mutex : Mutex.t;
-}
+exception Io_error = Io_error.Io_error
 
-type backend =
-  | Disk of { dir : string; read_fds : (string, Unix.file_descr) Hashtbl.t }
-  | Memory of (string, mem_file) Hashtbl.t
+module type BACKEND = Backend.BACKEND
+
+(* An open file: the backend stack's handle packed with its module, so
+   one [file] type covers every backend composition. *)
+type fhandle = FH : (module Backend.BACKEND with type handle = 'h) * 'h -> fhandle
 
 type t = {
-  backend : backend;
+  backend : Backend.packed; (* full middleware stack: counting → [fault] → base *)
   st : Io_stats.t;
-  ns_mutex : Mutex.t; (* protects the namespace tables and read fds *)
+  faults : Fault.plan option;
+  ns_mutex : Mutex.t; (* protects [open_files] and [next_id] *)
   open_files : (int, file) Hashtbl.t; (* by handle id, for fsync_all *)
   mutable next_id : int;
   mutable generation : int; (* bumped by [crash] to invalidate handles *)
@@ -21,23 +19,20 @@ type t = {
 and file = {
   env : t;
   name : string;
-  kind : Io_stats.kind;
   id : int;
   gen : int;
-  impl : file_impl;
+  fh : fhandle;
   f_mutex : Mutex.t;
   mutable closed : bool;
 }
-
-and file_impl =
-  | Dfile of { fd : Unix.file_descr; mutable dpos : int }
-  | Mfile of mem_file
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let stats t = t.st
+let faults t = t.faults
+let faults_injected t = match t.faults with None -> 0 | Some p -> Fault.injected p
 
 (* Classify a file by its name so Io_stats can split bytes per kind.
    All engines share the conventions: record logs (funk logs, WALs)
@@ -48,255 +43,99 @@ let kind_of_name name : Io_stats.kind =
   else if Filename.check_suffix name ".sst" then Io_stats.Sstable
   else Io_stats.Meta
 
-let is_memory t = match t.backend with Memory _ -> true | Disk _ -> false
-
-let disk dir =
-  let rec mkdir_p d =
-    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
-      mkdir_p (Filename.dirname d);
-      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    end
-  in
-  mkdir_p dir;
+let make ?faults base =
+  let st = Io_stats.create () in
+  let base = match faults with None -> base | Some p -> Fault.wrap p base in
   {
-    backend = Disk { dir; read_fds = Hashtbl.create 64 };
-    st = Io_stats.create ();
+    backend = Counting.wrap st ~kind_of_name base;
+    st;
+    faults;
     ns_mutex = Mutex.create ();
     open_files = Hashtbl.create 64;
     next_id = 0;
     generation = 0;
   }
 
-let memory () =
-  {
-    backend = Memory (Hashtbl.create 64);
-    st = Io_stats.create ();
-    ns_mutex = Mutex.create ();
-    open_files = Hashtbl.create 64;
-    next_id = 0;
-    generation = 0;
-  }
+let disk ?faults dir = make ?faults (Backend.disk dir)
+let memory ?faults () = make ?faults (Backend.memory ())
+let of_backend ?faults base = make ?faults base
 
-let path dir name = Filename.concat dir name
+let backend_name t = match t.backend with Backend.B (module M) -> M.backend_name
+let supports_crash t = match t.backend with Backend.B (module M) -> M.supports_crash
+
+(* Historically "memory" and "can simulate crashes" coincide; custom
+   backends inherit whichever durability model they implement. *)
+let is_memory t = supports_crash t
 
 let check_live file =
   if file.closed then failwith "Env: operation on closed file";
   if file.gen <> file.env.generation then
     failwith "Env: stale file handle (environment crashed)"
 
-let new_mem_file () =
-  { data = Bytes.create 256; len = 0; synced = 0; mf_mutex = Mutex.create () }
-
-let register t name impl =
+let register t name fh =
   with_lock t.ns_mutex (fun () ->
       let id = t.next_id in
       t.next_id <- id + 1;
       let file =
-        {
-          env = t;
-          name;
-          kind = kind_of_name name;
-          id;
-          gen = t.generation;
-          impl;
-          f_mutex = Mutex.create ();
-          closed = false;
-        }
+        { env = t; name; id; gen = t.generation; fh; f_mutex = Mutex.create (); closed = false }
       in
       Hashtbl.replace t.open_files id file;
       file)
 
-let drop_read_fd t name =
-  match t.backend with
-  | Memory _ -> ()
-  | Disk d -> (
-    match Hashtbl.find_opt d.read_fds name with
-    | None -> ()
-    | Some fd ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Hashtbl.remove d.read_fds name)
-
 let create t name =
   match t.backend with
-  | Disk d ->
-    with_lock t.ns_mutex (fun () -> drop_read_fd t name);
-    let fd =
-      Unix.openfile (path d.dir name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-    in
-    register t name (Dfile { fd; dpos = 0 })
-  | Memory files ->
-    let mf = new_mem_file () in
-    with_lock t.ns_mutex (fun () -> Hashtbl.replace files name mf);
-    register t name (Mfile mf)
+  | Backend.B (module M) -> register t name (FH ((module M), M.create name))
 
 let open_append t name =
   match t.backend with
-  | Disk d ->
-    let fd = Unix.openfile (path d.dir name) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-    let dpos = Unix.lseek fd 0 Unix.SEEK_END in
-    register t name (Dfile { fd; dpos })
-  | Memory files ->
-    let mf =
-      with_lock t.ns_mutex (fun () ->
-          match Hashtbl.find_opt files name with
-          | Some mf -> mf
-          | None ->
-            let mf = new_mem_file () in
-            Hashtbl.replace files name mf;
-            mf)
-    in
-    register t name (Mfile mf)
-
-let mem_ensure mf extra =
-  let need = mf.len + extra in
-  if need > Bytes.length mf.data then begin
-    let cap = max need (2 * Bytes.length mf.data) in
-    let data = Bytes.create cap in
-    Bytes.blit mf.data 0 data 0 mf.len;
-    mf.data <- data
-  end
-
-let rec write_fully fd b pos len =
-  if len > 0 then begin
-    let n = Unix.write fd b pos len in
-    write_fully fd b (pos + n) (len - n)
-  end
+  | Backend.B (module M) -> register t name (FH ((module M), M.open_append name))
 
 let append_bytes file b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Env.append_bytes: slice out of bounds";
   with_lock file.f_mutex (fun () ->
       check_live file;
-      (match file.impl with
-      | Dfile d ->
-        write_fully d.fd b pos len;
-        d.dpos <- d.dpos + len
-      | Mfile mf ->
-        with_lock mf.mf_mutex (fun () ->
-            mem_ensure mf len;
-            Bytes.blit b pos mf.data mf.len len;
-            mf.len <- mf.len + len));
-      Io_stats.add_write ~kind:file.kind file.env.st len)
+      match file.fh with FH ((module M), h) -> M.append h b ~pos ~len)
 
 let append file s =
   append_bytes file (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
 let file_size file =
   with_lock file.f_mutex (fun () ->
-      match file.impl with
-      | Dfile d -> d.dpos
-      | Mfile mf -> with_lock mf.mf_mutex (fun () -> mf.len))
+      match file.fh with FH ((module M), h) -> M.handle_size h)
 
 let flush _file = ()
 
 let fsync file =
   with_lock file.f_mutex (fun () ->
       check_live file;
-      (match file.impl with
-      | Dfile d -> Unix.fsync d.fd
-      | Mfile mf -> with_lock mf.mf_mutex (fun () -> mf.synced <- mf.len));
-      Io_stats.add_fsync ~kind:file.kind file.env.st)
+      match file.fh with FH ((module M), h) -> M.fsync h)
 
 let close_file file =
   with_lock file.f_mutex (fun () ->
       if not file.closed then begin
         file.closed <- true;
-        (match file.impl with
-        | Dfile d -> ( try Unix.close d.fd with Unix.Unix_error _ -> ())
-        | Mfile _ -> ());
+        (match file.fh with FH ((module M), h) -> M.close h);
         with_lock file.env.ns_mutex (fun () -> Hashtbl.remove file.env.open_files file.id)
       end)
 
-let find_mem files name =
-  match Hashtbl.find_opt files name with
-  | Some mf -> mf
-  | None -> raise Not_found
-
-let size t name =
-  match t.backend with
-  | Disk d ->
-    let st =
-      try Unix.stat (path d.dir name) with Unix.Unix_error (Unix.ENOENT, _, _) -> raise Not_found
-    in
-    st.Unix.st_size
-  | Memory files ->
-    let mf = with_lock t.ns_mutex (fun () -> find_mem files name) in
-    with_lock mf.mf_mutex (fun () -> mf.len)
+let size t name = match t.backend with Backend.B (module M) -> M.size name
 
 let read_at t name ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Env.read_at: negative range";
-  let result =
-    match t.backend with
-    | Disk d ->
-      with_lock t.ns_mutex (fun () ->
-          let fd =
-            match Hashtbl.find_opt d.read_fds name with
-            | Some fd -> fd
-            | None ->
-              let fd =
-                try Unix.openfile (path d.dir name) [ Unix.O_RDONLY ] 0
-                with Unix.Unix_error (Unix.ENOENT, _, _) -> raise Not_found
-              in
-              Hashtbl.replace d.read_fds name fd;
-              fd
-          in
-          let file_len = (Unix.fstat fd).Unix.st_size in
-          if off + len > file_len then invalid_arg "Env.read_at: range beyond end of file";
-          ignore (Unix.lseek fd off Unix.SEEK_SET);
-          let b = Bytes.create len in
-          let rec read_fully pos remaining =
-            if remaining > 0 then begin
-              let n = Unix.read fd b pos remaining in
-              if n = 0 then invalid_arg "Env.read_at: unexpected end of file";
-              read_fully (pos + n) (remaining - n)
-            end
-          in
-          read_fully 0 len;
-          Bytes.unsafe_to_string b)
-    | Memory files ->
-      let mf = with_lock t.ns_mutex (fun () -> find_mem files name) in
-      with_lock mf.mf_mutex (fun () ->
-          if off + len > mf.len then invalid_arg "Env.read_at: range beyond end of file";
-          Bytes.sub_string mf.data off len)
-  in
-  Io_stats.add_read ~kind:(kind_of_name name) t.st len;
-  result
+  match t.backend with Backend.B (module M) -> M.read_at name ~off ~len
 
 let read_all t name =
   let n = size t name in
   if n = 0 then "" else read_at t name ~off:0 ~len:n
 
-let exists t name =
-  match t.backend with
-  | Disk d -> Sys.file_exists (path d.dir name)
-  | Memory files -> with_lock t.ns_mutex (fun () -> Hashtbl.mem files name)
-
-let delete t name =
-  match t.backend with
-  | Disk d ->
-    with_lock t.ns_mutex (fun () -> drop_read_fd t name);
-    (try Unix.unlink (path d.dir name) with Unix.Unix_error (Unix.ENOENT, _, _) -> ())
-  | Memory files -> with_lock t.ns_mutex (fun () -> Hashtbl.remove files name)
+let exists t name = match t.backend with Backend.B (module M) -> M.exists name
+let delete t name = match t.backend with Backend.B (module M) -> M.delete name
 
 let rename t ~old_name ~new_name =
-  match t.backend with
-  | Disk d ->
-    with_lock t.ns_mutex (fun () ->
-        drop_read_fd t old_name;
-        drop_read_fd t new_name);
-    Unix.rename (path d.dir old_name) (path d.dir new_name)
-  | Memory files ->
-    with_lock t.ns_mutex (fun () ->
-        let mf = find_mem files old_name in
-        Hashtbl.remove files old_name;
-        Hashtbl.replace files new_name mf)
+  match t.backend with Backend.B (module M) -> M.rename ~old_name ~new_name
 
-let list_files t =
-  match t.backend with
-  | Disk d ->
-    Array.to_list (Sys.readdir d.dir)
-  | Memory files ->
-    with_lock t.ns_mutex (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) files [])
+let list_files t = match t.backend with Backend.B (module M) -> M.list_files ()
 
 let space_used t =
   List.fold_left
@@ -305,23 +144,21 @@ let space_used t =
 
 let fsync_all t =
   match t.backend with
-  | Disk _ ->
-    let files = with_lock t.ns_mutex (fun () -> Hashtbl.fold (fun _ f acc -> f :: acc) t.open_files []) in
-    List.iter (fun f -> try fsync f with Failure _ -> ()) files
-  | Memory files ->
-    with_lock t.ns_mutex (fun () ->
-        Hashtbl.iter
-          (fun _ mf -> with_lock mf.mf_mutex (fun () -> mf.synced <- mf.len))
-          files);
-    Io_stats.add_fsync t.st
+  | Backend.B (module M) ->
+    if not (M.sync_namespace ()) then begin
+      let files =
+        with_lock t.ns_mutex (fun () ->
+            Hashtbl.fold (fun _ f acc -> f :: acc) t.open_files [])
+      in
+      (* Closed/stale handles are skipped; real I/O failures propagate
+         so a checkpoint never claims durability it doesn't have. *)
+      List.iter (fun f -> try fsync f with Failure _ -> ()) files
+    end
 
 let crash t =
   match t.backend with
-  | Disk _ -> invalid_arg "Env.crash: only supported by the memory backend"
-  | Memory files ->
+  | Backend.B (module M) ->
+    M.crash ();
     with_lock t.ns_mutex (fun () ->
-        Hashtbl.iter
-          (fun _ mf -> with_lock mf.mf_mutex (fun () -> mf.len <- mf.synced))
-          files;
         Hashtbl.reset t.open_files;
         t.generation <- t.generation + 1)

@@ -1,14 +1,24 @@
 (** Storage environment: a flat namespace of append-only files.
 
     All engines (EvenDB, the LSM and FLSM baselines) perform I/O
-    exclusively through an [Env.t], which routes every byte through an
-    {!Io_stats.t}. Two backends:
+    exclusively through an [Env.t]. Underneath sits a layered stack of
+    pluggable backends (see {!Backend}):
 
-    - [disk dir] — real files under [dir] (fsync maps to [Unix.fsync]);
-    - [memory ()] — an in-process filesystem that additionally models
+    {v  Env  →  Counting (Io_stats)  →  [Fault]  →  Disk | Memory  v}
+
+    - {!disk} — real files under a directory (fsync maps to
+      [Unix.fsync]);
+    - {!memory} — an in-process filesystem that additionally models
       crashes: each file tracks its last-fsynced length, and {!crash}
       discards every unsynced suffix, which is how the recovery tests
-      validate the paper's prefix-consistency guarantee (§3.5).
+      validate the paper's prefix-consistency guarantee (§3.5);
+    - {!of_backend} — any custom {!Backend.packed} composition.
+
+    Passing [?faults] threads a {!Fault.plan} into the stack, injecting
+    deterministic append/fsync/rename failures and torn tail writes.
+    Storage failures — real or injected — surface as the typed
+    {!Io_error} exception; [Not_found] (missing file) and
+    [Invalid_argument] (bad range) keep their historical meaning.
 
     Files are append-only (SSTables are written once; logs only grow),
     matching the paper's funk layout. Metadata operations (create,
@@ -17,17 +27,39 @@
 
     All operations are thread-safe. *)
 
+exception Io_error of Io_error.info
+(** Typed storage failure (re-export of {!Io_error.Io_error}). *)
+
+module type BACKEND = Backend.BACKEND
+(** Re-export, so implementing a custom backend needs only [Env]. *)
+
 type t
 type file
 
-val disk : string -> t
+val disk : ?faults:Fault.plan -> string -> t
 (** [disk dir] creates [dir] if missing and roots the namespace there. *)
 
-val memory : unit -> t
+val memory : ?faults:Fault.plan -> unit -> t
+
+val of_backend : ?faults:Fault.plan -> Backend.packed -> t
+(** Mount an arbitrary backend stack. The [Counting] (stats) layer is
+    always applied outermost; [?faults] is spliced directly beneath it. *)
 
 val stats : t -> Io_stats.t
 
+val backend_name : t -> string
+(** The full middleware stack, e.g. ["counting+faulty(7:0.01)+memory"]. *)
+
 val is_memory : t -> bool
+
+val supports_crash : t -> bool
+(** Whether {!crash} is meaningful for this env's backend. Query this
+    instead of catching the [Invalid_argument] that {!crash} raises on
+    backends without crash simulation. *)
+
+val faults : t -> Fault.plan option
+val faults_injected : t -> int
+(** Total storage faults injected so far (0 without a fault plan). *)
 
 (** {2 Writing} *)
 
@@ -41,7 +73,8 @@ val append : file -> string -> unit
 val append_bytes : file -> bytes -> pos:int -> len:int -> unit
 
 val file_size : file -> int
-(** Current size including unflushed appends. *)
+(** Current size including unflushed appends. After a failed (torn)
+    append this reflects the bytes that actually reached the backend. *)
 
 val flush : file -> unit
 val fsync : file -> unit
@@ -79,9 +112,10 @@ val space_used : t -> int
 (** {2 Durability control} *)
 
 val fsync_all : t -> unit
-(** Sync every open appendable file (checkpointing, §3.5). *)
+(** Make everything durable (checkpointing, §3.5): one namespace sync
+    if the backend supports it, otherwise an fsync of every open file. *)
 
 val crash : t -> unit
-(** Memory backend only: discard all unsynced data and invalidate open
-    file handles, simulating a power failure. Raises
-    [Invalid_argument] on a disk env. *)
+(** Crash-capable backends only: discard all unsynced data and
+    invalidate open file handles, simulating a power failure. Raises
+    [Invalid_argument] when {!supports_crash} is [false]. *)

@@ -1,0 +1,142 @@
+open Evendb_util
+open Io_error
+
+type plan = {
+  seed : int;
+  rate : float;
+  torn_fraction : float;
+  rng : Rng.t;
+  rng_mutex : Mutex.t;
+  armed : bool Atomic.t;
+  inj_append : int Atomic.t;
+  inj_torn : int Atomic.t;
+  inj_fsync : int Atomic.t;
+  inj_rename : int Atomic.t;
+}
+
+let plan ?(torn_fraction = 0.5) ~seed ~rate () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Fault.plan: rate must be in [0,1]";
+  if torn_fraction < 0.0 || torn_fraction > 1.0 then
+    invalid_arg "Fault.plan: torn_fraction must be in [0,1]";
+  {
+    seed;
+    rate;
+    torn_fraction;
+    rng = Rng.create seed;
+    rng_mutex = Mutex.create ();
+    armed = Atomic.make true;
+    inj_append = Atomic.make 0;
+    inj_torn = Atomic.make 0;
+    inj_fsync = Atomic.make 0;
+    inj_rename = Atomic.make 0;
+  }
+
+let seed t = t.seed
+let rate t = t.rate
+let set_armed t armed = Atomic.set t.armed armed
+
+let injected t =
+  Atomic.get t.inj_append + Atomic.get t.inj_torn + Atomic.get t.inj_fsync
+  + Atomic.get t.inj_rename
+
+let counts t =
+  [
+    ("append", Atomic.get t.inj_append);
+    ("torn", Atomic.get t.inj_torn);
+    ("fsync", Atomic.get t.inj_fsync);
+    ("rename", Atomic.get t.inj_rename);
+  ]
+
+let parse_profile s =
+  match String.index_opt s ':' with
+  | None -> invalid_arg "Fault.parse_profile: expected \"seed:rate\""
+  | Some i -> (
+    let seed = String.sub s 0 i in
+    let rate = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt seed, float_of_string_opt rate) with
+    | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 -> plan ~seed ~rate ()
+    | _ -> invalid_arg "Fault.parse_profile: expected \"seed:rate\" with rate in [0,1]")
+
+let profile_string t = Printf.sprintf "%d:%g" t.seed t.rate
+
+(* One locked draw per decision keeps the schedule deterministic for a
+   given seed and sequence of operations, across threads. *)
+let draw t =
+  Mutex.lock t.rng_mutex;
+  let x = Rng.float t.rng in
+  Mutex.unlock t.rng_mutex;
+  x
+
+let fires t = Atomic.get t.armed && t.rate > 0.0 && draw t < t.rate
+
+(* [Some k] = write only the first [k] bytes, then fail (a torn tail). *)
+let append_decision t ~len =
+  if not (fires t) then None
+  else if len > 1 && draw t < t.torn_fraction then begin
+    Atomic.incr t.inj_torn;
+    Mutex.lock t.rng_mutex;
+    let k = 1 + Rng.int t.rng (len - 1) in
+    Mutex.unlock t.rng_mutex;
+    Some (Some k)
+  end
+  else begin
+    Atomic.incr t.inj_append;
+    Some None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Middleware: wrap any backend with the fault schedule. Handles carry
+   their file name so injected errors are attributable.                *)
+
+let wrap p (Backend.B (module Inner) : Backend.packed) : Backend.packed =
+  Backend.B
+    (module struct
+      type handle = string * Inner.handle
+
+      let backend_name = Printf.sprintf "faulty(%s)+%s" (profile_string p) Inner.backend_name
+      let create name = (name, Inner.create name)
+      let open_append name = (name, Inner.open_append name)
+
+      let append (name, h) b ~pos ~len =
+        match append_decision p ~len with
+        | None -> Inner.append h b ~pos ~len
+        | Some None -> raise_io ~op:"append" ~file:name ~detail:"injected append failure"
+        | Some (Some k) ->
+          Inner.append h b ~pos ~len:k;
+          raise_io ~op:"append" ~file:name
+            ~detail:(Printf.sprintf "injected torn write (%d/%d bytes)" k len)
+
+      let handle_size (_, h) = Inner.handle_size h
+
+      let fsync (name, h) =
+        if fires p then begin
+          Atomic.incr p.inj_fsync;
+          raise_io ~op:"fsync" ~file:name ~detail:"injected fsync failure"
+        end;
+        Inner.fsync h
+
+      let close (_, h) = Inner.close h
+      let size = Inner.size
+      let read_at = Inner.read_at
+      let exists = Inner.exists
+      let delete = Inner.delete
+
+      let rename ~old_name ~new_name =
+        if fires p then begin
+          Atomic.incr p.inj_rename;
+          raise_io ~op:"rename" ~file:old_name ~detail:"injected rename failure"
+        end;
+        Inner.rename ~old_name ~new_name
+
+      let list_files = Inner.list_files
+
+      let sync_namespace () =
+        if fires p then begin
+          Atomic.incr p.inj_fsync;
+          raise_io ~op:"fsync_all" ~file:"*" ~detail:"injected fsync failure"
+        end;
+        Inner.sync_namespace ()
+
+      let supports_crash = Inner.supports_crash
+      let crash = Inner.crash
+    end)

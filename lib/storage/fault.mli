@@ -1,0 +1,44 @@
+(** Deterministic fault injection middleware.
+
+    A {!plan} is a seeded schedule of storage failures: with
+    probability [rate] per eligible operation, an append, fsync or
+    rename fails with a typed {!Io_error.Io_error}. A failing append
+    may be {e torn} — a strict prefix of the record reaches the inner
+    backend before the error — which is how the crash-consistency
+    tests exercise the log layer's CRC resynchronization.
+
+    The schedule is a pure function of the seed and the sequence of
+    operations, so a failing soak run replays exactly from its seed.
+    Reads are never failed: injected faults model the write path
+    (where durability bugs live), and a deterministic read path keeps
+    verification phases trustworthy. *)
+
+type plan
+
+val plan : ?torn_fraction:float -> seed:int -> rate:float -> unit -> plan
+(** [rate] is the per-operation failure probability in [0,1];
+    [torn_fraction] (default 0.5) is the share of injected append
+    failures that tear (write a partial record) instead of failing
+    cleanly. *)
+
+val parse_profile : string -> plan
+(** Parse a ["seed:rate"] command-line profile, e.g. ["42:0.01"].
+    Raises [Invalid_argument] on malformed input. *)
+
+val profile_string : plan -> string
+
+val seed : plan -> int
+val rate : plan -> float
+
+val set_armed : plan -> bool -> unit
+(** Disarmed plans inject nothing (used by recovery/verification
+    phases of the soak tests); counters are retained. *)
+
+val injected : plan -> int
+(** Total faults injected so far. *)
+
+val counts : plan -> (string * int) list
+(** Injected faults by kind: append / torn / fsync / rename. *)
+
+val wrap : plan -> Backend.packed -> Backend.packed
+(** Wrap a backend so its write-path operations follow the plan. *)

@@ -1,0 +1,14 @@
+type info = { op : string; file : string; detail : string }
+
+exception Io_error of info
+
+let raise_io ~op ~file ~detail = raise (Io_error { op; file; detail })
+
+let to_string { op; file; detail } = Printf.sprintf "I/O error: %s %S: %s" op file detail
+
+let () =
+  Printexc.register_printer (function
+    | Io_error info -> Some (to_string info)
+    | _ -> None)
+
+let of_unix ~op ~file err = Io_error { op; file; detail = Unix.error_message err }

@@ -1,0 +1,20 @@
+(** Typed storage failures.
+
+    Every failure a storage backend can hit — a real [Unix] error on
+    the disk backend, or an injected fault from the {!Fault} middleware
+    — surfaces as one exception, [Io_error], carrying the operation,
+    the file and a human-readable detail. Engines catch it to fail the
+    current operation cleanly (never to corrupt state); everything else
+    ([Not_found] for missing files, [Invalid_argument] for bad ranges)
+    keeps its historical meaning. *)
+
+type info = { op : string; file : string; detail : string }
+
+exception Io_error of info
+
+val raise_io : op:string -> file:string -> detail:string -> 'a
+
+val to_string : info -> string
+
+val of_unix : op:string -> file:string -> Unix.error -> exn
+(** Wrap a [Unix.error] (the disk backend's failure mode). *)

@@ -11,6 +11,7 @@ type t = {
   env : Env.t;
   logical_bytes : unit -> int;
   metrics : unit -> string;
+  absorbed_failures : unit -> int;
 }
 
 let evendb ?config env =
@@ -26,6 +27,7 @@ let evendb ?config env =
     env;
     logical_bytes = (fun () -> Evendb_core.Db.logical_bytes_written db);
     metrics = (fun () -> Evendb_core.Db.metrics_dump db `Json);
+    absorbed_failures = (fun () -> 0);
   }
 
 let lsm ?config env =
@@ -41,6 +43,7 @@ let lsm ?config env =
     env;
     logical_bytes = (fun () -> Evendb_lsm.Lsm.logical_bytes_written db);
     metrics = (fun () -> Evendb_lsm.Lsm.metrics_dump db `Json);
+    absorbed_failures = (fun () -> 0);
   }
 
 let flsm ?config env =
@@ -56,6 +59,7 @@ let flsm ?config env =
     env;
     logical_bytes = (fun () -> Evendb_flsm.Flsm.logical_bytes_written db);
     metrics = (fun () -> Evendb_flsm.Flsm.metrics_dump db `Json);
+    absorbed_failures = (fun () -> 0);
   }
 
 let bytes_written t = (Io_stats.snapshot (Env.stats t.env)).Io_stats.bytes_written
@@ -66,3 +70,23 @@ let write_amplification t =
   if logical = 0 then 0.0 else float_of_int (bytes_written t) /. float_of_int logical
 
 let space_used t = Env.space_used t.env
+
+(* Benchmarks under an injected fault profile must keep driving load
+   when an operation fails cleanly: wrap every op so a typed storage
+   error is absorbed and counted instead of killing the experiment.
+   Reads cannot be injected, but scans and gets are wrapped anyway so
+   the facade stays uniformly total. *)
+let fault_tolerant e =
+  let absorbed = Atomic.make 0 in
+  let guard f = try f () with Env.Io_error _ -> Atomic.incr absorbed in
+  let guard_v default f = try f () with Env.Io_error _ -> Atomic.incr absorbed; default in
+  {
+    e with
+    put = (fun k v -> guard (fun () -> e.put k v));
+    delete = (fun k -> guard (fun () -> e.delete k));
+    get = (fun k -> guard_v None (fun () -> e.get k));
+    scan = (fun ~low ~high ~limit -> guard_v [] (fun () -> e.scan ~low ~high ~limit));
+    maintain = (fun () -> guard e.maintain);
+    close = (fun () -> guard e.close);
+    absorbed_failures = (fun () -> e.absorbed_failures () + Atomic.get absorbed);
+  }

@@ -14,11 +14,19 @@ type t = {
   env : Env.t;
   logical_bytes : unit -> int;
   metrics : unit -> string;  (** JSON metrics snapshot (see {!Evendb_obs.Obs.to_json}). *)
+  absorbed_failures : unit -> int;
+      (** Operations swallowed by {!fault_tolerant} (0 on a bare engine). *)
 }
 
 val evendb : ?config:Evendb_core.Config.t -> Env.t -> t
 val lsm : ?config:Evendb_lsm.Lsm.Config.t -> Env.t -> t
 val flsm : ?config:Evendb_flsm.Flsm.Config.t -> Env.t -> t
+
+val fault_tolerant : t -> t
+(** Wrap every operation so a typed {!Env.Io_error} is absorbed and
+    counted instead of propagating — benchmarks under an injected
+    fault profile keep driving load when an operation fails cleanly.
+    Applied by the bench harness whenever a fault profile is set. *)
 
 val write_amplification : t -> float
 (** Physical bytes written / logical bytes accepted (measured from the

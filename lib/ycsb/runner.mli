@@ -33,6 +33,9 @@ type result = {
   scan_hist : Histogram.t;
   windows : (float * float) list;
       (** (window end time in s, throughput in Kops) series. *)
+  failed_ops : int;
+      (** Operations that raised a typed storage error ({!Evendb_storage.Env.Io_error}) —
+          nonzero only when benchmarking under an injected fault profile. *)
 }
 
 val load : Engine.t -> Workload.shared -> unit

@@ -18,5 +18,6 @@ let () =
          Test_concurrency.suite;
          Test_lsm.suite;
          Test_flsm.suite;
+         Test_faults.suite;
          Test_ycsb.suite;
        ])

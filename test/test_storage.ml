@@ -148,6 +148,96 @@ let concurrent_appends () =
   List.iter Thread.join threads;
   Alcotest.(check int) "all appends landed" 4000 (Env.size env "conc")
 
+(* ---- Fault injection middleware ---- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let supports_crash_flag () =
+  Alcotest.(check bool) "memory" true (Env.supports_crash (Env.memory ()));
+  with_disk_env (fun env -> Alcotest.(check bool) "disk" false (Env.supports_crash env))
+
+let middleware_stacking () =
+  let plan = Fault.plan ~seed:7 ~rate:0.5 () in
+  let env = Env.memory ~faults:plan () in
+  let name = Env.backend_name env in
+  Alcotest.(check bool) "counting outermost" true (contains ~sub:"counting" name);
+  Alcotest.(check bool) "faulty layer present" true (contains ~sub:"faulty(7:0.5" name);
+  Alcotest.(check bool) "memory innermost" true (contains ~sub:"memory" name);
+  Alcotest.(check bool) "plain env has no faulty layer" false
+    (contains ~sub:"faulty" (Env.backend_name (Env.memory ())))
+
+let typed_error_fields () =
+  let plan = Fault.plan ~seed:1 ~rate:1.0 ~torn_fraction:0.0 () in
+  let env = Env.memory ~faults:plan () in
+  let f = Env.create env "t.log" in
+  (try
+     Env.append f "hello";
+     Alcotest.fail "expected Io_error"
+   with Env.Io_error info ->
+     Alcotest.(check string) "op" "append" info.Io_error.op;
+     Alcotest.(check string) "file" "t.log" info.Io_error.file);
+  (* A clean (non-torn) failure writes nothing, and Io_stats never
+     counts a failed operation. *)
+  Alcotest.(check int) "no bytes landed" 0 (Env.size env "t.log");
+  Alcotest.(check int) "failed write not counted" 0
+    (Io_stats.snapshot (Env.stats env)).Io_stats.bytes_written;
+  Alcotest.(check (list (pair string int))) "counted by kind"
+    [ ("append", 1); ("torn", 0); ("fsync", 0); ("rename", 0) ]
+    (Fault.counts plan);
+  Fault.set_armed plan false;
+  Env.append f "hello";
+  Alcotest.(check string) "disarmed plan injects nothing" "hello" (Env.read_all env "t.log");
+  Env.close_file f
+
+let torn_append_partial () =
+  let plan = Fault.plan ~seed:5 ~rate:1.0 ~torn_fraction:1.0 () in
+  let env = Env.memory ~faults:plan () in
+  let f = Env.create env "torn.log" in
+  (try
+     Env.append f "0123456789";
+     Alcotest.fail "expected Io_error"
+   with Env.Io_error _ -> ());
+  Fault.set_armed plan false;
+  let n = Env.size env "torn.log" in
+  Alcotest.(check bool) "strict prefix landed" true (n > 0 && n < 10);
+  Env.close_file f
+
+let deterministic_schedule () =
+  let run () =
+    let plan = Fault.plan ~seed:42 ~rate:0.3 () in
+    let env = Env.memory ~faults:plan () in
+    let f = Env.create env "d.log" in
+    let failures = ref [] in
+    for i = 0 to 199 do
+      (try Env.append f (Printf.sprintf "record%04d" i)
+       with Env.Io_error _ -> failures := i :: !failures);
+      if i mod 10 = 0 then
+        try Env.fsync f with Env.Io_error _ -> failures := (1000 + i) :: !failures
+    done;
+    Env.close_file f;
+    (!failures, Fault.injected plan, Env.size env "d.log")
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let _, injected, _ = a in
+  Alcotest.(check bool) "schedule fired" true (injected > 0)
+
+let parse_profile_roundtrip () =
+  let p = Fault.parse_profile "42:0.01" in
+  Alcotest.(check int) "seed" 42 (Fault.seed p);
+  Alcotest.(check (float 1e-9)) "rate" 0.01 (Fault.rate p);
+  Alcotest.(check string) "roundtrip" "42:0.01" (Fault.profile_string p);
+  List.iter
+    (fun s ->
+      try
+        ignore (Fault.parse_profile s);
+        Alcotest.failf "expected Invalid_argument for %S" s
+      with Invalid_argument _ -> ())
+    [ "bogus"; "1:"; ":0.5"; "1:2.0"; "1:-0.1" ]
+
 let suite =
   [
     ( "env",
@@ -166,5 +256,14 @@ let suite =
         Alcotest.test_case "fsync_all makes durable" `Quick fsync_all_marks_everything;
         Alcotest.test_case "disk backend rejects crash" `Quick crash_disk_rejected;
         Alcotest.test_case "concurrent appends" `Quick concurrent_appends;
+      ] );
+    ( "fault middleware",
+      [
+        Alcotest.test_case "supports_crash flag" `Quick supports_crash_flag;
+        Alcotest.test_case "middleware stacking" `Quick middleware_stacking;
+        Alcotest.test_case "typed error fields" `Quick typed_error_fields;
+        Alcotest.test_case "torn append is a strict prefix" `Quick torn_append_partial;
+        Alcotest.test_case "schedule is deterministic" `Quick deterministic_schedule;
+        Alcotest.test_case "parse_profile" `Quick parse_profile_roundtrip;
       ] );
   ]
