@@ -7,9 +7,11 @@
      evendb load <dir> [--items N] [--dist zipf|composite|uniform]
      evendb stat <dir> [--json | --prometheus]
      evendb checkpoint <dir>
+     evendb fsck <dir> [--repair]
 
-   Every invocation opens (recovering if needed) and cleanly closes
-   the store in <dir>. *)
+   Every invocation except fsck opens (recovering if needed) and
+   cleanly closes the store in <dir>; fsck works on the raw directory
+   without opening the store. *)
 
 open Cmdliner
 module Db = Evendb_core.Db
@@ -44,9 +46,11 @@ let fault_arg =
     & info [ "fault-profile" ] ~docv:"SEED:RATE"
         ~doc:
           "Inject deterministic storage faults for this invocation: each append/fsync/rename \
-           fails with probability RATE under a schedule derived from SEED (e.g. 42:0.01). \
-           Failures surface as typed I/O errors; the injected count is printed to stderr on \
-           exit.")
+           fails with probability RATE under a schedule derived from SEED (e.g. 42:0.01). An \
+           optional third field adds read corruption: SEED:RATE:CORRUPT flips one byte per \
+           read with probability CORRUPT (e.g. 42:0:0.05), which surfaces as typed corruption \
+           errors and shows up in the io.corruptions metric. The injected count is printed to \
+           stderr on exit.")
 
 let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
 let key_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY")
@@ -139,9 +143,34 @@ let checkpoint_cmd =
   Cmd.v (Cmd.info "checkpoint" ~doc:"Force a durability checkpoint")
     Term.(const run $ fault_arg $ dir_arg)
 
+let fsck_cmd =
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Fix what can be fixed. Untrusted files are quarantined under quarantine/ (never \
+             deleted) before rebuilding from checksummed fragments; acked-and-synced data \
+             survives.")
+  in
+  let run dir repair =
+    (* Deliberately does not open the store: fsck must work on exactly
+       the state a crashed or corrupted store cannot recover from. *)
+    let env = Env.disk dir in
+    let report = if repair then Evendb_check.Scrub.repair env else Evendb_check.Scrub.scrub env in
+    Format.printf "%a" Evendb_check.Scrub.pp_report report;
+    if not (Evendb_check.Scrub.is_clean report) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify on-disk integrity: every checksum (SSTable blocks, log records, metadata \
+          payloads) and the manifest's cross-file references. Exits 2 if errors remain.")
+    Term.(const run $ dir_arg $ repair)
+
 let () =
   let doc = "EvenDB: a key-value store optimized for spatial locality" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "evendb" ~doc)
-          [ put_cmd; get_cmd; del_cmd; scan_cmd; load_cmd; stat_cmd; checkpoint_cmd ]))
+          [ put_cmd; get_cmd; del_cmd; scan_cmd; load_cmd; stat_cmd; checkpoint_cmd; fsck_cmd ]))

@@ -1,0 +1,337 @@
+open Evendb_util
+open Evendb_storage
+
+module type ENGINE = sig
+  type t
+
+  val name : string
+  val open_ : Env.t -> t
+  val close : t -> unit
+  val put : t -> string -> string -> unit
+  val delete : t -> string -> unit
+  val get : t -> string -> string option
+  val scan : t -> low:string -> high:string -> (string * string) list
+  val barrier : t -> unit
+  val durable_on_ack : bool
+end
+
+(* Thresholds shrunk so flushes, rebalances, splits and compactions all
+   fire within a few hundred operations — the structurally interesting
+   crash windows. *)
+
+module Evendb_engine (M : sig
+  val mode : Evendb_core.Config.persistence
+end) : ENGINE = struct
+  open Evendb_core
+
+  type t = Db.t
+
+  let name =
+    match M.mode with Config.Sync -> "evendb-sync" | Config.Async -> "evendb-async"
+
+  let config =
+    {
+      Config.default with
+      persistence = M.mode;
+      max_chunk_bytes = 8 * 1024;
+      munk_rebalance_bytes = 6 * 1024;
+      munk_rebalance_appended = 64;
+      funk_log_limit_no_munk = 2 * 1024;
+      funk_log_limit_with_munk = 8 * 1024;
+      munk_cache_capacity = 4;
+    }
+
+  let open_ env = Db.open_ ~config env
+  let close = Db.close
+  let put = Db.put
+  let delete = Db.delete
+  let get = Db.get
+  let scan t ~low ~high = Db.scan t ~low ~high ()
+  let barrier = Db.checkpoint
+  let durable_on_ack = match M.mode with Config.Sync -> true | Config.Async -> false
+end
+
+module Evendb_sync = Evendb_engine (struct
+  let mode = Evendb_core.Config.Sync
+end)
+
+module Evendb_async = Evendb_engine (struct
+  let mode = Evendb_core.Config.Async
+end)
+
+module Lsm_engine : ENGINE = struct
+  open Evendb_lsm
+
+  type t = Lsm.t
+
+  let name = "lsm-sync"
+
+  let config =
+    {
+      Lsm.Config.default with
+      memtable_bytes = 2 * 1024;
+      level_base_bytes = 8 * 1024;
+      target_file_bytes = 4 * 1024;
+      sync_writes = true;
+    }
+
+  let open_ env = Lsm.open_ ~config env
+  let close = Lsm.close
+  let put = Lsm.put
+  let delete = Lsm.delete
+  let get = Lsm.get
+  let scan t ~low ~high = Lsm.scan t ~low ~high ()
+  let barrier _ = ()
+  let durable_on_ack = true
+end
+
+module Flsm_engine : ENGINE = struct
+  open Evendb_flsm
+
+  type t = Flsm.t
+
+  let name = "flsm-sync"
+
+  let config =
+    {
+      Flsm.Config.default with
+      memtable_bytes = 2 * 1024;
+      guard_bytes = 8 * 1024;
+      sync_writes = true;
+    }
+
+  let open_ env = Flsm.open_ ~config env
+  let close = Flsm.close
+  let put = Flsm.put
+  let delete = Flsm.delete
+  let get = Flsm.get
+  let scan t ~low ~high = Flsm.scan t ~low ~high ()
+  let barrier _ = ()
+  let durable_on_ack = true
+end
+
+let evendb_sync = (module Evendb_sync : ENGINE)
+let evendb_async = (module Evendb_async : ENGINE)
+let lsm_sync = (module Lsm_engine : ENGINE)
+let flsm_sync = (module Flsm_engine : ENGINE)
+let all_engines = [ evendb_sync; evendb_async; lsm_sync; flsm_sync ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload recording                                                  *)
+
+(* One recorded mutation. [s]/[l] bracket its journal footprint; an op
+   is "attempted" at crash point k when s < k (some trace may exist)
+   and "required" once durable_at <= k. *)
+type record = {
+  r_key : string;
+  r_seq : int;
+  r_value : string option; (* None = delete *)
+  r_s : int;
+  mutable r_durable_at : int;
+}
+
+let key_of i = Printf.sprintf "k%04d" i
+let value_of seq = Printf.sprintf "v%08d" seq
+
+let seq_of_value v =
+  if String.length v = 9 && v.[0] = 'v' then int_of_string_opt (String.sub v 1 8) else None
+
+type result = {
+  engine : string;
+  mode : Backend.crash_mode;
+  ops_run : int;
+  crash_points : int;
+  violations : (int * string) list;
+}
+
+let mode_name = function
+  | Backend.Drop_unsynced -> "drop"
+  | Backend.Reorder_unsynced seed -> Printf.sprintf "reorder:%d" seed
+
+(* The per-key persistence contract at crash point [k]: the recovered
+   value must be at least as new as the newest durable mutation and no
+   newer than anything attempted. *)
+let check_key ~by_seq ~records ~k key observed =
+  let ops = List.filter (fun r -> r.r_key = key) records in
+  let attempted = List.filter (fun r -> r.r_s < k) ops in
+  let required =
+    List.fold_left
+      (fun acc r ->
+        if r.r_durable_at <= k then
+          match acc with Some b when b.r_seq > r.r_seq -> acc | _ -> Some r
+        else acc)
+      None attempted
+  in
+  let floor_seq = match required with Some r -> r.r_seq | None -> -1 in
+  match observed with
+  | Some v -> (
+    match seq_of_value v with
+    | None -> Some (Printf.sprintf "%s: unparseable value %S" key v)
+    | Some seq -> (
+      match Hashtbl.find_opt by_seq seq with
+      | None -> Some (Printf.sprintf "%s: value %S matches no operation" key v)
+      | Some r ->
+        if r.r_key <> key then
+          Some (Printf.sprintf "%s: value %S belongs to key %s" key v r.r_key)
+        else if r.r_value = None then
+          Some (Printf.sprintf "%s: tombstone seq %d served as a value" key seq)
+        else if r.r_s >= k then
+          Some (Printf.sprintf "%s: value seq %d from an operation after the crash" key seq)
+        else if seq < floor_seq then
+          Some
+            (Printf.sprintf "%s: lost durable write — serves seq %d, checkpointed seq %d" key
+               seq floor_seq)
+        else None))
+  | None -> (
+    match required with
+    | None -> None
+    | Some r when r.r_value = None -> None
+    | Some r ->
+      (* A newer attempted delete explains the absence. *)
+      if List.exists (fun o -> o.r_seq > r.r_seq && o.r_value = None) attempted then None
+      else
+        Some
+          (Printf.sprintf "%s: durable write lost — seq %d (checkpointed) missing" key r.r_seq)
+    )
+
+let explore (module E : ENGINE) ?(ops = 200) ?(keys = 24) ?(barrier_every = 40) ?(seed = 1)
+    ?(scrub = true) ~mode () =
+  let journal, packed = Backend.journaled_memory () in
+  let env = Env.of_backend packed in
+  let records = ref [] in
+  let by_seq = Hashtbl.create (ops * 2) in
+  let record r =
+    records := r :: !records;
+    Hashtbl.replace by_seq r.r_seq r
+  in
+  let jlen () = Backend.journal_length journal in
+  (* Run the workload, journaling everything including open and close. *)
+  let db = E.open_ env in
+  let rng = Rng.create seed in
+  let seq = ref 0 in
+  let barrier () =
+    E.barrier db;
+    let l = jlen () in
+    List.iter (fun r -> if r.r_durable_at > l then r.r_durable_at <- l) !records
+  in
+  for i = 1 to ops do
+    let key = key_of (Rng.int rng keys) in
+    let s = jlen () in
+    let roll = Rng.int rng 10 in
+    if roll < 7 then begin
+      incr seq;
+      let v = value_of !seq in
+      E.put db key v;
+      record
+        {
+          r_key = key;
+          r_seq = !seq;
+          r_value = Some v;
+          r_s = s;
+          r_durable_at = (if E.durable_on_ack then jlen () else max_int);
+        }
+    end
+    else if roll < 9 then begin
+      incr seq;
+      E.delete db key;
+      record
+        {
+          r_key = key;
+          r_seq = !seq;
+          r_value = None;
+          r_s = s;
+          r_durable_at = (if E.durable_on_ack then jlen () else max_int);
+        }
+    end
+    else ignore (E.scan db ~low:(key_of 0) ~high:(key_of keys));
+    if barrier_every > 0 && i mod barrier_every = 0 then barrier ()
+  done;
+  barrier ();
+  E.close db;
+  let total = jlen () in
+  let records = !records in
+  let violations = ref [] in
+  let violate k msg = violations := (k, Printf.sprintf "[%s] %s" E.name msg) :: !violations in
+  for k = 0 to total do
+    let env_k = Env.of_backend (Backend.replay_prefix journal ~mode k) in
+    match E.open_ env_k with
+    | exception exn -> violate k (Printf.sprintf "recovery failed: %s" (Printexc.to_string exn))
+    | db2 ->
+      (try
+         (* Point reads. *)
+         for i = 0 to keys - 1 do
+           let key = key_of i in
+           match E.get db2 key with
+           | observed -> (
+             match check_key ~by_seq ~records ~k key observed with
+             | Some msg -> violate k msg
+             | None -> ())
+           | exception exn ->
+             violate k (Printf.sprintf "get %s raised %s" key (Printexc.to_string exn))
+         done;
+         (* Scan: sorted, duplicate-free, same per-key bounds. *)
+         (match E.scan db2 ~low:(key_of 0) ~high:(key_of keys) with
+         | pairs ->
+           let rec sorted = function
+             | (a, _) :: ((b, _) :: _ as rest) ->
+               if String.compare a b >= 0 then
+                 violate k (Printf.sprintf "scan unsorted/duplicate at %s >= %s" a b);
+               sorted rest
+             | _ -> ()
+           in
+           sorted pairs;
+           List.iter
+             (fun (key, v) ->
+               match check_key ~by_seq ~records ~k key (Some v) with
+               | Some msg -> violate k ("scan: " ^ msg)
+               | None -> ())
+             pairs;
+           for i = 0 to keys - 1 do
+             let key = key_of i in
+             if not (List.mem_assoc key pairs) then
+               match check_key ~by_seq ~records ~k key None with
+               | Some msg -> violate k ("scan: " ^ msg)
+               | None -> ()
+           done
+         | exception exn -> violate k (Printf.sprintf "scan raised %s" (Printexc.to_string exn)));
+         (* Usability: the recovered store must accept new writes. *)
+         (try
+            E.put db2 "zz_probe" "alive";
+            match E.get db2 "zz_probe" with
+            | Some "alive" -> ()
+            | other ->
+              violate k
+                (Printf.sprintf "probe write not readable: %s"
+                   (match other with Some v -> v | None -> "missing"))
+          with exn -> violate k (Printf.sprintf "probe write raised %s" (Printexc.to_string exn)))
+       with exn -> violate k (Printf.sprintf "checks raised %s" (Printexc.to_string exn)));
+      (try E.close db2
+       with exn -> violate k (Printf.sprintf "close raised %s" (Printexc.to_string exn)));
+      if scrub then
+        List.iter
+          (fun (f : Scrub.finding) ->
+            let tolerated =
+              match (f.f_kind, mode) with
+              (* Only a reordering disk can tear a record mid-log; under
+                 Drop_unsynced every surviving log is a clean prefix. *)
+              | Scrub.Log_garbage, Backend.Reorder_unsynced _ -> true
+              | Scrub.Log_garbage, Backend.Drop_unsynced -> false
+              | _ -> f.f_severity = Scrub.Warning
+            in
+            if not tolerated then
+              violate k
+                (Printf.sprintf "scrub: %s: %s" f.f_file f.f_detail))
+          (Scrub.scrub env_k).Scrub.findings
+  done;
+  {
+    engine = E.name;
+    mode;
+    ops_run = ops;
+    crash_points = total + 1;
+    violations = List.rev !violations;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s/%s: %d ops, %d crash points, %d violations@." r.engine
+    (mode_name r.mode) r.ops_run r.crash_points (List.length r.violations);
+  List.iter (fun (k, msg) -> Format.fprintf ppf "  @@%d %s@." k msg) r.violations

@@ -25,11 +25,15 @@ let store env ~version =
      (try Env.delete env tmp with _ -> ());
      raise exn)
 
+let corrupt env detail =
+  Env.note_corruption env;
+  Io_error.raise_corruption ~file:file_name ~detail
+
 let load env =
   if not (Env.exists env file_name) then None
   else begin
     let data = Env.read_all env file_name in
-    if String.length data < 5 then invalid_arg "Checkpoint_file.load: truncated";
+    if String.length data < 5 then corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     let stored =
       let b i = Int32.of_int (Char.code data.[String.length data - 4 + i]) in
@@ -38,7 +42,8 @@ let load env =
            (Int32.shift_left (b 1) 8)
            (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
     in
-    if Crc32c.string payload <> stored then invalid_arg "Checkpoint_file.load: bad checksum";
-    let version, _ = Varint.read payload 0 in
-    Some version
+    if Crc32c.string payload <> stored then corrupt env "bad checksum";
+    match Varint.read payload 0 with
+    | version, _ -> Some version
+    | exception Invalid_argument _ -> corrupt env "malformed payload"
   end

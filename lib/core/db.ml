@@ -112,6 +112,26 @@ let manifest_update db ~add ~remove =
          successful store repairs the on-disk manifest in full. *)
       Manifest.store db.env { next_id = Atomic.get db.next_funk_id; live })
 
+(* Two-phase funk publication. Phase 1 records the replacement funks in
+   the manifest while the replaced funks' files are still on disk;
+   phase 2 drops the replaced ids and only then retires them (deleting
+   their files once unpinned). A crash between the phases leaves both
+   generations manifest-live with intact files — recovery keeps the
+   newer (higher-id) funk of each min-key and sweeps the other. The
+   reverse order would let a crash strand a manifest-live id whose
+   files are already deleted, which recovery could not tell apart from
+   data loss. If phase 2's store fails, the old funks are deliberately
+   NOT retired: the on-disk manifest may still reference them, so their
+   files must survive until a later store (or recovery) supersedes it. *)
+let publish_funks db ~add ~disown =
+  manifest_update db ~add ~remove:[];
+  let retired = List.filter Funk.disown disown in
+  match retired with
+  | [] -> ()
+  | fs ->
+    manifest_update db ~add:[] ~remove:(List.map Funk.id fs);
+    List.iter Funk.retire fs
+
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
 
@@ -230,8 +250,7 @@ let flush_munk_locked db c munk =
       in
       Chunk.set_munk c (Some compacted);
       Chunk.set_funk c funk';
-      let last = Funk.disown old_funk in
-      manifest_update db ~add:[ id ] ~remove:(if last then [ Funk.id old_funk ] else []);
+      publish_funks db ~add:[ id ] ~disown:[ old_funk ];
       Obs.Counter.incr db.ctr_funk_flushes;
       compacted)
 
@@ -268,22 +287,27 @@ let note_access db c =
   let tick = Domain.DLS.get access_tick in
   incr tick;
   if !tick land 7 = 0 then begin
-    match Lfu.on_access db.lfu (Chunk.id c) with
-    | Lfu.Already_cached | Lfu.Skip -> ()
-    | Lfu.Evict_other vid -> (
-      match chunk_by_id db vid with
-      | Some victim -> ignore (evict_munk_chunk db victim)
-      | None -> Lfu.remove db.lfu vid)
-    | Lfu.Admit evictee ->
-      (match evictee with
-      | Some vid -> (
+    try
+      (match Lfu.on_access db.lfu (Chunk.id c) with
+      | Lfu.Already_cached | Lfu.Skip -> ()
+      | Lfu.Evict_other vid -> (
         match chunk_by_id db vid with
         | Some victim -> ignore (evict_munk_chunk db victim)
         | None -> Lfu.remove db.lfu vid)
-      | None -> ());
-      if not (load_munk db c) then
-        (* Retired or already loaded elsewhere; keep LFU consistent. *)
-        if Chunk.munk c = None then Lfu.drop_cached db.lfu (Chunk.id c)
+      | Lfu.Admit evictee ->
+        (match evictee with
+        | Some vid -> (
+          match chunk_by_id db vid with
+          | Some victim -> ignore (evict_munk_chunk db victim)
+          | None -> Lfu.remove db.lfu vid)
+        | None -> ());
+        if not (load_munk db c) then
+          (* Retired or already loaded elsewhere; keep LFU consistent. *)
+          if Chunk.munk c = None then Lfu.drop_cached db.lfu (Chunk.id c))
+    with Env.Corruption _ ->
+      (* Admission is an optimisation; a corrupt funk must not take the
+         read path down with it. The get itself degrades separately. *)
+      ()
   end
 
 (* ------------------------------------------------------------------ *)
@@ -333,17 +357,32 @@ let rec get_resolved db key =
             record Read_stats.Funk_log;
             None
           | None -> (
-            match Funk.get_from_sst funk ~visible:(visible db) ~max_version:max_int key with
-            | Some ({ value = Some v; version; counter; _ } : K.entry) ->
+            match
+              try `Sst (Funk.get_from_sst funk ~visible:(visible db) ~max_version:max_int key)
+              with Env.Corruption _ as exn ->
+                (* Corrupt SSTable block: degrade to a full-log scan (a
+                   superset of the bloom segments checked above). A key
+                   that only lives in the corrupt table stays
+                   unreadable until [fsck --repair], but the process
+                   survives and every log-resident key stays served. *)
+                `Degraded
+                  ( Funk.get_from_log funk ~visible:(visible db) ~max_version:max_int key,
+                    exn )
+            with
+            | `Sst (Some ({ value = Some v; version; counter; _ } : K.entry)) ->
               Row_cache.insert db.row_cache key v ~version ~counter;
               record Read_stats.Sstable;
               Some v
-            | Some { value = None; _ } ->
+            | `Sst (Some { value = None; _ }) ->
               record Read_stats.Sstable;
               None
-            | None ->
+            | `Sst None ->
               record Read_stats.Missing;
-              None))
+              None
+            | `Degraded (Some ({ value; _ } : K.entry), _) ->
+              record Read_stats.Funk_log;
+              value
+            | `Degraded (None, exn) -> raise exn))
       with Funk.Stale -> get_resolved db key))
 
 let get db key = Obs.Timer.time db.tm_get (fun () -> get_resolved db key)
@@ -435,9 +474,7 @@ let split_chunk_locked db c compacted floor =
                 in
                 Chunk.set_funk nc funk';
                 Chunk.set_bloom nc (Some (build_bloom db funk'));
-                let last = Funk.disown old_funk in
-                manifest_update db ~add:[ id ]
-                  ~remove:(if last then [ Funk.id old_funk ] else [])))
+                publish_funks db ~add:[ id ] ~disown:[ old_funk ]))
       [ c1; c2 ])
 
 (* Munk rebalance: compact in memory; split if over the size limit. *)
@@ -521,8 +558,7 @@ let cold_funk_rebalance db c =
               divert_records (fun _ -> funk');
               Chunk.set_funk c funk';
               Chunk.set_bloom c (Some (build_bloom db funk'));
-              let last = Funk.disown funk in
-              manifest_update db ~add:[ id ] ~remove:(if last then [ Funk.id funk ] else [])
+              publish_funks db ~add:[ id ] ~disown:[ funk ]
             end)
       end
       else begin
@@ -574,9 +610,7 @@ let cold_funk_rebalance db c =
                 Chunk.set_next c1 (Some c2);
                 splice_chunks db c ~first:c1 ~last:c2;
                 Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
-                let last = Funk.disown funk in
-                manifest_update db ~add:[ id1; id2 ]
-                  ~remove:(if last then [ Funk.id funk ] else [])
+                publish_funks db ~add:[ id1; id2 ] ~disown:[ funk ]
               end)
       end))
 
@@ -708,15 +742,8 @@ let merge_chunks db c n =
               Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id cm ];
               Lfu.remove db.lfu (Chunk.id n);
               ignore (Lfu.force_insert db.lfu (Chunk.id cm));
-              let old_c = Chunk.funk c and old_n = Chunk.funk n in
-              let last_c = Funk.disown old_c in
-              let last_n = Funk.disown old_n in
-              let removed =
-                (if last_c then [ Funk.id old_c ] else [])
-                @ (if last_n then [ Funk.id old_n ] else [])
-              in
               Obs.Trace.add_attr sp "entries" (List.length entries);
-              manifest_update db ~add:[ id ] ~remove:removed)
+              publish_funks db ~add:[ id ] ~disown:[ Chunk.funk c; Chunk.funk n ])
             end)
       end)
 
@@ -781,7 +808,7 @@ and put_entry_and_maintain db key value_opt =
   (match db.maint with
   | None -> (
     try maybe_maintain db c
-    with Env.Io_error _ -> Obs.Counter.incr db.ctr_io_errors)
+    with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr db.ctr_io_errors)
   | Some m ->
     if needs_munk_rebalance db c || needs_funk_rebalance db c then begin
       Mutex.lock m.m_mutex;
@@ -801,7 +828,7 @@ and put_entry_and_maintain db key value_opt =
        an injected fault leaves the previous checkpoint intact and the
        next interval retries; only an explicit [checkpoint] propagates. *)
     try checkpoint_auto db
-    with Env.Io_error _ -> Obs.Counter.incr db.ctr_io_errors
+    with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr db.ctr_io_errors
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint (§3.5)                                                   *)
@@ -894,13 +921,26 @@ let scan_internal db ?limit ~low ~high () =
                     let log_entries =
                       Funk.log_entries_in_range funk ~visible:(visible db) ~low:lo ~high
                     in
-                    let sst_it =
-                      bounded_iter (Sstable.Reader.iter_from (Funk.sst funk) lo) ~high
+                    (* Materialise the SSTable's slice before consuming:
+                       a corrupt block then degrades this one chunk to
+                       its log contents instead of aborting the scan
+                       half-consumed (logs resync past damage and never
+                       raise). *)
+                    let sst_entries =
+                      try
+                        let it =
+                          bounded_iter (Sstable.Reader.iter_from (Funk.sst funk) lo) ~high
+                        in
+                        let rec drain acc =
+                          match it () with
+                          | Some (e : K.entry) ->
+                            drain (if visible db e.version then e :: acc else acc)
+                          | None -> List.rev acc
+                        in
+                        drain []
+                      with Env.Corruption _ -> []
                     in
-                    let sst_it =
-                      K.filter (fun (e : K.entry) -> visible db e.version) sst_it
-                    in
-                    consume (K.merge [ K.of_list log_entries; sst_it ]));
+                    consume (K.merge [ K.of_list log_entries; K.of_list sst_entries ]));
                 false
               with Funk.Stale -> true)
           in
@@ -983,6 +1023,8 @@ let register_probes db =
         (Chunk_index.chunks (Atomic.get db.index)));
   p "db.logical_bytes_written" (fun () -> Atomic.get db.logical_written);
   p "faults.injected" (fun () -> Env.faults_injected db.env);
+  p "io.corruptions" (fun () -> Env.corruptions_detected db.env);
+  p "log.resyncs" (fun () -> Env.log_resyncs db.env);
   let st = Env.stats db.env in
   List.iter
     (fun kind ->
@@ -1086,7 +1128,7 @@ let maintainer_loop db m =
     | Some c ->
       (try maybe_maintain db c with
       | Funk.Stale -> ()
-      | Env.Io_error _ ->
+      | Env.Io_error _ | Env.Corruption _ ->
         (* Maintenance failed cleanly; the chunk re-queues on the next
            over-threshold put. *)
         Obs.Counter.incr db.ctr_io_errors);
@@ -1151,17 +1193,46 @@ let open_internal config env =
     store_mode env config.Config.persistence;
     let epoch = prev_epoch + 1 in
     if epoch > Version.max_epoch then failwith "Evendb: epoch space exhausted";
-    (* Remove leftovers of interrupted rebuilds. *)
+    (* Remove leftovers of interrupted rebuilds. Quarantined files (moved
+       aside by fsck --repair) are evidence, never swept. *)
     let live_set = Hashtbl.create 16 in
     List.iter (fun id -> Hashtbl.replace live_set id ()) manifest.Manifest.live;
     List.iter
       (fun name ->
-        match parse_funk_file name with
-        | Some (id, _) when not (Hashtbl.mem live_set id) -> Env.delete env name
-        | Some _ -> ()
-        | None -> if Filename.check_suffix name ".tmp" then Env.delete env name)
+        if not (Env.is_quarantined name) then
+          match parse_funk_file name with
+          | Some (id, _) when not (Hashtbl.mem live_set id) -> Env.delete env name
+          | Some _ -> ()
+          | None -> if Filename.check_suffix name ".tmp" then Env.delete env name)
       (Env.list_files env);
     let funks = List.map (fun id -> Funk.open_existing env ~id) manifest.Manifest.live in
+    (* A crash between the two manifest updates of [publish_funks] leaves
+       both the replaced funk and its replacement live under the same
+       min-key. The replacement (higher id) is a superset — the flip
+       happened under the chunk's exclusive rebalance lock — so keep it
+       and sweep the stale one. Persist the pruned manifest before
+       deleting so a second crash cannot resurrect the loser. *)
+    let by_key = Hashtbl.create 16 in
+    List.iter
+      (fun f ->
+        let k = Funk.min_key f in
+        match Hashtbl.find_opt by_key k with
+        | Some prev when Funk.id prev >= Funk.id f -> ()
+        | _ -> Hashtbl.replace by_key k f)
+      funks;
+    let losers = List.filter (fun f -> Hashtbl.find by_key (Funk.min_key f) != f) funks in
+    let funks, manifest =
+      match losers with
+      | [] -> (funks, manifest)
+      | _ ->
+        let keep = List.filter (fun f -> not (List.memq f losers)) funks in
+        let manifest =
+          { manifest with Manifest.live = List.map Funk.id keep }
+        in
+        Manifest.store env manifest;
+        List.iter Funk.retire losers;
+        (keep, manifest)
+    in
     let funks =
       List.sort (fun a b -> String.compare (Funk.min_key a) (Funk.min_key b)) funks
     in

@@ -169,7 +169,10 @@ let add_owner t =
 
 let disown t =
   let last = Atomic.fetch_and_add t.owners (-1) = 1 in
-  if last then retire t else release t;
+  (* When this was the last owner, retirement (and file deletion) is
+     the caller's move — it must first drop the funk from the manifest
+     so a crash can never leave a manifest-live id with deleted files. *)
+  if not last then release t;
   last
 
 exception Stale

@@ -87,9 +87,11 @@ val add_owner : t -> unit
     chunks share the old funk). *)
 
 val disown : t -> bool
-(** Drop one owning chunk's reference; retires the funk when the last
-    owner lets go. Returns [true] in that case (the caller then drops
-    it from the manifest). *)
+(** Drop one owning chunk's reference. Returns [true] when this was the
+    last owner; the caller must then remove the funk from the manifest
+    and call {!retire} — in that order, so a crash between the two
+    leaves an orphan (swept at recovery) rather than a manifest-live
+    funk with deleted files (data loss). *)
 
 exception Stale
 (** Raised by {!with_pin} when the funk stays retired across retries —

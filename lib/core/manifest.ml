@@ -39,21 +39,29 @@ let store env t =
      (try Env.delete env tmp with _ -> ());
      raise exn)
 
+let corrupt env detail =
+  Env.note_corruption env;
+  Io_error.raise_corruption ~file:file_name ~detail
+
 let load env =
   if not (Env.exists env file_name) then None
   else begin
     let data = Env.read_all env file_name in
-    if String.length data < 4 then invalid_arg "Manifest.load: truncated";
+    if String.length data < 4 then corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     if Crc32c.string payload <> u32_le_of_string data (String.length data - 4) then
-      invalid_arg "Manifest.load: bad checksum";
-    let next_id, pos = Varint.read payload 0 in
-    let n, pos = Varint.read payload pos in
-    let rec ids acc pos = function
-      | 0 -> List.rev acc
-      | k ->
-        let id, pos = Varint.read payload pos in
-        ids (id :: acc) pos (k - 1)
-    in
-    Some { next_id; live = ids [] pos n }
+      corrupt env "bad checksum";
+    match
+      let next_id, pos = Varint.read payload 0 in
+      let n, pos = Varint.read payload pos in
+      let rec ids acc pos = function
+        | 0 -> List.rev acc
+        | k ->
+          let id, pos = Varint.read payload pos in
+          ids (id :: acc) pos (k - 1)
+      in
+      { next_id; live = ids [] pos n }
+    with
+    | t -> Some t
+    | exception Invalid_argument _ -> corrupt env "malformed payload"
   end

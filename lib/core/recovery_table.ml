@@ -47,11 +47,15 @@ let store env t =
   Env.close_file file;
   Env.rename env ~old_name:tmp ~new_name:file_name
 
+let corrupt env detail =
+  Env.note_corruption env;
+  Io_error.raise_corruption ~file:file_name ~detail
+
 let load env =
   if not (Env.exists env file_name) then empty
   else begin
     let data = Env.read_all env file_name in
-    if String.length data < 4 then invalid_arg "Recovery_table.load: truncated";
+    if String.length data < 4 then corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     let crc_bytes = String.sub data (String.length data - 4) 4 in
     let stored =
@@ -61,14 +65,18 @@ let load env =
            (Int32.shift_left (b 1) 8)
            (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
     in
-    if Crc32c.string payload <> stored then invalid_arg "Recovery_table.load: bad checksum";
-    let n, pos = Varint.read payload 0 in
-    let rec rows acc pos = function
-      | 0 -> List.rev acc
-      | k ->
-        let e, pos = Varint.read payload pos in
-        let s, pos = Varint.read payload pos in
-        rows ((e, s - 1) :: acc) pos (k - 1)
-    in
-    rows [] pos n
+    if Crc32c.string payload <> stored then corrupt env "bad checksum";
+    match
+      let n, pos = Varint.read payload 0 in
+      let rec rows acc pos = function
+        | 0 -> List.rev acc
+        | k ->
+          let e, pos = Varint.read payload pos in
+          let s, pos = Varint.read payload pos in
+          rows ((e, s - 1) :: acc) pos (k - 1)
+      in
+      rows [] pos n
+    with
+    | rows -> rows
+    | exception Invalid_argument _ -> corrupt env "malformed payload"
   end

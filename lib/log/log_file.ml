@@ -151,14 +151,18 @@ module Reader = struct
            record, so one torn record never hides the acknowledged
            records behind it. A spurious match needs a 32-bit CRC
            collision inside garbage. *)
-        let rec go acc pos =
+        (* Each maximal garbage run is one resync event on the env's
+           counter — the observable trace of torn writes survived. *)
+        let rec go acc pos ~in_garbage =
           if pos >= hi - lo then acc
           else
             match Record.decode data ~pos with
-            | None -> go acc (pos + 1)
-            | Some (e, next) -> go (f acc (lo + pos) e) next
+            | None ->
+              if not in_garbage then Env.note_log_resync env;
+              go acc (pos + 1) ~in_garbage:true
+            | Some (e, next) -> go (f acc (lo + pos) e) next ~in_garbage:false
         in
-        go init 0
+        go init 0 ~in_garbage:false
       end
     end
 
@@ -175,5 +179,26 @@ module Reader = struct
         | Some (_, next) -> go next
       in
       go 0
+    end
+
+  let garbage_regions env name =
+    if not (Env.exists env name) then []
+    else begin
+      let data = Env.read_all env name in
+      let n = String.length data in
+      let rec go acc pos ~run_start =
+        if pos >= n then
+          match run_start with None -> List.rev acc | Some s -> List.rev ((s, n) :: acc)
+        else
+          match Record.decode data ~pos with
+          | None ->
+            let run_start = match run_start with None -> Some pos | some -> some in
+            go acc (pos + 1) ~run_start
+          | Some (_, next) -> (
+            match run_start with
+            | None -> go acc next ~run_start:None
+            | Some s -> go ((s, pos) :: acc) next ~run_start:None)
+      in
+      go [] 0 ~run_start:None
     end
 end

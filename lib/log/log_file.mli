@@ -61,11 +61,17 @@ module Reader : sig
       [lo] must be a record boundary (0 or an offset returned by
       {!Writer.append}). Defaults: the whole log. Missing file =
       empty log. Undecodable bytes (torn or corrupt records) are
-      skipped via CRC resynchronization. *)
+      skipped via CRC resynchronization; each maximal garbage run is
+      counted once on the env ({!Env.log_resyncs}). *)
 
   val entries : Env.t -> string -> (int * Kv_iter.entry) list
   (** All valid records with their offsets, in append order. *)
 
   val valid_prefix_length : Env.t -> string -> int
   (** Byte length of the longest prefix consisting of valid records. *)
+
+  val garbage_regions : Env.t -> string -> (int * int) list
+  (** Byte ranges [\[start, stop)] that decode as no valid record —
+      torn tails or corrupted bytes — in file order. The scrubber's
+      view of a log; does not touch the resync counter. *)
 end

@@ -177,11 +177,15 @@ let store_manifest t levels =
     (try Env.delete t.env tmp with _ -> ());
     raise exn
 
+let manifest_corrupt env detail =
+  Env.note_corruption env;
+  Io_error.raise_corruption ~file:manifest_name ~detail
+
 let load_manifest env =
   if not (Env.exists env manifest_name) then None
   else begin
     let data = Env.read_all env manifest_name in
-    if String.length data < 4 then invalid_arg "Lsm: truncated manifest";
+    if String.length data < 4 then manifest_corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     let stored =
       let b i = Int32.of_int (Char.code data.[String.length data - 4 + i]) in
@@ -190,22 +194,26 @@ let load_manifest env =
            (Int32.shift_left (b 1) 8)
            (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
     in
-    if Crc32c.string payload <> stored then invalid_arg "Lsm: manifest checksum";
-    let next_fid, pos = Varint.read payload 0 in
-    let wal_gen, pos = Varint.read payload pos in
-    let seq, pos = Varint.read payload pos in
-    let n_levels, pos = Varint.read payload pos in
-    let posr = ref pos in
-    let levels =
-      Array.init n_levels (fun _ ->
-          let n, pos = Varint.read payload !posr in
-          posr := pos;
-          List.init n (fun _ ->
-              let fid, pos = Varint.read payload !posr in
-              posr := pos;
-              fid))
-    in
-    Some (next_fid, wal_gen, seq, levels)
+    if Crc32c.string payload <> stored then manifest_corrupt env "bad checksum";
+    match
+      let next_fid, pos = Varint.read payload 0 in
+      let wal_gen, pos = Varint.read payload pos in
+      let seq, pos = Varint.read payload pos in
+      let n_levels, pos = Varint.read payload pos in
+      let posr = ref pos in
+      let levels =
+        Array.init n_levels (fun _ ->
+            let n, pos = Varint.read payload !posr in
+            posr := pos;
+            List.init n (fun _ ->
+                let fid, pos = Varint.read payload !posr in
+                posr := pos;
+                fid))
+      in
+      (next_fid, wal_gen, seq, levels)
+    with
+    | m -> Some m
+    | exception Invalid_argument _ -> manifest_corrupt env "malformed payload"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -493,7 +501,7 @@ let put_entry t key value_opt =
         try
           flush_memtable t;
           compact t
-        with Env.Io_error _ -> Obs.Counter.incr t.ctr_io_errors
+        with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr t.ctr_io_errors
       end)
 
 let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
@@ -615,6 +623,8 @@ let setup_obs env =
         (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
     Io_stats.all_kinds;
   Obs.probe obs "faults.injected" (fun () -> Env.faults_injected env);
+  Obs.probe obs "io.corruptions" (fun () -> Env.corruptions_detected env);
+  Obs.probe obs "log.resyncs" (fun () -> Env.log_resyncs env);
   obs
 
 let open_ ?(config = Config.default) env =
@@ -683,7 +693,10 @@ let open_ ?(config = Config.default) env =
           | Some gen -> gen <> wal_gen
           | None -> false
         in
-        if orphan_sst || stale_wal || name = manifest_name ^ ".tmp" then
+        if
+          (orphan_sst || stale_wal || name = manifest_name ^ ".tmp")
+          && not (Env.is_quarantined name)
+        then
           try Env.delete env name with _ -> ())
       (Env.list_files env);
     (* Replay the WAL (an LSM must; contrast §3.5). *)

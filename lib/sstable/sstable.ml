@@ -2,15 +2,20 @@ open Evendb_util
 open Evendb_storage
 open Evendb_bloom
 
-let magic = "EVSST001"
+let magic = "EVSST002"
 let footer_magic = "EVSSTEND"
-let footer_size = 8 + 8 + 8 + 8 + 4 + 8
+
+(* index_off, index_len, bloom_off, bloom_len, index_crc, bloom_crc, magic *)
+let footer_size = 8 + 8 + 8 + 8 + 4 + 4 + 8
 
 (* Entry encoding inside a block:
    [op : 1B] [klen] [key] [version] [counter] ([vlen] [value] for puts),
-   varints throughout. Blocks need no per-entry CRC: the index CRC plus
-   immutability make silent truncation detectable, and blocks are only
-   reachable through the verified index. *)
+   varints throughout. Every region of the file is covered by a CRC32C:
+   the header's min-key, each data block (checksum stored in its index
+   entry), the bloom section and the index itself (checksums in the
+   footer). A flipped byte anywhere is detected either by one of those
+   checksums or by the structural invariants [open_] enforces on the
+   footer's offsets, and surfaces as the typed [Env.Corruption]. *)
 
 let op_put = 0
 let op_delete = 1
@@ -45,6 +50,7 @@ type block_meta = {
   offset : int;
   length : int;
   entries : int;
+  crc : int32; (* unmasked CRC32C of the block's bytes *)
 }
 
 let add_u64_le buf v =
@@ -98,6 +104,7 @@ module Builder = struct
     Buffer.add_string header magic;
     Varint.write header (String.length min_key);
     Buffer.add_string header min_key;
+    add_u32_le header (Crc32c.mask (Crc32c.string min_key));
     Env.append file (Buffer.contents header);
     {
       env;
@@ -122,8 +129,12 @@ module Builder = struct
     | None -> ()
     | Some first_key ->
       let length = Buffer.length t.block in
-      Env.append t.file (Buffer.contents t.block);
-      t.index <- { first_key; offset = t.pos; length; entries = t.block_entries } :: t.index;
+      let contents = Buffer.contents t.block in
+      Env.append t.file contents;
+      t.index <-
+        { first_key; offset = t.pos; length; entries = t.block_entries;
+          crc = Crc32c.string contents }
+        :: t.index;
       t.pos <- t.pos + length;
       Buffer.clear t.block;
       t.block_first_key <- None;
@@ -188,7 +199,8 @@ module Builder = struct
         Buffer.add_string index_buf b.first_key;
         Varint.write index_buf b.offset;
         Varint.write index_buf b.length;
-        Varint.write index_buf b.entries)
+        Varint.write index_buf b.entries;
+        add_u32_le index_buf (Crc32c.mask b.crc))
       blocks;
     let index_str = Buffer.contents index_buf in
     let index_off = t.pos in
@@ -201,6 +213,7 @@ module Builder = struct
     add_u64_le footer bloom_off;
     add_u64_le footer bloom_len;
     add_u32_le footer (Crc32c.mask (Crc32c.string index_str));
+    add_u32_le footer (Crc32c.mask (Crc32c.string bloom_str));
     Buffer.add_string footer footer_magic;
     Env.append t.file (Buffer.contents footer);
     Env.fsync t.file;
@@ -228,52 +241,90 @@ module Reader = struct
     bloom : Bloom.t option;
   }
 
+  let corrupt env name detail =
+    Env.note_corruption env;
+    Io_error.raise_corruption ~file:name ~detail
+
   let open_ env name =
-    let file_len = try Env.size env name with Not_found -> invalid_arg "Sstable: no such file" in
-    if file_len < footer_size + String.length magic then invalid_arg "Sstable: file too small";
-    (* Header *)
-    let header = Env.read_at env name ~off:0 ~len:(min file_len 4096) in
-    if String.sub header 0 8 <> magic then invalid_arg "Sstable: bad magic";
-    let min_key_len, p = Varint.read header 8 in
-    let chunk_min_key =
-      if p + min_key_len <= String.length header then String.sub header p min_key_len
-      else
-        (* pathological: huge min key spilling past the probe read *)
-        Env.read_at env name ~off:p ~len:min_key_len
+    let corrupt detail = corrupt env name detail in
+    let file_len =
+      try Env.size env name with Not_found -> corrupt "file missing"
     in
-    (* Footer *)
-    let footer = Env.read_at env name ~off:(file_len - footer_size) ~len:footer_size in
-    if String.sub footer (footer_size - 8) 8 <> footer_magic then
-      invalid_arg "Sstable: bad footer magic";
-    let index_off = read_u64_le footer 0 in
-    let index_len = read_u64_le footer 8 in
-    let bloom_off = read_u64_le footer 16 in
-    let bloom_len = read_u64_le footer 24 in
-    let index_crc = Crc32c.unmask (read_u32_le footer 32) in
-    if index_off + index_len > file_len then invalid_arg "Sstable: index out of range";
-    let index_str =
-      if index_len = 0 then "" else Env.read_at env name ~off:index_off ~len:index_len
-    in
-    if Crc32c.string index_str <> index_crc then invalid_arg "Sstable: index checksum mismatch";
-    let n_blocks, p = Varint.read index_str 0 in
-    let count, p = Varint.read index_str p in
-    let pos = ref p in
-    let blocks =
-      Array.init n_blocks (fun _ ->
-          let klen, p = Varint.read index_str !pos in
-          let first_key = String.sub index_str p klen in
-          let p = p + klen in
-          let offset, p = Varint.read index_str p in
-          let length, p = Varint.read index_str p in
-          let entries, p = Varint.read index_str p in
-          pos := p;
-          { first_key; offset; length; entries })
-    in
-    let bloom =
-      if bloom_len = 0 then None
-      else Some (Bloom.deserialize (Env.read_at env name ~off:bloom_off ~len:bloom_len))
-    in
-    { env; name; chunk_min_key; blocks; count; bloom }
+    if file_len < footer_size + String.length magic then corrupt "file too small";
+    match
+      (* Header *)
+      let header = Env.read_at env name ~off:0 ~len:(min file_len 4096) in
+      if String.sub header 0 8 <> magic then corrupt "bad magic";
+      let min_key_len, p = Varint.read header 8 in
+      let chunk_min_key =
+        if p + min_key_len + 4 <= String.length header then String.sub header p min_key_len
+        else
+          (* pathological: huge min key spilling past the probe read *)
+          Env.read_at env name ~off:p ~len:min_key_len
+      in
+      let header_crc_str =
+        if p + min_key_len + 4 <= String.length header then String.sub header (p + min_key_len) 4
+        else Env.read_at env name ~off:(p + min_key_len) ~len:4
+      in
+      let header_crc = Crc32c.unmask (read_u32_le header_crc_str 0) in
+      if Crc32c.string chunk_min_key <> header_crc then corrupt "header checksum mismatch";
+      let header_len = p + min_key_len + 4 in
+      (* Footer *)
+      let footer = Env.read_at env name ~off:(file_len - footer_size) ~len:footer_size in
+      if String.sub footer (footer_size - 8) 8 <> footer_magic then corrupt "bad footer magic";
+      let index_off = read_u64_le footer 0 in
+      let index_len = read_u64_le footer 8 in
+      let bloom_off = read_u64_le footer 16 in
+      let bloom_len = read_u64_le footer 24 in
+      let index_crc = Crc32c.unmask (read_u32_le footer 32) in
+      let bloom_crc = Crc32c.unmask (read_u32_le footer 36) in
+      (* The three sections must tile the file exactly: blocks from the
+         end of the header to bloom_off, bloom to index_off, index to
+         the footer. A flipped byte in any footer offset breaks this. *)
+      if bloom_off < header_len || bloom_off + bloom_len <> index_off
+         || index_off + index_len + footer_size <> file_len
+      then corrupt "footer offsets inconsistent";
+      let index_str =
+        if index_len = 0 then "" else Env.read_at env name ~off:index_off ~len:index_len
+      in
+      if Crc32c.string index_str <> index_crc then corrupt "index checksum mismatch";
+      let n_blocks, p = Varint.read index_str 0 in
+      let count, p = Varint.read index_str p in
+      let pos = ref p in
+      let expected_off = ref header_len in
+      let blocks =
+        Array.init n_blocks (fun _ ->
+            let klen, p = Varint.read index_str !pos in
+            let first_key = String.sub index_str p klen in
+            let p = p + klen in
+            let offset, p = Varint.read index_str p in
+            let length, p = Varint.read index_str p in
+            let entries, p = Varint.read index_str p in
+            let crc = Crc32c.unmask (read_u32_le index_str p) in
+            pos := p + 4;
+            if offset <> !expected_off then corrupt "blocks not contiguous";
+            expected_off := offset + length;
+            { first_key; offset; length; entries; crc })
+      in
+      if !expected_off <> bloom_off then corrupt "blocks do not reach bloom section";
+      let bloom =
+        if bloom_len = 0 then begin
+          if Crc32c.string "" <> bloom_crc then corrupt "bloom checksum mismatch";
+          None
+        end
+        else begin
+          let bloom_str = Env.read_at env name ~off:bloom_off ~len:bloom_len in
+          if Crc32c.string bloom_str <> bloom_crc then corrupt "bloom checksum mismatch";
+          Some (Bloom.deserialize bloom_str)
+        end
+      in
+      { env; name; chunk_min_key; blocks; count; bloom }
+    with
+    | t -> t
+    | exception Invalid_argument _ ->
+      (* A stray decode/range failure while parsing means a mangled
+         structure the explicit checks didn't name. *)
+      corrupt "malformed structure"
 
   let name t = t.name
   let chunk_min_key t = t.chunk_min_key
@@ -281,19 +332,31 @@ module Reader = struct
 
   let read_block t i =
     let b = t.blocks.(i) in
-    Env.read_at t.env t.name ~off:b.offset ~len:b.length
+    let data = Env.read_at t.env t.name ~off:b.offset ~len:b.length in
+    if Crc32c.string data <> b.crc then
+      corrupt t.env t.name (Printf.sprintf "block %d checksum mismatch" i);
+    data
 
   let block_entries t i =
     let data = read_block t i in
     let n = t.blocks.(i).entries in
     let entries = Array.make n None in
-    let pos = ref 0 in
-    for j = 0 to n - 1 do
-      let e, next = decode_entry data !pos in
-      entries.(j) <- Some e;
-      pos := next
-    done;
-    Array.map Option.get entries
+    match
+      let pos = ref 0 in
+      for j = 0 to n - 1 do
+        let e, next = decode_entry data !pos in
+        entries.(j) <- Some e;
+        pos := next
+      done
+    with
+    | () -> Array.map Option.get entries
+    | exception Invalid_argument _ ->
+      corrupt t.env t.name (Printf.sprintf "block %d undecodable" i)
+
+  let verify t =
+    (* [open_] already checked header, footer offsets, index and bloom
+       checksums; what remains is every data block. *)
+    Array.iteri (fun i _ -> ignore (read_block t i)) t.blocks
 
   let first_key t =
     if Array.length t.blocks = 0 then None else Some t.blocks.(0).first_key
@@ -378,4 +441,91 @@ module Reader = struct
     let bi = find_block t key in
     let start = if bi < 0 then 0 else bi in
     iter_blocks_from t start (Some key)
+
+  (* Best-effort extraction from a damaged table, for fsck --repair:
+     whatever the index can still locate and whose block checksum still
+     verifies is recovered; everything else is dropped. Conservative by
+     design — nothing is decoded unless its CRC passed, so salvage can
+     never resurrect garbage. Returns (min_key if trustworthy, entries
+     in canonical order). Never raises [Env.Corruption]. *)
+  let salvage env name =
+    let try_opt f = try Some (f ()) with _ -> None in
+    match try_opt (fun () -> Env.size env name) with
+    | None -> (None, [])
+    | Some file_len when file_len < footer_size + String.length magic -> (None, [])
+    | Some file_len ->
+      let min_key =
+        try_opt (fun () ->
+            let header = Env.read_at env name ~off:0 ~len:(min file_len 4096) in
+            if String.sub header 0 8 <> magic then raise Exit;
+            let min_key_len, p = Varint.read header 8 in
+            let k =
+              if p + min_key_len <= String.length header then String.sub header p min_key_len
+              else Env.read_at env name ~off:p ~len:min_key_len
+            in
+            let crc_str =
+              if p + min_key_len + 4 <= String.length header then
+                String.sub header (p + min_key_len) 4
+              else Env.read_at env name ~off:(p + min_key_len) ~len:4
+            in
+            if Crc32c.string k <> Crc32c.unmask (read_u32_le crc_str 0) then raise Exit;
+            k)
+      in
+      let entries =
+        match
+          try_opt (fun () ->
+              let footer = Env.read_at env name ~off:(file_len - footer_size) ~len:footer_size in
+              if String.sub footer (footer_size - 8) 8 <> footer_magic then raise Exit;
+              let index_off = read_u64_le footer 0 in
+              let index_len = read_u64_le footer 8 in
+              if index_off < 0 || index_len < 0 || index_off + index_len > file_len then
+                raise Exit;
+              let index_str =
+                if index_len = 0 then "" else Env.read_at env name ~off:index_off ~len:index_len
+              in
+              if Crc32c.string index_str <> Crc32c.unmask (read_u32_le footer 32) then raise Exit;
+              index_str)
+        with
+        | None -> []
+        | Some index_str -> (
+          match
+            try_opt (fun () ->
+                let n_blocks, p = Varint.read index_str 0 in
+                let _count, p = Varint.read index_str p in
+                let pos = ref p in
+                List.init n_blocks (fun _ ->
+                    let klen, p = Varint.read index_str !pos in
+                    let first_key = String.sub index_str p klen in
+                    let p = p + klen in
+                    let offset, p = Varint.read index_str p in
+                    let length, p = Varint.read index_str p in
+                    let entries, p = Varint.read index_str p in
+                    let crc = Crc32c.unmask (read_u32_le index_str p) in
+                    pos := p + 4;
+                    { first_key; offset; length; entries; crc }))
+          with
+          | None -> []
+          | Some blocks ->
+            List.concat_map
+              (fun b ->
+                match
+                  try_opt (fun () ->
+                      if b.offset < 0 || b.length < 0 || b.offset + b.length > file_len then
+                        raise Exit;
+                      let data = Env.read_at env name ~off:b.offset ~len:b.length in
+                      if Crc32c.string data <> b.crc then raise Exit;
+                      let out = ref [] in
+                      let pos = ref 0 in
+                      for _ = 1 to b.entries do
+                        let e, next = decode_entry data !pos in
+                        out := e :: !out;
+                        pos := next
+                      done;
+                      List.rev !out)
+                with
+                | Some es -> es
+                | None -> [])
+              blocks)
+      in
+      (min_key, entries)
 end

@@ -11,6 +11,11 @@
     recovery — there is no global manifest to replay (§3.5). An
     optional embedded Bloom filter serves the LSM baselines.
 
+    Every region is covered by a CRC32C — the header's min-key, each
+    data block, the bloom section and the index — and the footer's
+    offsets must tile the file exactly, so any single flipped byte is
+    detected on read and surfaces as the typed {!Env.Corruption}.
+
     Files are immutable once [finish]ed; readers are safe to share
     across domains. *)
 
@@ -48,8 +53,20 @@ module Reader : sig
   type t
 
   val open_ : Env.t -> string -> t
-  (** Loads header, block index and bloom filter. Raises
-      [Invalid_argument] if the file is malformed. *)
+  (** Loads header, block index and bloom filter, verifying their
+      checksums and the footer's structural invariants. Raises
+      {!Env.Corruption} (and counts it on the env) if the file is
+      missing, malformed or fails a checksum. *)
+
+  val verify : t -> unit
+  (** Verify every data block's checksum ([open_] already verified the
+      rest). Raises {!Env.Corruption} on the first bad block. *)
+
+  val salvage : Env.t -> string -> string option * Kv_iter.entry list
+  (** Best-effort extraction from a damaged table (fsck --repair):
+      the header min-key if its checksum holds, plus the entries of
+      every block whose checksum holds. Drops anything unverifiable —
+      never resurrects garbage, never raises {!Env.Corruption}. *)
 
   val name : t -> string
   val chunk_min_key : t -> string

@@ -39,9 +39,16 @@ type mem_file = {
   mf_mutex : Mutex.t;
 }
 
-let memory () : packed =
+let memory_of_files init : packed =
   let files : (string, mem_file) Hashtbl.t = Hashtbl.create 64 in
   let ns_mutex = Mutex.create () in
+  List.iter
+    (fun (name, contents) ->
+      let len = String.length contents in
+      let data = Bytes.create (max 256 len) in
+      Bytes.blit_string contents 0 data 0 len;
+      Hashtbl.replace files name { data; len; synced = len; mf_mutex = Mutex.create () })
+    init;
   let new_mem_file () =
     { data = Bytes.create 256; len = 0; synced = 0; mf_mutex = Mutex.create () }
   in
@@ -128,7 +135,173 @@ let memory () : packed =
               files)
     end)
 
+let memory () : packed = memory_of_files []
+
 (* ------------------------------------------------------------------ *)
+(* Mutation journal: a middleware that records every state-changing
+   backend operation, so the crash-point explorer can reconstruct the
+   filesystem as it would look if power failed after any prefix of the
+   history. Metadata operations (create/delete/rename) are durable at
+   the point they happen — the same contract the memory and disk
+   backends present — so a crash only loses unsynced appended bytes. *)
+
+type journal_op =
+  | J_create of string
+  | J_open of string
+  | J_append of string * string
+  | J_fsync of string
+  | J_delete of string
+  | J_rename of string * string
+  | J_sync_all
+
+type journal = {
+  j_mutex : Mutex.t;
+  mutable j_ops : journal_op array;
+  mutable j_len : int;
+}
+
+let new_journal () =
+  { j_mutex = Mutex.create (); j_ops = Array.make 64 J_sync_all; j_len = 0 }
+
+let j_push j op =
+  with_lock j.j_mutex (fun () ->
+      if j.j_len = Array.length j.j_ops then begin
+        let ops = Array.make (2 * j.j_len) J_sync_all in
+        Array.blit j.j_ops 0 ops 0 j.j_len;
+        j.j_ops <- ops
+      end;
+      j.j_ops.(j.j_len) <- op;
+      j.j_len <- j.j_len + 1)
+
+let journal_length j = with_lock j.j_mutex (fun () -> j.j_len)
+
+(* Only operations the inner backend completed are journaled: a failed
+   op changed nothing, so it is not a crash point. Handles carry their
+   file name (appends and fsyncs are journaled under the name the
+   handle was opened with — nothing in this codebase renames a file it
+   still holds open for writing). *)
+let journaled j (B (module Inner) : packed) : packed =
+  B
+    (module struct
+      type handle = string * Inner.handle
+
+      let backend_name = "journaled+" ^ Inner.backend_name
+
+      let create name =
+        let h = Inner.create name in
+        j_push j (J_create name);
+        (name, h)
+
+      let open_append name =
+        let h = Inner.open_append name in
+        j_push j (J_open name);
+        (name, h)
+
+      let append (name, h) b ~pos ~len =
+        let s = Bytes.sub_string b pos len in
+        Inner.append h b ~pos ~len;
+        j_push j (J_append (name, s))
+
+      let handle_size (_, h) = Inner.handle_size h
+
+      let fsync (name, h) =
+        Inner.fsync h;
+        j_push j (J_fsync name)
+
+      let close (_, h) = Inner.close h
+      let size = Inner.size
+      let read_at = Inner.read_at
+      let exists = Inner.exists
+
+      let delete name =
+        Inner.delete name;
+        j_push j (J_delete name)
+
+      let rename ~old_name ~new_name =
+        Inner.rename ~old_name ~new_name;
+        j_push j (J_rename (old_name, new_name))
+
+      let list_files = Inner.list_files
+
+      let sync_namespace () =
+        let r = Inner.sync_namespace () in
+        if r then j_push j J_sync_all;
+        r
+
+      let supports_crash = Inner.supports_crash
+      let crash = Inner.crash
+    end)
+
+let journaled_memory () =
+  let j = new_journal () in
+  (j, journaled j (memory ()))
+
+type crash_mode = Drop_unsynced | Reorder_unsynced of int
+
+(* Rebuild the filesystem state after ops [0, k), then crash it. In
+   [Drop_unsynced] every file keeps exactly its synced prefix — the
+   deterministic lower bound of what any correct disk guarantees. In
+   [Reorder_unsynced seed] each file independently keeps a seeded
+   random amount of its unsynced suffix (possibly torn mid-record),
+   modeling a disk that reordered and partially persisted unsynced
+   writes across files before the power failed. *)
+let replay_prefix j ?(mode = Drop_unsynced) k : packed =
+  let ops =
+    with_lock j.j_mutex (fun () -> Array.sub j.j_ops 0 (max 0 (min k j.j_len)))
+  in
+  let files : (string, Buffer.t * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let ensure name =
+    match Hashtbl.find_opt files name with
+    | Some f -> f
+    | None ->
+      let f = (Buffer.create 256, ref 0) in
+      Hashtbl.replace files name f;
+      f
+  in
+  Array.iter
+    (function
+      | J_create name -> Hashtbl.replace files name (Buffer.create 256, ref 0)
+      | J_open name -> ignore (ensure name)
+      | J_append (name, s) ->
+        let buf, _ = ensure name in
+        Buffer.add_string buf s
+      | J_fsync name -> (
+        match Hashtbl.find_opt files name with
+        | Some (buf, synced) -> synced := Buffer.length buf
+        | None -> ())
+      | J_delete name -> Hashtbl.remove files name
+      | J_rename (old_name, new_name) -> (
+        match Hashtbl.find_opt files old_name with
+        | Some f ->
+          Hashtbl.remove files old_name;
+          Hashtbl.replace files new_name f
+        | None -> ())
+      | J_sync_all ->
+        Hashtbl.iter (fun _ (buf, synced) -> synced := Buffer.length buf) files)
+    ops;
+  let survivors =
+    Hashtbl.fold
+      (fun name (buf, synced) acc ->
+        let len = Buffer.length buf in
+        let keep =
+          match mode with
+          | Drop_unsynced -> !synced
+          | Reorder_unsynced seed ->
+            if len = !synced then len
+            else begin
+              (* Seeded per (file, crash point): independent across
+                 files, so later appends to one file can survive while
+                 earlier appends to another are lost. *)
+              let rng =
+                Evendb_util.Rng.create (seed lxor Hashtbl.hash name lxor (k * 0x9e3779b1))
+              in
+              !synced + Evendb_util.Rng.int rng (len - !synced + 1)
+            end
+        in
+        (name, Buffer.sub buf 0 keep) :: acc)
+      files []
+  in
+  memory_of_files survivors
 (* Disk backend: real files under a root directory. Unix failures
    surface as typed [Io_error]s; ENOENT keeps its historical
    [Not_found] meaning on reads.                                       *)
@@ -146,6 +319,12 @@ let disk dir : packed =
   let read_fds : (string, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
   let fds_mutex = Mutex.create () in
   let path name = Filename.concat dir name in
+  (* Names may carry a sub-directory (fsck --repair quarantines files
+     under "quarantine/"); create the parent on demand. *)
+  let ensure_parent name =
+    let d = Filename.dirname (path name) in
+    if d <> dir then mkdir_p d
+  in
   let wrap ~op ~file f =
     try f () with Unix.Unix_error (e, _, _) -> raise (of_unix ~op ~file e)
   in
@@ -171,6 +350,7 @@ let disk dir : packed =
 
       let create name =
         drop_read_fd name;
+        ensure_parent name;
         let fd =
           wrap ~op:"create" ~file:name (fun () ->
               Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
@@ -178,6 +358,7 @@ let disk dir : packed =
         { fd; df_name = name; dpos = 0 }
 
       let open_append name =
+        ensure_parent name;
         wrap ~op:"open_append" ~file:name (fun () ->
             let fd = Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
             let dpos = Unix.lseek fd 0 Unix.SEEK_END in
@@ -252,10 +433,21 @@ let disk dir : packed =
       let rename ~old_name ~new_name =
         drop_read_fd old_name;
         drop_read_fd new_name;
+        ensure_parent new_name;
         wrap ~op:"rename" ~file:old_name (fun () ->
             Unix.rename (path old_name) (path new_name))
 
-      let list_files () = Array.to_list (Sys.readdir dir)
+      let list_files () =
+        (* Top-level files plus quarantined ones (as "quarantine/x"),
+           matching the memory backend's flat view of that prefix. *)
+        Array.to_list (Sys.readdir dir)
+        |> List.concat_map (fun name ->
+               if Sys.is_directory (path name) then
+                 if name = "quarantine" then
+                   Array.to_list (Sys.readdir (path name))
+                   |> List.map (fun f -> Filename.concat name f)
+                 else []
+               else [ name ])
       let sync_namespace () = false
       let supports_crash = false
       let crash () = invalid_arg "Env.crash: backend does not support crash simulation"

@@ -55,6 +55,47 @@ val memory : unit -> packed
 (** In-process filesystem with crash simulation: each file tracks its
     last-fsynced length and [crash] discards every unsynced suffix. *)
 
+val memory_of_files : (string * string) list -> packed
+(** A memory backend pre-populated with the given [(name, contents)]
+    files, all fully synced — how {!replay_prefix} materializes a
+    post-crash filesystem. *)
+
 val disk : string -> packed
 (** Real files under a directory (created if missing); fsync maps to
-    [Unix.fsync]. Unix failures surface as {!Io_error.Io_error}. *)
+    [Unix.fsync]. Unix failures surface as {!Io_error.Io_error}. File
+    names may carry a ["quarantine/"] prefix (fsck's quarantine
+    sub-directory); [list_files] reports those as ["quarantine/x"]. *)
+
+(** {2 Mutation journal}
+
+    The crash-point explorer's substrate: {!journaled_memory} records
+    every completed state-changing operation (create / open / append /
+    fsync / delete / rename / sync-all), and {!replay_prefix}
+    reconstructs the filesystem as it would look if power had failed
+    right after op [k] — metadata operations are durable when issued,
+    appended bytes only once fsynced. *)
+
+type journal
+
+type crash_mode =
+  | Drop_unsynced  (** every file keeps exactly its synced prefix *)
+  | Reorder_unsynced of int
+      (** each file independently keeps a seeded random amount of its
+          unsynced suffix (possibly torn mid-record) — a disk that
+          reorders unsynced writes across files *)
+
+val journaled : journal -> packed -> packed
+(** Middleware recording completed mutations into the journal. *)
+
+val journaled_memory : unit -> journal * packed
+(** A fresh memory backend under a fresh journal. *)
+
+val journal_length : journal -> int
+(** Number of ops recorded so far — one more than the largest useful
+    crash point. *)
+
+val replay_prefix : journal -> ?mode:crash_mode -> int -> packed
+(** [replay_prefix j ~mode k] replays ops [0, k) into a fresh memory
+    backend and crashes it per [mode] (default {!Drop_unsynced}). The
+    journal itself is not consumed; any prefix can be replayed any
+    number of times. *)

@@ -1,6 +1,19 @@
 exception Io_error = Io_error.Io_error
+exception Corruption = Io_error.Corruption
 
 module type BACKEND = Backend.BACKEND
+
+(* Files that [fsck --repair] moved aside live under this prefix; the
+   engines' recovery sweeps and the scrubber must leave them alone. *)
+let quarantine_prefix = "quarantine/"
+
+let quarantined name = quarantine_prefix ^ name
+
+let is_quarantined name =
+  (* The bare directory itself shows up in disk listings. *)
+  name = "quarantine"
+  || String.length name >= String.length quarantine_prefix
+     && String.sub name 0 (String.length quarantine_prefix) = quarantine_prefix
 
 (* An open file: the backend stack's handle packed with its module, so
    one [file] type covers every backend composition. *)
@@ -14,6 +27,8 @@ type t = {
   open_files : (int, file) Hashtbl.t; (* by handle id, for fsync_all *)
   mutable next_id : int;
   mutable generation : int; (* bumped by [crash] to invalidate handles *)
+  corruptions : int Atomic.t; (* checksum/structure failures detected on reads *)
+  log_resyncs : int Atomic.t; (* garbage regions skipped by log CRC resync *)
 }
 
 and file = {
@@ -54,7 +69,14 @@ let make ?faults base =
     open_files = Hashtbl.create 64;
     next_id = 0;
     generation = 0;
+    corruptions = Atomic.make 0;
+    log_resyncs = Atomic.make 0;
   }
+
+let note_corruption t = Atomic.incr t.corruptions
+let corruptions_detected t = Atomic.get t.corruptions
+let note_log_resync t = Atomic.incr t.log_resyncs
+let log_resyncs t = Atomic.get t.log_resyncs
 
 let disk ?faults dir = make ?faults (Backend.disk dir)
 let memory ?faults () = make ?faults (Backend.memory ())

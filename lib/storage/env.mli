@@ -30,8 +30,28 @@
 exception Io_error of Io_error.info
 (** Typed storage failure (re-export of {!Io_error.Io_error}). *)
 
+exception Corruption of Io_error.corruption
+(** Typed on-disk corruption — a read answered but the bytes failed a
+    checksum or structural check (re-export of {!Io_error.Corruption}).
+    Raised by format readers (SSTable, manifest, checkpoint); engines
+    degrade to a surviving replica where one exists, and every
+    detection is counted (see {!corruptions_detected}). *)
+
 module type BACKEND = Backend.BACKEND
 (** Re-export, so implementing a custom backend needs only [Env]. *)
+
+(** {2 Quarantine}
+
+    [fsck --repair] moves files it cannot trust under the
+    ["quarantine/"] prefix instead of deleting them. Recovery sweeps
+    and the scrubber skip that prefix. *)
+
+val quarantine_prefix : string
+
+val quarantined : string -> string
+(** [quarantined name] is the name's quarantine location. *)
+
+val is_quarantined : string -> bool
 
 type t
 type file
@@ -60,6 +80,19 @@ val supports_crash : t -> bool
 val faults : t -> Fault.plan option
 val faults_injected : t -> int
 (** Total storage faults injected so far (0 without a fault plan). *)
+
+(** {2 Integrity counters} *)
+
+val note_corruption : t -> unit
+(** Called by format readers at every corruption detection site. *)
+
+val corruptions_detected : t -> int
+
+val note_log_resync : t -> unit
+(** Called by the log reader for every garbage region it skipped over
+    while resynchronizing on record CRCs. *)
+
+val log_resyncs : t -> int
 
 (** {2 Writing} *)
 

@@ -5,6 +5,7 @@ type plan = {
   seed : int;
   rate : float;
   torn_fraction : float;
+  corrupt_rate : float;
   rng : Rng.t;
   rng_mutex : Mutex.t;
   armed : bool Atomic.t;
@@ -12,16 +13,20 @@ type plan = {
   inj_torn : int Atomic.t;
   inj_fsync : int Atomic.t;
   inj_rename : int Atomic.t;
+  inj_corrupt : int Atomic.t;
 }
 
-let plan ?(torn_fraction = 0.5) ~seed ~rate () =
+let plan ?(torn_fraction = 0.5) ?(corrupt_rate = 0.0) ~seed ~rate () =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Fault.plan: rate must be in [0,1]";
   if torn_fraction < 0.0 || torn_fraction > 1.0 then
     invalid_arg "Fault.plan: torn_fraction must be in [0,1]";
+  if corrupt_rate < 0.0 || corrupt_rate > 1.0 then
+    invalid_arg "Fault.plan: corrupt_rate must be in [0,1]";
   {
     seed;
     rate;
     torn_fraction;
+    corrupt_rate;
     rng = Rng.create seed;
     rng_mutex = Mutex.create ();
     armed = Atomic.make true;
@@ -29,6 +34,7 @@ let plan ?(torn_fraction = 0.5) ~seed ~rate () =
     inj_torn = Atomic.make 0;
     inj_fsync = Atomic.make 0;
     inj_rename = Atomic.make 0;
+    inj_corrupt = Atomic.make 0;
   }
 
 let seed t = t.seed
@@ -37,7 +43,7 @@ let set_armed t armed = Atomic.set t.armed armed
 
 let injected t =
   Atomic.get t.inj_append + Atomic.get t.inj_torn + Atomic.get t.inj_fsync
-  + Atomic.get t.inj_rename
+  + Atomic.get t.inj_rename + Atomic.get t.inj_corrupt
 
 let counts t =
   [
@@ -45,19 +51,30 @@ let counts t =
     ("torn", Atomic.get t.inj_torn);
     ("fsync", Atomic.get t.inj_fsync);
     ("rename", Atomic.get t.inj_rename);
+    ("corrupt", Atomic.get t.inj_corrupt);
   ]
 
 let parse_profile s =
-  match String.index_opt s ':' with
-  | None -> invalid_arg "Fault.parse_profile: expected \"seed:rate\""
-  | Some i -> (
-    let seed = String.sub s 0 i in
-    let rate = String.sub s (i + 1) (String.length s - i - 1) in
+  let bad () =
+    invalid_arg
+      "Fault.parse_profile: expected \"seed:rate[:corrupt_rate]\" with rates in [0,1]"
+  in
+  match String.split_on_char ':' s with
+  | [ seed; rate ] -> (
     match (int_of_string_opt seed, float_of_string_opt rate) with
     | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 -> plan ~seed ~rate ()
-    | _ -> invalid_arg "Fault.parse_profile: expected \"seed:rate\" with rate in [0,1]")
+    | _ -> bad ())
+  | [ seed; rate; corrupt ] -> (
+    match (int_of_string_opt seed, float_of_string_opt rate, float_of_string_opt corrupt) with
+    | Some seed, Some rate, Some corrupt_rate
+      when rate >= 0.0 && rate <= 1.0 && corrupt_rate >= 0.0 && corrupt_rate <= 1.0 ->
+      plan ~seed ~rate ~corrupt_rate ()
+    | _ -> bad ())
+  | _ -> bad ()
 
-let profile_string t = Printf.sprintf "%d:%g" t.seed t.rate
+let profile_string t =
+  if t.corrupt_rate > 0.0 then Printf.sprintf "%d:%g:%g" t.seed t.rate t.corrupt_rate
+  else Printf.sprintf "%d:%g" t.seed t.rate
 
 (* One locked draw per decision keeps the schedule deterministic for a
    given seed and sequence of operations, across threads. *)
@@ -68,6 +85,17 @@ let draw t =
   x
 
 let fires t = Atomic.get t.armed && t.rate > 0.0 && draw t < t.rate
+
+(* Corruption draws are gated on [corrupt_rate > 0.0] before touching
+   the RNG, so plans without corruption keep their exact historical
+   fault schedules. *)
+let corrupt_fires t = Atomic.get t.armed && t.corrupt_rate > 0.0 && draw t < t.corrupt_rate
+
+let draw_int t n =
+  Mutex.lock t.rng_mutex;
+  let k = Rng.int t.rng n in
+  Mutex.unlock t.rng_mutex;
+  k
 
 (* [Some k] = write only the first [k] bytes, then fail (a torn tail). *)
 let append_decision t ~len =
@@ -108,6 +136,21 @@ let wrap p (Backend.B (module Inner) : Backend.packed) : Backend.packed =
 
       let handle_size (_, h) = Inner.handle_size h
 
+      (* The corrupt mode flips one byte of the returned slice (the
+         on-disk bytes are untouched): it models a bit-rot read, and
+         exercises checksum verification + the degraded read paths. *)
+      let read_at name ~off ~len =
+        let s = Inner.read_at name ~off ~len in
+        if len > 0 && corrupt_fires p then begin
+          Atomic.incr p.inj_corrupt;
+          let i = draw_int p len in
+          let mask = 1 + draw_int p 255 in
+          let b = Bytes.of_string s in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+          Bytes.unsafe_to_string b
+        end
+        else s
+
       let fsync (name, h) =
         if fires p then begin
           Atomic.incr p.inj_fsync;
@@ -117,7 +160,6 @@ let wrap p (Backend.B (module Inner) : Backend.packed) : Backend.packed =
 
       let close (_, h) = Inner.close h
       let size = Inner.size
-      let read_at = Inner.read_at
       let exists = Inner.exists
       let delete = Inner.delete
 

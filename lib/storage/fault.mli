@@ -9,21 +9,26 @@
 
     The schedule is a pure function of the seed and the sequence of
     operations, so a failing soak run replays exactly from its seed.
-    Reads are never failed: injected faults model the write path
-    (where durability bugs live), and a deterministic read path keeps
-    verification phases trustworthy. *)
+    Reads are never {e failed} — injected faults model the write path
+    (where durability bugs live) — but with a nonzero [corrupt_rate]
+    a read may return bytes with one seeded bit-rot flip, exercising
+    checksum verification and the degraded (fall-back-to-replica)
+    read paths. Plans with [corrupt_rate = 0] draw nothing on reads,
+    so their fault schedules are unchanged. *)
 
 type plan
 
-val plan : ?torn_fraction:float -> seed:int -> rate:float -> unit -> plan
+val plan : ?torn_fraction:float -> ?corrupt_rate:float -> seed:int -> rate:float -> unit -> plan
 (** [rate] is the per-operation failure probability in [0,1];
     [torn_fraction] (default 0.5) is the share of injected append
     failures that tear (write a partial record) instead of failing
-    cleanly. *)
+    cleanly; [corrupt_rate] (default 0) is the per-read probability of
+    flipping one byte of the returned data. *)
 
 val parse_profile : string -> plan
-(** Parse a ["seed:rate"] command-line profile, e.g. ["42:0.01"].
-    Raises [Invalid_argument] on malformed input. *)
+(** Parse a ["seed:rate[:corrupt_rate]"] command-line profile, e.g.
+    ["42:0.01"] or ["42:0:0.05"]. Raises [Invalid_argument] on
+    malformed input. *)
 
 val profile_string : plan -> string
 
@@ -38,7 +43,7 @@ val injected : plan -> int
 (** Total faults injected so far. *)
 
 val counts : plan -> (string * int) list
-(** Injected faults by kind: append / torn / fsync / rename. *)
+(** Injected faults by kind: append / torn / fsync / rename / corrupt. *)
 
 val wrap : plan -> Backend.packed -> Backend.packed
 (** Wrap a backend so its write-path operations follow the plan. *)

@@ -6,9 +6,19 @@ let raise_io ~op ~file ~detail = raise (Io_error { op; file; detail })
 
 let to_string { op; file; detail } = Printf.sprintf "I/O error: %s %S: %s" op file detail
 
+type corruption = { c_file : string; c_detail : string }
+
+exception Corruption of corruption
+
+let raise_corruption ~file ~detail = raise (Corruption { c_file = file; c_detail = detail })
+
+let corruption_to_string { c_file; c_detail } =
+  Printf.sprintf "corruption: %S: %s" c_file c_detail
+
 let () =
   Printexc.register_printer (function
     | Io_error info -> Some (to_string info)
+    | Corruption c -> Some (corruption_to_string c)
     | _ -> None)
 
 let of_unix ~op ~file err = Io_error { op; file; detail = Unix.error_message err }

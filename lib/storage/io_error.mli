@@ -18,3 +18,20 @@ val to_string : info -> string
 
 val of_unix : op:string -> file:string -> Unix.error -> exn
 (** Wrap a [Unix.error] (the disk backend's failure mode). *)
+
+(** {2 Corruption}
+
+    [Io_error] means the device refused an operation; [Corruption]
+    means the device answered but the bytes are wrong — a checksum
+    mismatch, an impossible offset, a malformed structure. Readers
+    raise it instead of [Invalid_argument] so engines can degrade
+    (fall back to a surviving replica, count the event) rather than
+    abort, and so [fsck] can report it uniformly. *)
+
+type corruption = { c_file : string; c_detail : string }
+
+exception Corruption of corruption
+
+val raise_corruption : file:string -> detail:string -> 'a
+
+val corruption_to_string : corruption -> string

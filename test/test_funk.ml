@@ -92,7 +92,12 @@ let ownership_sharing () =
   Alcotest.(check bool) "files alive" true (Env.exists env (Funk.sst_name 1));
   Alcotest.(check bool) "still acquirable" true (Funk.acquire f);
   Funk.release f;
+  (* Last disown defers deletion: the caller must drop the funk from
+     the manifest before retiring, so a crash between the two never
+     leaves a manifest-live funk with deleted files. *)
   Alcotest.(check bool) "last owner" true (Funk.disown f);
+  Alcotest.(check bool) "files survive until retire" true (Env.exists env (Funk.sst_name 1));
+  Funk.retire f;
   Alcotest.(check bool) "deleted" false (Env.exists env (Funk.sst_name 1))
 
 let log_segment_reads () =
@@ -153,7 +158,8 @@ let manifest_corruption () =
   try
     ignore (Manifest.load env);
     Alcotest.fail "expected corruption error"
-  with Invalid_argument _ -> ()
+  with Env.Corruption _ ->
+    Alcotest.(check bool) "detection counted" true (Env.corruptions_detected env > 0)
 
 (* ---- Chunk index ---- *)
 

@@ -19,5 +19,7 @@ let () =
          Test_lsm.suite;
          Test_flsm.suite;
          Test_faults.suite;
+         Test_scrub.suite;
+         Test_crash_explorer.suite;
          Test_ycsb.suite;
        ])

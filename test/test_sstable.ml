@@ -156,7 +156,8 @@ let corrupt_footer_rejected () =
   (try
      ignore (Sstable.Reader.open_ env "bad.sst");
      Alcotest.fail "expected corruption rejection"
-   with Invalid_argument _ -> ())
+   with Env.Corruption _ -> ());
+  Alcotest.(check bool) "detection counted" true (Env.corruptions_detected env > 0)
 
 let random_model =
   QCheck.Test.make ~name:"sstable get matches model" ~count:50

@@ -185,7 +185,7 @@ let typed_error_fields () =
   Alcotest.(check int) "failed write not counted" 0
     (Io_stats.snapshot (Env.stats env)).Io_stats.bytes_written;
   Alcotest.(check (list (pair string int))) "counted by kind"
-    [ ("append", 1); ("torn", 0); ("fsync", 0); ("rename", 0) ]
+    [ ("append", 1); ("torn", 0); ("fsync", 0); ("rename", 0); ("corrupt", 0) ]
     (Fault.counts plan);
   Fault.set_armed plan false;
   Env.append f "hello";
