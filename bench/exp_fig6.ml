@@ -7,7 +7,7 @@ open Evendb_ycsb
 
 type cell = { kops : float; wamp : float }
 
-let run_cell (h : Harness.t) which dist ~items ~mix ~ops =
+let run_cell (h : Harness.t) which dist ~phase ~items ~mix ~ops =
   Harness.with_engine h which (fun e ->
       let shared =
         Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:99
@@ -21,6 +21,7 @@ let run_cell (h : Harness.t) which dist ~items ~mix ~ops =
       let before_logical = e.Engine.logical_bytes () in
       let before_written = Engine.bytes_written e in
       let r = Runner.run e shared mix ~ops ~threads:h.threads in
+      Harness.note_result ~phase e r;
       let logical = e.Engine.logical_bytes () - before_logical in
       let written = Engine.bytes_written e - before_written in
       {
@@ -66,8 +67,11 @@ let run (h : Harness.t) =
             List.map
               (fun (bytes, label) ->
                 let items = Harness.items_for h bytes in
-                let ev = run_cell h `Evendb dist ~items ~mix ~ops in
-                let ro = run_cell h `Lsm dist ~items ~mix ~ops in
+                let phase =
+                  Printf.sprintf "%s/%s/%s" name (Workload.dist_name dist) label
+                in
+                let ev = run_cell h `Evendb dist ~phase ~items ~mix ~ops in
+                let ro = run_cell h `Lsm dist ~phase ~items ~mix ~ops in
                 if name.[0] = 'P' then
                   p_rows := (Workload.dist_name dist, label, ev.wamp, ro.wamp) :: !p_rows;
                 [

@@ -4,11 +4,12 @@
 open Evendb_util
 open Evendb_ycsb
 
-let run_one (h : Harness.t) which dist ~items ~ops =
+let run_one (h : Harness.t) which dist ~phase ~items ~ops =
   Harness.with_engine h which (fun e ->
       let shared = Workload.create_shared ~value_bytes:h.value_bytes dist ~items ~seed:17 in
       Runner.load e shared;
       let r = Runner.run e shared Runner.workload_a ~ops ~threads:h.threads in
+      Harness.note_result ~phase e r;
       ( Histogram.percentile r.Runner.get_hist 95.0,
         Histogram.percentile r.Runner.put_hist 95.0 ))
 
@@ -22,8 +23,9 @@ let run (h : Harness.t) =
         (List.map
            (fun (bytes, label) ->
              let items = Harness.items_for h bytes in
-             let ev_get, ev_put = run_one h `Evendb dist ~items ~ops:h.ops in
-             let ro_get, ro_put = run_one h `Lsm dist ~items ~ops:h.ops in
+             let phase = Printf.sprintf "A/%s/%s" (Workload.dist_name dist) label in
+             let ev_get, ev_put = run_one h `Evendb dist ~phase ~items ~ops:h.ops in
+             let ro_get, ro_put = run_one h `Lsm dist ~phase ~items ~ops:h.ops in
              [
                label;
                Printf.sprintf "%.3f" (Report.ms_of_ns ev_get);

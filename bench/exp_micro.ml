@@ -80,7 +80,34 @@ let tests (h : Harness.t) =
       scan_engine.Engine.close ();
       flsm_engine.Engine.close () )
 
+(* Whole-engine companion to the single-op microbenchmarks: one short
+   YCSB-A run per engine, so the micro artifact carries comparable
+   throughput / write-amp / latency percentiles for all three. *)
+let engine_baseline (h : Harness.t) =
+  Report.heading "Micro engine baseline: YCSB-A, one short run per engine";
+  let items = Harness.items_for h (List.nth (Harness.dataset_sizes h) 0 |> fst) in
+  let ops = max 500 (h.ops / 2) in
+  List.iter
+    (fun which ->
+      Harness.with_engine h which (fun e ->
+          let shared =
+            Workload.create_shared ~value_bytes:h.value_bytes (Workload.Zipf_composite 0.99)
+              ~items ~seed:99
+          in
+          Runner.load e shared;
+          let r = Runner.run e shared Runner.workload_a ~ops ~threads:h.threads in
+          Harness.note_result ~phase:"ycsb_a" e r;
+          let p99_us hist =
+            float_of_int (Evendb_util.Histogram.percentile hist 99.0) /. 1e3
+          in
+          Printf.printf "  %-8s %8.1f kops  write-amp %.2f  p99 put %8.1f us  p99 get %8.1f us\n"
+            e.Engine.name r.Runner.kops
+            (Engine.write_amplification e)
+            (p99_us r.Runner.put_hist) (p99_us r.Runner.get_hist)))
+    [ `Evendb; `Lsm; `Flsm ]
+
 let run (h : Harness.t) =
+  engine_baseline h;
   Report.heading "Micro-benchmarks (Bechamel): core op of each table/figure family";
   let tests, cleanup = tests h in
   let instances = Instance.[ monotonic_clock ] in

@@ -81,7 +81,41 @@ let mkdir_p dir =
     ""
     (String.split_on_char '/' dir |> List.filter (fun p -> p <> ""))
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable bench artifacts: with [--json], every experiment
+   flushes one BENCH_<exp>.json carrying the harness config, each
+   measured run's throughput / write-amp / latency percentiles, and the
+   per-phase registry snapshots — the repo's perf-trajectory baseline
+   format (schema documented in DESIGN.md). *)
+
+let artifact_dir = ref None
+
+type sample = {
+  sm_engine : string;
+  sm_phase : string;
+  sm_result : Runner.result;
+  sm_write_amp : float;
+}
+
+let art_samples : sample list ref = ref [] (* newest first *)
+let art_metrics : (string * string * string) list ref = ref []
+
+let artifacts_on () = !artifact_dir <> None
+
+let note_result ?(phase = "run") (e : Engine.t) (r : Runner.result) =
+  if artifacts_on () then
+    art_samples :=
+      {
+        sm_engine = e.Engine.name;
+        sm_phase = phase;
+        sm_result = r;
+        sm_write_amp = Engine.write_amplification e;
+      }
+      :: !art_samples
+
 let dump_metrics (e : Engine.t) ~phase =
+  let metrics = try e.Engine.metrics () with _ -> "{}" in
+  if artifacts_on () then art_metrics := (e.Engine.name, phase, metrics) :: !art_metrics;
   try
     ignore (mkdir_p metrics_dir);
     let file =
@@ -89,7 +123,7 @@ let dump_metrics (e : Engine.t) ~phase =
         (sanitize e.Engine.name) (sanitize phase)
     in
     let oc = open_out file in
-    output_string oc (e.Engine.metrics ());
+    output_string oc metrics;
     output_char oc '\n';
     close_out oc
   with Sys_error _ | Unix.Unix_error _ -> ()
@@ -128,3 +162,92 @@ let with_engine h which f =
       dump_metrics e ~phase:"final";
       e.Engine.close ())
     (fun () -> f e)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact rendering *)
+
+let set_artifact_dir dir =
+  (* mkdir_p builds from the root, so anchor relative paths first. *)
+  let dir = if Filename.is_relative dir then Filename.concat (Unix.getcwd ()) dir else dir in
+  ignore (mkdir_p dir);
+  artifact_dir := Some dir
+
+let art_jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let art_percentiles h =
+  match Evendb_util.Histogram.percentiles h [ 50.0; 95.0; 99.0 ] with
+  | [ p50; p95; p99 ] -> (p50, p95, p99)
+  | _ -> (0, 0, 0)
+
+let flush_artifact (h : t) =
+  match !artifact_dir with
+  | None -> ()
+  | Some dir ->
+    let buf = Buffer.create 8192 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    bpf "{\n";
+    bpf "  \"schema_version\": 1,\n";
+    bpf "  \"experiment\": %s,\n" (art_jstr !current_experiment);
+    bpf
+      "  \"config\": {\"scale\": %d, \"threads\": %d, \"value_bytes\": %d, \"ram_budget\": \
+       %d, \"ops\": %d, \"on_disk\": %b, \"fault_profile\": %s},\n"
+      h.scale h.threads h.value_bytes h.ram_budget h.ops h.on_disk
+      (match h.fault_profile with
+      | None -> "null"
+      | Some (seed, rate) -> Printf.sprintf "{\"seed\": %d, \"rate\": %.6f}" seed rate);
+    bpf "  \"results\": [";
+    List.iteri
+      (fun i s ->
+        if i > 0 then bpf ",";
+        let r = s.sm_result in
+        let merged = Evendb_util.Histogram.create () in
+        List.iter
+          (fun src -> Evendb_util.Histogram.merge_into ~src ~dst:merged)
+          [ r.Runner.put_hist; r.Runner.get_hist; r.Runner.scan_hist ];
+        let p50, p95, p99 = art_percentiles merged in
+        bpf
+          "\n    {\"engine\": %s, \"phase\": %s, \"ops\": %d, \"seconds\": %.6f, \
+           \"throughput_kops\": %.3f, \"failed_ops\": %d, \"write_amp\": %.4f, \"p50_ns\": \
+           %d, \"p95_ns\": %d, \"p99_ns\": %d, \"latency\": {"
+          (art_jstr s.sm_engine) (art_jstr s.sm_phase) r.Runner.ops r.Runner.seconds
+          r.Runner.kops r.Runner.failed_ops s.sm_write_amp p50 p95 p99;
+        List.iteri
+          (fun j (op, hist) ->
+            if j > 0 then bpf ", ";
+            let p50, p95, p99 = art_percentiles hist in
+            bpf "\"%s\": {\"count\": %d, \"p50_ns\": %d, \"p95_ns\": %d, \"p99_ns\": %d}" op
+              (Evendb_util.Histogram.count hist)
+              p50 p95 p99)
+          [ ("put", r.Runner.put_hist); ("get", r.Runner.get_hist); ("scan", r.Runner.scan_hist) ];
+        bpf "}}")
+      (List.rev !art_samples);
+    bpf "\n  ],\n  \"phase_metrics\": [";
+    List.iteri
+      (fun i (engine, phase, metrics) ->
+        if i > 0 then bpf ",";
+        bpf "\n    {\"engine\": %s, \"phase\": %s, \"metrics\": %s}" (art_jstr engine)
+          (art_jstr phase) metrics)
+      (List.rev !art_metrics);
+    bpf "\n  ]\n}\n";
+    art_samples := [];
+    art_metrics := [];
+    try
+      ignore (mkdir_p dir);
+      let file = Printf.sprintf "%s/BENCH_%s.json" dir (sanitize !current_experiment) in
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Printf.printf "[artifact] wrote %s\n" file
+    with Sys_error _ | Unix.Unix_error _ -> ()

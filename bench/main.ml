@@ -32,7 +32,8 @@ let experiments =
 let default_set =
   [ "fig1"; "fig3"; "fig5"; "fig6"; "fig8"; "fig9"; "fig10"; "table4"; "fig11"; "fig12"; "ablation"; "micro" ]
 
-let run_selected scale threads ops disk fault_profile names =
+let run_selected scale threads ops disk fault_profile json names =
+  Option.iter Harness.set_artifact_dir json;
   let fault_profile =
     Option.map
       (fun s ->
@@ -65,7 +66,8 @@ let run_selected scale threads ops disk fault_profile names =
         if not (Hashtbl.mem seen canon) then begin
           Hashtbl.replace seen canon ();
           Harness.set_experiment canon;
-          f h
+          f h;
+          Harness.flush_artifact h
         end)
     names;
   Printf.printf "\nAll selected experiments completed.\n"
@@ -92,12 +94,25 @@ let fault_arg =
            probability RATE under a deterministic schedule derived from SEED (e.g. 42:0.01). \
            Injected counts are recorded in the per-phase metrics dumps.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "bench_artifacts") (some string) None
+    & info [ "json" ] ~docv:"DIR"
+        ~doc:
+          "Write one machine-readable BENCH_<exp>.json per experiment (harness config, \
+           per-run throughput / write-amp / p50-p95-p99 latency, per-phase metrics \
+           snapshots) into $(docv) (default ./bench_artifacts; use --json=DIR for an \
+           explicit directory).")
+
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (default: all).")
 
 let cmd =
   let doc = "Regenerate the EvenDB paper's tables and figures" in
   Cmd.v (Cmd.info "evendb-bench" ~doc)
-    Term.(const run_selected $ scale_arg $ threads_arg $ ops_arg $ disk_arg $ fault_arg $ names_arg)
+    Term.(
+      const run_selected $ scale_arg $ threads_arg $ ops_arg $ disk_arg $ fault_arg $ json_arg
+      $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,9 @@
      evendb del  <dir> <key>
      evendb scan <dir> <low> <high> [--limit N]
      evendb load <dir> [--items N] [--dist zipf|composite|uniform]
-     evendb stat <dir> [--json | --prometheus]
+     evendb stat <dir> [--json | --prometheus] [--reset-check]
+     evendb heat <dir> [--items N] [--ops N] [--dist zipf|composite] [--top K] [--json]
+     evendb trace <dir> --out FILE [--ops N]
      evendb checkpoint <dir>
      evendb fsck <dir> [--repair]
 
@@ -15,10 +17,12 @@
 
 open Cmdliner
 module Db = Evendb_core.Db
+module Chunk_stats = Evendb_core.Chunk_stats
 module Env = Evendb_storage.Env
 module Fault = Evendb_storage.Fault
+module W = Evendb_ycsb.Workload
 
-let with_db ?fault_profile dir f =
+let with_db ?fault_profile ?config dir f =
   let faults = Option.map Fault.parse_profile fault_profile in
   let report () =
     Option.iter
@@ -26,7 +30,7 @@ let with_db ?fault_profile dir f =
       faults
   in
   match
-    let db = Db.open_ (Env.disk ?faults dir) in
+    let db = Db.open_ ?config (Env.disk ?faults dir) in
     Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
   with
   | v ->
@@ -123,7 +127,17 @@ let stat_cmd =
   let prometheus =
     Arg.(value & flag & info [ "prometheus" ] ~doc:"Dump the metrics registry in Prometheus text format.")
   in
-  let run fault_profile dir json prometheus =
+  let reset_check =
+    Arg.(
+      value & flag
+      & info [ "reset-check" ]
+          ~doc:
+            "After reporting, reset every resettable metric (registry counters/timers/spans, \
+             per-chunk stats, hot-prefix sketch, flight recorder) and verify they all read \
+             zero; lists any residue and exits 4 — a regression guard for reset coverage of \
+             newly added tables.")
+  in
+  let run fault_profile dir json prometheus reset_check =
     with_db ?fault_profile dir (fun db ->
         if json then print_string (Db.metrics_dump db `Json)
         else if prometheus then print_string (Db.metrics_dump db `Prometheus)
@@ -132,11 +146,239 @@ let stat_cmd =
           Printf.printf "resident munks:      %d\n" (Db.munk_count db);
           Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
           Printf.printf "current epoch:       %d\n" (Db.current_epoch db)
+        end;
+        if reset_check then begin
+          Db.reset_metrics db;
+          match Db.metrics_residue db with
+          | [] -> prerr_endline "reset check: clean"
+          | residue ->
+            Printf.eprintf "reset check: %d metrics still non-zero after reset:\n"
+              (List.length residue);
+            List.iter (Printf.eprintf "  %s\n") residue;
+            exit 4
         end)
   in
   Cmd.v
     (Cmd.info "stat" ~doc:"Store statistics (--json/--prometheus for the metrics registry)")
-    Term.(const run $ fault_arg $ dir_arg $ json $ prometheus)
+    Term.(const run $ fault_arg $ dir_arg $ json $ prometheus $ reset_check)
+
+(* Minimal JSON string rendering for CLI reports (keys are ASCII but a
+   user-chosen DIR or key may not be). *)
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let heat_cmd =
+  let items =
+    Arg.(value & opt int 20_000 & info [ "items" ] ~doc:"Dataset size loaded before the trace.")
+  in
+  let ops =
+    Arg.(value & opt int 50_000 & info [ "ops" ] ~doc:"Zipfian point reads to drive.")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt (enum [ ("zipf", `Zipf); ("composite", `Composite) ]) `Zipf
+      & info [ "dist" ] ~doc:"Read-key distribution (theta 0.99).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Rows in the chunk and prefix tables.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable report.") in
+  let run fault_profile dir items ops dist top json =
+    let theta = 0.99 in
+    let d = match dist with `Zipf -> W.Zipf_simple theta | `Composite -> W.Zipf_composite theta in
+    (* A big sketch keeps the aggregate Space-Saving overestimate well
+       under the report's accuracy target. *)
+    let config = { Evendb_core.Config.default with topk_capacity = 4096 } in
+    with_db ?fault_profile ~config dir (fun db ->
+        let sh = W.create_shared ~value_bytes:128 d ~items ~seed:1 in
+        let w = W.thread sh ~id:0 in
+        List.iter (fun k -> Db.put db k (W.make_value w)) (W.load_keys sh);
+        Db.maintain db;
+        (* The load phase's put telemetry would dilute the read trace. *)
+        Db.reset_metrics db;
+        for _ = 1 to ops do
+          ignore (Db.get db (W.sample_key w))
+        done;
+        let prefix_len = (Db.config db).Evendb_core.Config.hot_prefix_len in
+        let expected = W.prefix_weights sh ~prefix_len in
+        let distinct = List.length expected in
+        let n1 = max 1 (distinct / 100) in
+        let expected_share =
+          List.fold_left (fun acc (_, w) -> acc +. w) 0.0 (take n1 expected)
+        in
+        let entries, total = Db.hot_prefixes db in
+        let observed_share =
+          if total = 0 then 0.0
+          else
+            List.fold_left (fun acc (_, _, hi) -> acc +. float_of_int hi) 0.0 (take n1 entries)
+            /. float_of_int total
+        in
+        let cstats = Db.chunk_stats db in
+        let by_heat =
+          List.sort
+            (fun a b ->
+              compare b.Db.cs_stat.Chunk_stats.st_heat a.Db.cs_stat.Chunk_stats.st_heat)
+            cstats
+        in
+        let resident = List.length (List.filter (fun c -> c.Db.cs_munk_resident) cstats) in
+        (* Agreement: does the munk cache hold the chunks the heat score
+           ranks hottest? 1.0 = the top-[resident] by heat are exactly
+           the resident set. *)
+        let m = min resident (List.length by_heat) in
+        let agreement =
+          if m = 0 then 1.0
+          else
+            float_of_int
+              (List.length (List.filter (fun c -> c.Db.cs_munk_resident) (take m by_heat)))
+            /. float_of_int m
+        in
+        if json then begin
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf "{\n";
+          Buffer.add_string buf (Printf.sprintf "  \"dist\": %s,\n" (jstr (W.dist_name d)));
+          Buffer.add_string buf (Printf.sprintf "  \"theta\": %.2f,\n" theta);
+          Buffer.add_string buf (Printf.sprintf "  \"items\": %d,\n" items);
+          Buffer.add_string buf (Printf.sprintf "  \"ops\": %d,\n" ops);
+          Buffer.add_string buf (Printf.sprintf "  \"prefix_len\": %d,\n" prefix_len);
+          Buffer.add_string buf (Printf.sprintf "  \"distinct_prefixes\": %d,\n" distinct);
+          Buffer.add_string buf (Printf.sprintf "  \"top1pct_prefixes\": %d,\n" n1);
+          Buffer.add_string buf
+            (Printf.sprintf "  \"observed_top1pct_share\": %.6f,\n" observed_share);
+          Buffer.add_string buf
+            (Printf.sprintf "  \"expected_top1pct_share\": %.6f,\n" expected_share);
+          Buffer.add_string buf (Printf.sprintf "  \"sketch_total\": %d,\n" total);
+          Buffer.add_string buf (Printf.sprintf "  \"chunks\": %d,\n" (List.length cstats));
+          Buffer.add_string buf (Printf.sprintf "  \"resident_munks\": %d,\n" resident);
+          Buffer.add_string buf
+            (Printf.sprintf "  \"munk_residency_agreement\": %.6f,\n" agreement);
+          Buffer.add_string buf "  \"hot_prefixes\": [";
+          List.iteri
+            (fun i (p, lo, hi) ->
+              if i > 0 then Buffer.add_string buf ",";
+              Buffer.add_string buf
+                (Printf.sprintf "\n    {\"prefix\": %s, \"count_lo\": %d, \"count_hi\": %d}"
+                   (jstr p) lo hi))
+            (take top entries);
+          Buffer.add_string buf "\n  ],\n  \"hot_chunks\": [";
+          List.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_string buf ",";
+              let s = c.Db.cs_stat in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "\n    {\"id\": %d, \"min_key\": %s, \"munk\": %b, \"heat\": %.3f, \
+                    \"gets\": %d, \"puts\": %d, \"scans\": %d, \"munk_hits\": %d, \
+                    \"row_hits\": %d, \"funk_reads\": %d, \"rebalances\": %d, \"splits\": %d}"
+                   c.Db.cs_id (jstr c.Db.cs_min_key) c.Db.cs_munk_resident
+                   s.Chunk_stats.st_heat s.Chunk_stats.st_gets s.Chunk_stats.st_puts
+                   s.Chunk_stats.st_scans s.Chunk_stats.st_munk_hits s.Chunk_stats.st_row_hits
+                   s.Chunk_stats.st_funk_reads s.Chunk_stats.st_rebalances
+                   s.Chunk_stats.st_splits))
+            (take top by_heat);
+          Buffer.add_string buf "\n  ]\n}\n";
+          print_string (Buffer.contents buf)
+        end
+        else begin
+          Printf.printf "%s trace: %d reads over %d items (theta %.2f)\n" (W.dist_name d) ops
+            items theta;
+          Printf.printf "top 1%% of %d prefixes: %.1f%% of accesses (expected %.1f%%)\n"
+            distinct (100.0 *. observed_share) (100.0 *. expected_share);
+          Printf.printf "munk-residency agreement: %.0f%% (%d resident munks, %d chunks)\n\n"
+            (100.0 *. agreement) resident (List.length cstats);
+          Printf.printf "%-10s %-6s %10s %8s %8s %9s %9s %10s\n" "prefix" "" "count" "chunk"
+            "heat" "gets" "puts" "cache-hit%";
+          let chunk_rows = take top by_heat in
+          let prefix_rows = take top entries in
+          let rows = max (List.length chunk_rows) (List.length prefix_rows) in
+          for i = 0 to rows - 1 do
+            (match List.nth_opt prefix_rows i with
+            | Some (p, _, hi) -> Printf.printf "%-10s %-6s %10d " p "" hi
+            | None -> Printf.printf "%-10s %-6s %10s " "" "" "");
+            match List.nth_opt chunk_rows i with
+            | Some c ->
+              let s = c.Db.cs_stat in
+              let hitpct =
+                if s.Chunk_stats.st_gets = 0 then 0.0
+                else
+                  100.0
+                  *. float_of_int (s.Chunk_stats.st_munk_hits + s.Chunk_stats.st_row_hits)
+                  /. float_of_int s.Chunk_stats.st_gets
+              in
+              Printf.printf "%7d%s %8.1f %9d %9d %9.1f\n" c.Db.cs_id
+                (if c.Db.cs_munk_resident then "*" else " ")
+                s.Chunk_stats.st_heat s.Chunk_stats.st_gets s.Chunk_stats.st_puts hitpct
+            | None -> print_newline ()
+          done;
+          Printf.printf "(* = munk resident)\n"
+        end)
+  in
+  Cmd.v
+    (Cmd.info "heat"
+       ~doc:
+         "Drive a skewed read trace and report the spatial-locality telemetry: per-chunk heat \
+          map, hot-prefix sketch, and the observed vs analytically-expected access share of \
+          the top 1% of key prefixes.")
+    Term.(const run $ fault_arg $ dir_arg $ items $ ops $ dist $ top $ json)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace-event JSON here (load in chrome://tracing or Perfetto).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 2_000
+      & info [ "ops" ]
+          ~doc:
+            "Synthetic put/get ops to drive first so the span ring holds maintenance activity \
+             (0 = dump only what opening produced, e.g. recovery).")
+  in
+  let run fault_profile dir out ops =
+    with_db ?fault_profile dir (fun db ->
+        if ops > 0 then begin
+          let sh =
+            W.create_shared ~value_bytes:128 (W.Zipf_composite 0.99) ~items:(max 64 (ops / 2))
+              ~seed:1
+          in
+          let w = W.thread sh ~id:0 in
+          for i = 1 to ops do
+            if i land 1 = 0 then ignore (Db.get db (W.sample_key w))
+            else Db.put db (W.sample_key w) (W.make_value w)
+          done;
+          Db.maintain db
+        end;
+        let json = Db.dump_trace db in
+        let oc = open_out out in
+        output_string oc json;
+        close_out oc;
+        Printf.eprintf "wrote %d bytes of trace JSON to %s\n" (String.length json) out)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Export the maintenance span ring (rebalances, splits, flushes, checkpoints...) as \
+          Chrome trace-event JSON, optionally driving a synthetic workload first.")
+    Term.(const run $ fault_arg $ dir_arg $ out $ ops)
 
 let checkpoint_cmd =
   let run fault_profile dir = with_db ?fault_profile dir (fun db -> Db.checkpoint db) in
@@ -173,4 +415,15 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "evendb" ~doc)
-          [ put_cmd; get_cmd; del_cmd; scan_cmd; load_cmd; stat_cmd; checkpoint_cmd; fsck_cmd ]))
+          [
+            put_cmd;
+            get_cmd;
+            del_cmd;
+            scan_cmd;
+            load_cmd;
+            stat_cmd;
+            heat_cmd;
+            trace_cmd;
+            checkpoint_cmd;
+            fsck_cmd;
+          ]))

@@ -1,0 +1,262 @@
+(* Per-chunk access statistics with an exponentially-decayed heat
+   score. The table is a grow-only array indexed by the dense chunk id:
+   the hot path is one lock-free array load plus atomic increments; a
+   mutex is taken only to install a new cell or grow the array (both
+   rare — once per chunk). The heat accumulator is the one non-atomic
+   field, guarded by a tiny per-cell mutex and decayed on update. *)
+
+type cell = {
+  gets : int Atomic.t;
+  puts : int Atomic.t;
+  scans : int Atomic.t;
+  munk_hits : int Atomic.t;
+  row_hits : int Atomic.t;
+  funk_reads : int Atomic.t;
+  rebalances : int Atomic.t;
+  splits : int Atomic.t;
+  heat_mutex : Mutex.t;
+  mutable heat : float;
+  mutable heat_at_ns : int;
+}
+
+type t = {
+  cells : cell option array Atomic.t;
+  grow : Mutex.t;
+  half_life_ns : float;
+}
+
+type component = Munk | Row | Funk
+
+type stat = {
+  st_gets : int;
+  st_puts : int;
+  st_scans : int;
+  st_munk_hits : int;
+  st_row_hits : int;
+  st_funk_reads : int;
+  st_rebalances : int;
+  st_splits : int;
+  st_heat : float;
+}
+
+let zero =
+  {
+    st_gets = 0;
+    st_puts = 0;
+    st_scans = 0;
+    st_munk_hits = 0;
+    st_row_hits = 0;
+    st_funk_reads = 0;
+    st_rebalances = 0;
+    st_splits = 0;
+    st_heat = 0.0;
+  }
+
+let create ~half_life_ns () =
+  if half_life_ns <= 0 then invalid_arg "Chunk_stats.create: half_life_ns <= 0";
+  {
+    cells = Atomic.make (Array.make 16 None);
+    grow = Mutex.create ();
+    half_life_ns = float_of_int half_life_ns;
+  }
+
+let new_cell ~now =
+  {
+    gets = Atomic.make 0;
+    puts = Atomic.make 0;
+    scans = Atomic.make 0;
+    munk_hits = Atomic.make 0;
+    row_hits = Atomic.make 0;
+    funk_reads = Atomic.make 0;
+    rebalances = Atomic.make 0;
+    splits = Atomic.make 0;
+    heat_mutex = Mutex.create ();
+    heat = 0.0;
+    heat_at_ns = now;
+  }
+
+(* Install under the mutex; a stale reader that raced the plain array
+   store lands here and picks up the same cell. *)
+let install t id ~now =
+  Mutex.lock t.grow;
+  let arr = Atomic.get t.cells in
+  let arr =
+    if id < Array.length arr then arr
+    else begin
+      let bigger = Array.make (max (id + 1) (2 * Array.length arr)) None in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      Atomic.set t.cells bigger;
+      bigger
+    end
+  in
+  let c =
+    match arr.(id) with
+    | Some c -> c
+    | None ->
+      let c = new_cell ~now in
+      arr.(id) <- Some c;
+      c
+  in
+  Mutex.unlock t.grow;
+  c
+
+let cell t id ~now =
+  if id < 0 then invalid_arg "Chunk_stats.cell: negative id";
+  let arr = Atomic.get t.cells in
+  if id < Array.length arr then
+    match arr.(id) with Some c -> c | None -> install t id ~now
+  else install t id ~now
+
+(* Decay-on-update: heat <- heat * 2^(-dt/half_life) + weight. Between
+   touches the stored value goes stale; readers decay it to their own
+   "now" (see [decayed_heat]), so the score is always comparable. *)
+let touch t c ~now ~weight =
+  Mutex.lock c.heat_mutex;
+  let dt = now - c.heat_at_ns in
+  if dt > 0 then begin
+    c.heat <- c.heat *. Float.exp2 (-.float_of_int dt /. t.half_life_ns);
+    c.heat_at_ns <- now
+  end;
+  c.heat <- c.heat +. weight;
+  Mutex.unlock c.heat_mutex
+
+let decayed_heat t c ~now =
+  Mutex.lock c.heat_mutex;
+  let h = c.heat and at = c.heat_at_ns in
+  Mutex.unlock c.heat_mutex;
+  let dt = now - at in
+  if dt > 0 then h *. Float.exp2 (-.float_of_int dt /. t.half_life_ns) else h
+
+let record_get t id comp ~now =
+  let c = cell t id ~now in
+  Atomic.incr c.gets;
+  (match comp with
+  | Munk -> Atomic.incr c.munk_hits
+  | Row -> Atomic.incr c.row_hits
+  | Funk -> Atomic.incr c.funk_reads);
+  touch t c ~now ~weight:1.0
+
+let record_put t id ~now =
+  let c = cell t id ~now in
+  Atomic.incr c.puts;
+  touch t c ~now ~weight:1.0
+
+let record_scan t id ~now =
+  let c = cell t id ~now in
+  Atomic.incr c.scans;
+  touch t c ~now ~weight:1.0
+
+let record_rebalance t id ~now =
+  let c = cell t id ~now in
+  Atomic.incr c.rebalances
+
+let record_split t id ~now =
+  let c = cell t id ~now in
+  Atomic.incr c.splits
+
+(* Split/merge lineage: children of a split each inherit half the
+   parent's decayed heat; a merge child inherits the parents' sum. Op
+   counters stay with the retired id (they count what happened to that
+   chunk), but heat must follow the key range or a hot range would look
+   cold right after every split. *)
+let transfer t ~now ~old_ids ~new_ids =
+  match new_ids with
+  | [] -> ()
+  | _ ->
+    let inherited =
+      List.fold_left (fun acc id -> acc +. decayed_heat t (cell t id ~now) ~now) 0.0 old_ids
+    in
+    let share = inherited /. float_of_int (List.length new_ids) in
+    List.iter
+      (fun id ->
+        let c = cell t id ~now in
+        Mutex.lock c.heat_mutex;
+        c.heat <- c.heat +. share;
+        c.heat_at_ns <- now;
+        Mutex.unlock c.heat_mutex)
+      new_ids;
+    List.iter
+      (fun id ->
+        let c = cell t id ~now in
+        Mutex.lock c.heat_mutex;
+        c.heat <- 0.0;
+        c.heat_at_ns <- now;
+        Mutex.unlock c.heat_mutex)
+      old_ids
+
+let heat t id ~now =
+  let arr = Atomic.get t.cells in
+  if id >= 0 && id < Array.length arr then
+    match arr.(id) with Some c -> decayed_heat t c ~now | None -> 0.0
+  else 0.0
+
+let stat_of t c ~now =
+  {
+    st_gets = Atomic.get c.gets;
+    st_puts = Atomic.get c.puts;
+    st_scans = Atomic.get c.scans;
+    st_munk_hits = Atomic.get c.munk_hits;
+    st_row_hits = Atomic.get c.row_hits;
+    st_funk_reads = Atomic.get c.funk_reads;
+    st_rebalances = Atomic.get c.rebalances;
+    st_splits = Atomic.get c.splits;
+    st_heat = decayed_heat t c ~now;
+  }
+
+let stat t id ~now =
+  let arr = Atomic.get t.cells in
+  if id >= 0 && id < Array.length arr then
+    match arr.(id) with Some c -> Some (stat_of t c ~now) | None -> None
+  else None
+
+let stats t ~now =
+  let arr = Atomic.get t.cells in
+  let acc = ref [] in
+  for id = Array.length arr - 1 downto 0 do
+    match arr.(id) with
+    | Some c -> acc := (id, stat_of t c ~now) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let zero_residue (id, s) =
+  let fields =
+    [
+      ("gets", s.st_gets);
+      ("puts", s.st_puts);
+      ("scans", s.st_scans);
+      ("munk_hits", s.st_munk_hits);
+      ("row_hits", s.st_row_hits);
+      ("funk_reads", s.st_funk_reads);
+      ("rebalances", s.st_rebalances);
+      ("splits", s.st_splits);
+    ]
+  in
+  List.filter_map
+    (fun (f, v) -> if v <> 0 then Some (Printf.sprintf "chunk.%d.%s" id f) else None)
+    fields
+  @ if s.st_heat <> 0.0 then [ Printf.sprintf "chunk.%d.heat" id ] else []
+
+let residue t ~now = List.concat_map (zero_residue) (stats t ~now)
+
+let reset t ~now =
+  Mutex.lock t.grow;
+  let arr = Atomic.get t.cells in
+  Array.iter
+    (function
+      | None -> ()
+      | Some c ->
+        Atomic.set c.gets 0;
+        Atomic.set c.puts 0;
+        Atomic.set c.scans 0;
+        Atomic.set c.munk_hits 0;
+        Atomic.set c.row_hits 0;
+        Atomic.set c.funk_reads 0;
+        Atomic.set c.rebalances 0;
+        Atomic.set c.splits 0;
+        Mutex.lock c.heat_mutex;
+        c.heat <- 0.0;
+        c.heat_at_ns <- now;
+        Mutex.unlock c.heat_mutex)
+    arr;
+  Mutex.unlock t.grow

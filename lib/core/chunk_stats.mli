@@ -1,0 +1,64 @@
+(** Per-chunk access statistics with exponentially-decayed heat.
+
+    One table per database instance, indexed by the dense chunk id.
+    The hot path (one record per get/put/scan) is a lock-free array
+    load plus atomic counter increments; only cell installation and the
+    per-cell heat accumulator take (tiny, uncontended) mutexes.
+
+    {b Heat.} Each access adds 1 to the chunk's heat after decaying the
+    stored value by [2^(-dt / half_life_ns)], where [dt] is the time
+    since the previous touch. Reading decays to the reader's [now], so
+    scores are comparable across chunks regardless of when each was
+    last touched: a chunk receiving a steady [r] accesses per half-life
+    converges to heat ~[r / ln 2], and goes to 0 once traffic stops.
+    Splits and merges transfer heat along the key range ({!transfer}).
+
+    All functions take the current monotonic time explicitly
+    ([Obs.now_ns] in production), which keeps decay deterministic under
+    test. *)
+
+type t
+
+type component =
+  | Munk  (** get served from the resident munk *)
+  | Row  (** get served from the row cache *)
+  | Funk  (** get went to the funk (log or SSTable), hit or miss *)
+
+type stat = {
+  st_gets : int;
+  st_puts : int;
+  st_scans : int;  (** chunk visits by scans, not scan calls *)
+  st_munk_hits : int;
+  st_row_hits : int;
+  st_funk_reads : int;
+  st_rebalances : int;
+  st_splits : int;
+  st_heat : float;  (** decayed to the snapshot's [now] *)
+}
+
+val zero : stat
+
+val create : half_life_ns:int -> unit -> t
+
+val record_get : t -> int -> component -> now:int -> unit
+val record_put : t -> int -> now:int -> unit
+val record_scan : t -> int -> now:int -> unit
+val record_rebalance : t -> int -> now:int -> unit
+val record_split : t -> int -> now:int -> unit
+
+val transfer : t -> now:int -> old_ids:int list -> new_ids:int list -> unit
+(** Move the decayed heat of [old_ids] (summed, then split evenly) onto
+    [new_ids], zeroing the old cells' heat. Op counters do not move. *)
+
+val heat : t -> int -> now:int -> float
+(** Decayed heat of one chunk id (0 if never seen). *)
+
+val stat : t -> int -> now:int -> stat option
+val stats : t -> now:int -> (int * stat) list
+(** Every chunk id ever seen, ascending. *)
+
+val residue : t -> now:int -> string list
+(** Names ([chunk.<id>.<field>]) of all non-zero fields — empty right
+    after {!reset}; used as a regression guard on reset paths. *)
+
+val reset : t -> now:int -> unit

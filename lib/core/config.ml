@@ -17,6 +17,9 @@ type t = {
   sstable_block_bytes : int;
   collect_read_stats : bool;
   background_maintenance : bool;
+  hot_prefix_len : int;
+  topk_capacity : int;
+  heat_half_life_ns : int;
 }
 
 let mib = 1024 * 1024
@@ -39,6 +42,9 @@ let default =
     sstable_block_bytes = 4096;
     collect_read_stats = false;
     background_maintenance = false;
+    hot_prefix_len = 8;
+    topk_capacity = 512;
+    heat_half_life_ns = 10_000_000_000;
   }
 
 let scaled ?(factor = 64) () =

@@ -40,6 +40,17 @@ type t = {
       (** Run rebalances/splits on a dedicated maintenance domain (the
           paper's background threads) instead of inline on the put
           path. Default [false]: deterministic, good for tests. *)
+  hot_prefix_len : int;
+      (** Key-prefix length fed to the hot-prefix sketch on every
+          get/put (default 8 — ["user" + 4 digits] under the YCSB key
+          scheme, i.e. 10^6-key blocks). *)
+  topk_capacity : int;
+      (** Monitored-key capacity of the hot-prefix Space-Saving sketch
+          (default 512); the sketch's error bound is [N/capacity] after
+          [N] observations. *)
+  heat_half_life_ns : int;
+      (** Half-life of the per-chunk heat score's exponential decay
+          (default 10s): heat halves after this much idle time. *)
 }
 
 val default : t

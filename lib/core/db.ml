@@ -38,6 +38,9 @@ type t = {
   structural : Mutex.t; (* chunk list, index, manifest; leaf lock *)
   checkpoint_mutex : Mutex.t;
   rstats : Read_stats.t;
+  cstats : Chunk_stats.t;
+  topk : Topk.t; (* hot key prefixes, fed from gets and puts *)
+  recorder : Obs.Recorder.t;
   logical_written : int Atomic.t;
   put_count : int Atomic.t;
   closed : bool Atomic.t;
@@ -313,17 +316,29 @@ let note_access db c =
 (* ------------------------------------------------------------------ *)
 (* Get                                                                 *)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Obs.now_ns
 
 let entry_to_value (e : K.entry) = e.value
+
+(* Hot-prefix sketch key: the leading [hot_prefix_len] bytes. *)
+let prefix_of db key =
+  let n = db.cfg.hot_prefix_len in
+  if String.length key <= n then key else String.sub key 0 n
 
 let rec get_resolved db key =
   let detailed = db.cfg.collect_read_stats in
   let t0 = if detailed then now_ns () else 0 in
-  let record comp =
-    Read_stats.record db.rstats comp (if detailed then now_ns () - t0 else 0)
-  in
   let c = lookup_read db key in
+  let record comp =
+    Read_stats.record db.rstats comp (if detailed then now_ns () - t0 else 0);
+    let cc =
+      match comp with
+      | Read_stats.Munk_cache -> Chunk_stats.Munk
+      | Read_stats.Row_cache -> Chunk_stats.Row
+      | Read_stats.Funk_log | Read_stats.Sstable | Read_stats.Missing -> Chunk_stats.Funk
+    in
+    Chunk_stats.record_get db.cstats (Chunk.id c) cc ~now:(now_ns ())
+  in
   note_access db c;
   match Chunk.munk c with
   | Some munk ->
@@ -385,7 +400,9 @@ let rec get_resolved db key =
             | `Degraded (None, exn) -> raise exn))
       with Funk.Stale -> get_resolved db key))
 
-let get db key = Obs.Timer.time db.tm_get (fun () -> get_resolved db key)
+let get db key =
+  Topk.observe db.topk (prefix_of db key);
+  Obs.Timer.time db.tm_get (fun () -> get_resolved db key)
 
 (* ------------------------------------------------------------------ *)
 (* Rebalance and splits                                                *)
@@ -445,6 +462,9 @@ let split_chunk_locked db c compacted floor =
     Chunk.set_next c1 (Some c2);
     splice_chunks db c ~first:c1 ~last:c2;
     Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
+    Chunk_stats.record_split db.cstats (Chunk.id c) ~now:(now_ns ());
+    Chunk_stats.transfer db.cstats ~now:(now_ns ()) ~old_ids:[ Chunk.id c ]
+      ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
     (* The retired chunk keeps its munk so that readers holding stale
        references continue to be served (§3.4). *)
     (* Phase 2: give each new chunk its own funk. Puts may already be
@@ -489,6 +509,7 @@ let munk_rebalance db c =
         | None -> ()
         | Some munk ->
           Obs.Trace.with_span (Obs.trace db.obs) ~name:"munk_rebalance" (fun sp ->
+              Chunk_stats.record_rebalance db.cstats (Chunk.id c) ~now:(now_ns ());
               let floor = compaction_floor db c in
               let compacted = Munk.rebalance munk ~min_retained_version:(Some floor) in
               Obs.Trace.add_attr sp "bytes" (Munk.byte_size compacted);
@@ -521,6 +542,7 @@ let cold_funk_rebalance db c =
     ~current:(fun () -> Chunk.funk c)
     (fun funk ->
       Obs.Trace.with_span (Obs.trace db.obs) ~name:"cold_funk_rebalance" (fun sp ->
+      Chunk_stats.record_rebalance db.cstats (Chunk.id c) ~now:(now_ns ());
       let log_end = Funk.log_size funk in
       let floor = compaction_floor db c in
       let merged =
@@ -610,6 +632,9 @@ let cold_funk_rebalance db c =
                 Chunk.set_next c1 (Some c2);
                 splice_chunks db c ~first:c1 ~last:c2;
                 Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
+                Chunk_stats.record_split db.cstats (Chunk.id c) ~now:(now_ns ());
+                Chunk_stats.transfer db.cstats ~now:(now_ns ()) ~old_ids:[ Chunk.id c ]
+                  ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
                 publish_funks db ~add:[ id1; id2 ] ~disown:[ funk ]
               end)
       end))
@@ -632,7 +657,9 @@ let funk_rebalance db c =
             (fun () ->
               if not (Chunk.retired c) then
                 match Chunk.munk c with
-                | Some munk -> ignore (flush_munk_locked db c munk)
+                | Some munk ->
+                  Chunk_stats.record_rebalance db.cstats (Chunk.id c) ~now:(now_ns ());
+                  ignore (flush_munk_locked db c munk)
                 | None -> ())
         | None -> (
           (* The chunk may be retired by a concurrent split before we
@@ -741,6 +768,9 @@ let merge_chunks db c n =
               row_cache_purge db cm;
               Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id cm ];
               Lfu.remove db.lfu (Chunk.id n);
+              Chunk_stats.transfer db.cstats ~now:(now_ns ())
+                ~old_ids:[ Chunk.id c; Chunk.id n ]
+                ~new_ids:[ Chunk.id cm ];
               ignore (Lfu.force_insert db.lfu (Chunk.id cm));
               Obs.Trace.add_attr sp "entries" (List.length entries);
               publish_funks db ~add:[ id ] ~disown:[ Chunk.funk c; Chunk.funk n ])
@@ -794,10 +824,12 @@ let rec put_entry db key value_opt =
     ignore
       (Atomic.fetch_and_add db.logical_written
          (String.length key + match value_opt with Some v -> String.length v | None -> 0));
+    Chunk_stats.record_put db.cstats (Chunk.id c) ~now:(now_ns ());
     c
   end
 
 and put_entry_and_maintain db key value_opt =
+  Topk.observe db.topk (prefix_of db key);
   let c = put_entry db key value_opt in
   note_access db c;
   (* The put itself is durable by this point (or already raised); an
@@ -819,6 +851,10 @@ and put_entry_and_maintain db key value_opt =
       Mutex.unlock m.m_mutex
     end);
   let n = Atomic.fetch_and_add db.put_count 1 + 1 in
+  (* Flight-recorder cadence: one frame every 4096 puts — cheap enough
+     to stay always-on, frequent enough that the 64-frame ring covers
+     the last ~256k puts. *)
+  if n land 4095 = 0 then ignore (Obs.Recorder.tick db.recorder);
   if
     db.cfg.persistence = Config.Async
     && db.cfg.checkpoint_every_puts > 0
@@ -904,6 +940,7 @@ let scan_internal db ?limit ~low ~high () =
            collected from earlier chunks (or retries). *)
         let rec over_chunks lo c =
           note_access db c;
+          Chunk_stats.record_scan db.cstats (Chunk.id c) ~now:(now_ns ());
           let stale =
             match Chunk.munk c with
             | Some munk ->
@@ -1065,6 +1102,9 @@ let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_fun
     structural = Mutex.create ();
     checkpoint_mutex = Mutex.create ();
     rstats = Read_stats.create ~detailed:cfg.Config.collect_read_stats;
+    cstats = Chunk_stats.create ~half_life_ns:cfg.Config.heat_half_life_ns ();
+    topk = Topk.create ~capacity:cfg.Config.topk_capacity ();
+    recorder = Obs.recorder obs;
     logical_written = Atomic.make 0;
     put_count = Atomic.make 0;
     closed = Atomic.make false;
@@ -1286,6 +1326,70 @@ let write_amplification db =
   let written = (Io_stats.snapshot (Env.stats db.env)).Io_stats.bytes_written in
   let logical = logical_bytes_written db in
   if logical = 0 then 0.0 else float_of_int written /. float_of_int logical
+
+(* ------------------------------------------------------------------ *)
+(* Spatial-locality telemetry                                          *)
+
+type chunk_stat = {
+  cs_id : int;
+  cs_min_key : string;
+  cs_munk_resident : bool;
+  cs_resident_bytes : int;
+  cs_stat : Chunk_stats.stat;
+}
+
+let chunk_stats db =
+  let now = now_ns () in
+  List.map
+    (fun c ->
+      let id = Chunk.id c in
+      {
+        cs_id = id;
+        cs_min_key = Chunk.min_key c;
+        cs_munk_resident = Chunk.munk c <> None;
+        cs_resident_bytes = (match Chunk.munk c with Some m -> Munk.byte_size m | None -> 0);
+        cs_stat =
+          (match Chunk_stats.stat db.cstats id ~now with
+          | Some s -> s
+          | None -> Chunk_stats.zero);
+      })
+    (all_chunks db)
+
+let hot_prefixes db = (Topk.entries db.topk, Topk.total db.topk)
+let dump_trace db = Obs.to_chrome_trace db.obs
+let recorder db = db.recorder
+
+let reset_metrics db =
+  Obs.reset db.obs;
+  Read_stats.reset db.rstats;
+  Chunk_stats.reset db.cstats ~now:(now_ns ());
+  Topk.reset db.topk;
+  Obs.Recorder.reset db.recorder
+
+(* Non-zero resettable metrics — anything here right after
+   [reset_metrics] on a quiescent store is a bug. Gauges and probes are
+   excluded: they mirror live structural state (chunk counts, resident
+   bytes) that reset must not touch. *)
+let metrics_residue db =
+  let s = Obs.snapshot db.obs in
+  let from_registry =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Obs.Counter n when n <> 0 -> Some name
+        | Obs.Timer tm when tm.Obs.t_count <> 0 -> Some name
+        | _ -> None)
+      s.Obs.metrics
+  in
+  let from_spans =
+    List.filter_map
+      (fun (st : Obs.Trace.span_stat) ->
+        if st.Obs.Trace.span_count <> 0 then Some ("span." ^ st.Obs.Trace.span_name) else None)
+      s.Obs.spans
+  in
+  let from_chunks = Chunk_stats.residue db.cstats ~now:(now_ns ()) in
+  let from_topk = if Topk.total db.topk <> 0 then [ "topk.total" ] else [] in
+  from_registry @ from_spans @ from_chunks @ from_topk
 
 let maintain db =
   let rec fixpoint iter =

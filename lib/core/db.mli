@@ -110,3 +110,51 @@ val obs : t -> Evendb_obs.Obs.t
 val metrics_dump : t -> [ `Json | `Prometheus ] -> string
 (** Render the registry with the corresponding {!Evendb_obs.Obs}
     exporter. *)
+
+(** {2 Spatial-locality telemetry}
+
+    The paper's bet is that a few key ranges absorb most traffic; these
+    APIs make that skew — and whether the munk cache tracks it —
+    directly observable. *)
+
+type chunk_stat = {
+  cs_id : int;
+  cs_min_key : string;
+  cs_munk_resident : bool;
+  cs_resident_bytes : int;  (** munk bytes when resident, else 0 *)
+  cs_stat : Chunk_stats.stat;
+}
+
+val chunk_stats : t -> chunk_stat list
+(** One entry per live chunk, in key order: access counters, cache-hit
+    split, maintenance counts, and the exponentially-decayed heat score
+    (see {!Chunk_stats}), joined with residency info. *)
+
+val hot_prefixes : t -> (string * int * int) list * int
+(** The hot-prefix Space-Saving sketch, fed the leading
+    [Config.hot_prefix_len] bytes of every get/put key:
+    [(entries, total)] where entries are [(prefix, count_lo, count_hi)]
+    sorted hottest-first (see {!Evendb_obs.Topk.entries}) and [total]
+    is the number of observations. *)
+
+val dump_trace : t -> string
+(** The span ring buffer as Chrome trace-event JSON
+    ([chrome://tracing]/Perfetto-loadable); see
+    {!Evendb_obs.Obs.to_chrome_trace}. *)
+
+val recorder : t -> Evendb_obs.Obs.Recorder.t
+(** The instance's flight recorder: one frame of metric deltas is cut
+    automatically every 4096 puts; tick it explicitly for finer
+    resolution. *)
+
+val reset_metrics : t -> unit
+(** Zero every resettable statistic in one shot: the {!obs} registry
+    (counters/timers/trace — probes stay registered), read stats, the
+    per-chunk stats table, the hot-prefix sketch, and the flight
+    recorder. Structural state (chunks, munks, caches) is untouched. *)
+
+val metrics_residue : t -> string list
+(** Names of resettable metrics that are currently non-zero (counters,
+    timers, span aggregates, per-chunk fields, sketch total). Empty
+    right after {!reset_metrics} on a quiescent store — regression
+    guard for reset coverage of new tables. *)

@@ -89,7 +89,13 @@ type t = {
   ctr_stalls : Obs.Counter.t;
   ctr_wal_appends : Obs.Counter.t;
   ctr_io_errors : Obs.Counter.t; (* Io_errors observed by maintenance paths *)
+  lvl_written : Obs.Counter.t array; (* bytes landing in level i *)
+  lvl_compacted : Obs.Counter.t array; (* bytes compacted out of level i *)
+  lvl_reads : Obs.Counter.t array; (* gets served by level i *)
 }
+
+let level_counters obs ~max_levels name =
+  Array.init max_levels (fun i -> Obs.counter obs (Printf.sprintf "level%d.%s" i name))
 
 let sst_name fid = Printf.sprintf "flsm_%08d.sst" fid
 let wal_name gen = Printf.sprintf "flsm_wal_%08d.log" gen
@@ -392,6 +398,16 @@ let compact_level t i =
   let levels = Array.copy s.levels in
   let bottom = i = Array.length levels - 1 in
   let built = ref [] in
+  (* Bytes read out of level i as compaction input: every fragment for a
+     level move, only multi-fragment guards for a bottom in-place merge.
+     Counted only after a successful publish (failure atomicity). *)
+  let input_bytes =
+    List.fold_left
+      (fun acc g ->
+        if bottom && List.length g.fragments <= 1 then acc
+        else List.fold_left (fun acc f -> acc + f.bytes) acc g.fragments)
+      0 levels.(i)
+  in
   try
     if bottom then
     levels.(i) <-
@@ -451,7 +467,10 @@ let compact_level t i =
        refcount release deletes the input fragments — the on-disk
        manifest must already reference the outputs by then. *)
     store_manifest t levels;
-    publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels)
+    publish t (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm ~levels);
+    Obs.Counter.add t.lvl_compacted.(i) input_bytes;
+    let out_bytes = List.fold_left (fun acc f -> acc + f.bytes) 0 !built in
+    Obs.Counter.add t.lvl_written.(if bottom then i else i + 1) out_bytes
   with exn ->
     (* Nothing was published: remove every fragment this compaction
        wrote and leave the engine on the old state. *)
@@ -528,6 +547,7 @@ let flush_memtable t =
            (try Env.delete t.env (sst_name frag.fid) with _ -> ());
            raise exn);
         publish t (fresh_state ~mem:Memtable.empty ~imm:None ~levels);
+        Obs.Counter.add t.lvl_written.(0) frag.bytes;
         Log_file.Writer.close old_wal;
         (try Env.delete t.env (wal_name old_wal_gen) with _ -> ()))
 
@@ -619,7 +639,9 @@ let get t key =
             in
             guards s.levels.(i);
             match !best with
-            | Some e -> Some e
+            | Some e ->
+              if i < Array.length t.lvl_reads then Obs.Counter.incr t.lvl_reads.(i);
+              Some e
             | None -> search_level (i + 1)
           end
         in
@@ -721,7 +743,7 @@ let setup_obs env =
   Obs.probe obs "log.resyncs" (fun () -> Env.log_resyncs env);
   obs
 
-let open_ ?(config = Config.default) env =
+let open_internal config env =
   let obs = setup_obs env in
   match load_manifest env with
   | None ->
@@ -757,6 +779,9 @@ let open_ ?(config = Config.default) env =
         ctr_stalls = Obs.counter obs "flsm.stalls";
         ctr_wal_appends = Obs.counter obs "wal.appends";
         ctr_io_errors = Obs.counter obs "io.errors";
+        lvl_written = level_counters obs ~max_levels:config.max_levels "bytes_written";
+        lvl_compacted = level_counters obs ~max_levels:config.max_levels "bytes_compacted";
+        lvl_reads = level_counters obs ~max_levels:config.max_levels "read_hits";
       }
     in
     store_manifest t (empty_levels config.max_levels);
@@ -841,8 +866,38 @@ let open_ ?(config = Config.default) env =
       tm_scan = Obs.timer obs "db.scan";
       ctr_stalls = Obs.counter obs "flsm.stalls";
       ctr_wal_appends = Obs.counter obs "wal.appends";
-        ctr_io_errors = Obs.counter obs "io.errors";
+      ctr_io_errors = Obs.counter obs "io.errors";
+      lvl_written = level_counters obs ~max_levels:(Array.length levels) "bytes_written";
+      lvl_compacted = level_counters obs ~max_levels:(Array.length levels) "bytes_compacted";
+      lvl_reads = level_counters obs ~max_levels:(Array.length levels) "read_hits";
     })
+
+(* Probes of the current shape: total fragment bytes and fragment count
+   per level (comparable to the LSM baseline's level<i>.bytes/files). *)
+let register_level_probes t =
+  Array.iteri
+    (fun i _ ->
+      Obs.probe t.obs
+        (Printf.sprintf "level%d.bytes" i)
+        (fun () ->
+          let s = Atomic.get t.state in
+          if i >= Array.length s.levels then 0
+          else
+            List.fold_left
+              (fun acc g -> List.fold_left (fun acc f -> acc + f.bytes) acc g.fragments)
+              0 s.levels.(i));
+      Obs.probe t.obs
+        (Printf.sprintf "level%d.files" i)
+        (fun () ->
+          let s = Atomic.get t.state in
+          if i >= Array.length s.levels then 0
+          else List.fold_left (fun acc g -> acc + List.length g.fragments) 0 s.levels.(i)))
+    (Atomic.get t.state).levels
+
+let open_ ?(config = Config.default) env =
+  let t = open_internal config env in
+  register_level_probes t;
+  t
 
 let compact_now t =
   Mutex.lock t.writer;

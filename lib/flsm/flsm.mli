@@ -68,7 +68,13 @@ val debug_locate : t -> string -> string
 val obs : t -> Evendb_obs.Obs.t
 (** Op-latency timers ([db.put]/[db.get]/[db.delete]/[db.scan]),
     [flsm.stalls] (puts that paid an inline flush/compaction),
-    [wal.appends], per-file-kind I/O probes, and spans around
-    [fragment_append], [guard_merge], [memtable_flush] and [recovery]. *)
+    [wal.appends], per-file-kind I/O probes, spans around
+    [fragment_append], [guard_merge], [memtable_flush] and [recovery],
+    and per-level shape metrics: [level<i>.bytes_written] (bytes landing
+    in the level), [level<i>.bytes_compacted] (bytes compacted out of
+    it), [level<i>.read_hits] (gets served by it), plus
+    [level<i>.bytes]/[level<i>.files] probes of the current shape —
+    names match the LSM baseline so write-amplification shape is
+    directly comparable across engines. *)
 
 val metrics_dump : t -> [ `Json | `Prometheus ] -> string

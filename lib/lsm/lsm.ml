@@ -89,7 +89,16 @@ type t = {
   ctr_stalls : Obs.Counter.t; (* puts that paid an inline flush/compaction *)
   ctr_wal_appends : Obs.Counter.t;
   ctr_io_errors : Obs.Counter.t; (* Io_errors observed by maintenance paths *)
+  (* Per-level shape counters (comparable across the three engines):
+     bytes landing in level i (flush/compaction outputs), bytes read
+     out of level i as compaction input, and gets served by level i. *)
+  lvl_written : Obs.Counter.t array;
+  lvl_compacted : Obs.Counter.t array;
+  lvl_reads : Obs.Counter.t array;
 }
+
+let level_counters obs ~max_levels name =
+  Array.init max_levels (fun i -> Obs.counter obs (Printf.sprintf "level%d.%s" i name))
 
 let sst_name fid = Printf.sprintf "lsm_%08d.sst" fid
 let wal_name gen = Printf.sprintf "lsm_wal_%08d.log" gen
@@ -365,6 +374,7 @@ let flush_memtable t =
            delete_file t file;
            raise exn);
         publish t (fresh_state ~mem:Memtable.empty ~imm:None ~levels);
+        Obs.Counter.add t.lvl_written.(0) file.bytes;
         Log_file.Writer.close old_wal;
         (try Env.delete t.env (wal_name old_wal_gen) with _ -> ()))
 
@@ -408,7 +418,10 @@ let rec compact t =
      with exn ->
        List.iter (delete_file t) new_files;
        raise exn);
-    publish t (fresh_state ~mem:s.mem ~imm:s.imm ~levels:levels'));
+    publish t (fresh_state ~mem:s.mem ~imm:s.imm ~levels:levels');
+    Obs.Counter.add t.lvl_compacted.(0) (level_total l0);
+    Obs.Counter.add t.lvl_compacted.(1) (level_total l1_in);
+    Obs.Counter.add t.lvl_written.(1) (level_total new_files));
     compact t
   end
   else begin
@@ -458,7 +471,10 @@ let rec compact t =
            raise exn);
         publish t
           (fresh_state ~mem:(Atomic.get t.state).mem ~imm:(Atomic.get t.state).imm
-             ~levels:levels'));
+             ~levels:levels');
+        Obs.Counter.add t.lvl_compacted.(i) victim.bytes;
+        Obs.Counter.add t.lvl_compacted.(i + 1) (level_total child_in);
+        Obs.Counter.add t.lvl_written.(i + 1) (level_total new_files));
         compact t)
   end
 
@@ -507,7 +523,7 @@ let put_entry t key value_opt =
 let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
 let delete t key = Obs.Timer.time t.tm_delete (fun () -> put_entry t key None)
 
-let find_in_levels s ~max_version key =
+let find_in_levels ?on_hit s ~max_version key =
   (* L0 newest-first, then deeper levels; the first hit is the newest
      because levels are age-ordered. *)
   let check fm =
@@ -526,7 +542,9 @@ let find_in_levels s ~max_version key =
     if i >= Array.length s.levels then None
     else
       match search_files s.levels.(i) with
-      | Some e -> Some e
+      | Some e ->
+        (match on_hit with Some f -> f i | None -> ());
+        Some e
       | None -> search_levels (i + 1)
   in
   search_levels 0
@@ -537,13 +555,14 @@ let get t key =
   Fun.protect
     ~finally:(fun () -> release_state t s)
     (fun () ->
+      let on_hit i = if i < Array.length t.lvl_reads then Obs.Counter.incr t.lvl_reads.(i) in
       let result =
         match Memtable.find_latest s.mem key with
         | Some e -> Some e
         | None -> (
           match Option.bind s.imm (fun imm -> Memtable.find_latest imm key) with
           | Some e -> Some e
-          | None -> find_in_levels s ~max_version:max_int key)
+          | None -> find_in_levels ~on_hit s ~max_version:max_int key)
       in
       match result with
       | Some { K.value = Some v; _ } -> Some v
@@ -627,7 +646,7 @@ let setup_obs env =
   Obs.probe obs "log.resyncs" (fun () -> Env.log_resyncs env);
   obs
 
-let open_ ?(config = Config.default) env =
+let open_internal config env =
   let obs = setup_obs env in
   match load_manifest env with
   | None ->
@@ -663,6 +682,9 @@ let open_ ?(config = Config.default) env =
         ctr_stalls = Obs.counter obs "lsm.stalls";
         ctr_wal_appends = Obs.counter obs "wal.appends";
         ctr_io_errors = Obs.counter obs "io.errors";
+        lvl_written = level_counters obs ~max_levels:config.max_levels "bytes_written";
+        lvl_compacted = level_counters obs ~max_levels:config.max_levels "bytes_compacted";
+        lvl_reads = level_counters obs ~max_levels:config.max_levels "read_hits";
       }
     in
     store_manifest t (Array.make config.max_levels []);
@@ -740,8 +762,27 @@ let open_ ?(config = Config.default) env =
       tm_scan = Obs.timer obs "db.scan";
       ctr_stalls = Obs.counter obs "lsm.stalls";
       ctr_wal_appends = Obs.counter obs "wal.appends";
-        ctr_io_errors = Obs.counter obs "io.errors";
+      ctr_io_errors = Obs.counter obs "io.errors";
+      lvl_written = level_counters obs ~max_levels:config.max_levels "bytes_written";
+      lvl_compacted = level_counters obs ~max_levels:config.max_levels "bytes_compacted";
+      lvl_reads = level_counters obs ~max_levels:config.max_levels "read_hits";
     })
+
+(* Snapshot-time level shape, next to the byte-flow counters above. *)
+let register_level_probes t =
+  for i = 0 to t.cfg.max_levels - 1 do
+    Obs.probe t.obs
+      (Printf.sprintf "level%d.bytes" i)
+      (fun () -> level_total (Atomic.get t.state).levels.(i));
+    Obs.probe t.obs
+      (Printf.sprintf "level%d.files" i)
+      (fun () -> List.length (Atomic.get t.state).levels.(i))
+  done
+
+let open_ ?(config = Config.default) env =
+  let t = open_internal config env in
+  register_level_probes t;
+  t
 
 let compact_now t =
   Mutex.lock t.writer;

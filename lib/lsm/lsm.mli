@@ -72,8 +72,12 @@ val level_bytes : t -> int list
 val obs : t -> Evendb_obs.Obs.t
 (** Op-latency timers ([db.put]/[db.get]/[db.delete]/[db.scan]),
     [lsm.stalls] (puts that paid an inline flush/compaction),
-    [wal.appends], per-file-kind I/O probes, and spans around
+    [wal.appends], per-file-kind I/O probes, spans around
     [memtable_flush], [compaction] (with a [level] attribute) and
-    [recovery]. *)
+    [recovery], and per-level shape metrics: [level<i>.bytes_written]
+    (bytes landing in the level), [level<i>.bytes_compacted] (bytes
+    compacted out of it), [level<i>.read_hits] (gets served by it),
+    plus [level<i>.bytes]/[level<i>.files] probes of the current
+    shape. *)
 
 val metrics_dump : t -> [ `Json | `Prometheus ] -> string

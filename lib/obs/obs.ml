@@ -1,6 +1,13 @@
 open Evendb_util
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic clock (CLOCK_MONOTONIC via bechamel's noalloc stub), so an
+   NTP step can never produce a negative or absurd duration. The
+   wall-clock epoch below maps monotonic timestamps back to wall-clock
+   time solely for trace export, where absolute timestamps matter. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let epoch_mono_ns = now_ns ()
+let epoch_wall_ns = int_of_float (Unix.gettimeofday () *. 1e9)
+let to_wall_ns ns = ns - epoch_mono_ns + epoch_wall_ns
 
 (* ------------------------------------------------------------------ *)
 (* Instruments                                                         *)
@@ -45,15 +52,16 @@ module Timer = struct
     Mutex.unlock t.mutex;
     n
 
-  (* (count, mean, [p50; p95; p99], max) under the lock, one pass. *)
+  (* (count, mean, [p50; p95; p99], max, buckets) under the lock. *)
   let summary t =
     Mutex.lock t.mutex;
     let n = Histogram.count t.hist in
     let mean = Histogram.mean t.hist in
     let ps = Histogram.percentiles t.hist [ 50.0; 95.0; 99.0 ] in
     let mx = Histogram.max_value t.hist in
+    let buckets = Histogram.buckets t.hist in
     Mutex.unlock t.mutex;
-    (n, mean, ps, mx)
+    (n, mean, ps, mx, buckets)
 
   let reset t =
     Mutex.lock t.mutex;
@@ -69,6 +77,7 @@ module Trace = struct
     ev_name : string;
     ev_start_ns : int;
     ev_dur_ns : int;
+    ev_tid : int;
     ev_attrs : (string * int) list;
   }
 
@@ -89,6 +98,7 @@ module Trace = struct
     sp_trace : t;
     sp_name : string;
     sp_start_ns : int;
+    sp_tid : int;
     sp_mutex : Mutex.t;
     mutable sp_attrs : (string * int) list;
   }
@@ -144,6 +154,7 @@ module Trace = struct
           ev_name = span.sp_name;
           ev_start_ns = span.sp_start_ns;
           ev_dur_ns = dur;
+          ev_tid = span.sp_tid;
           ev_attrs = List.rev span.sp_attrs;
         };
     t.head <- (t.head + 1) mod Array.length t.ring;
@@ -155,6 +166,7 @@ module Trace = struct
         sp_trace = t;
         sp_name = name;
         sp_start_ns = now_ns ();
+        sp_tid = Thread.id (Thread.self ());
         sp_mutex = Mutex.create ();
         sp_attrs = List.rev attrs;
       }
@@ -281,6 +293,7 @@ type timer_summary = {
   t_p95_ns : int;
   t_p99_ns : int;
   t_max_ns : int;
+  t_buckets : (int * int) list;
 }
 
 type value = Counter of int | Gauge of int | Timer of timer_summary
@@ -306,7 +319,7 @@ let snapshot t : snapshot =
           | I_gauge g -> Gauge (Gauge.get g)
           | I_probe f -> Gauge (try f () with _ -> 0)
           | I_timer tm ->
-            let n, mean, ps, mx = Timer.summary tm in
+            let n, mean, ps, mx, buckets = Timer.summary tm in
             let p50, p95, p99 =
               match ps with [ a; b; c ] -> (a, b, c) | _ -> (0, 0, 0)
             in
@@ -318,6 +331,7 @@ let snapshot t : snapshot =
                 t_p95_ns = p95;
                 t_p99_ns = p99;
                 t_max_ns = mx;
+                t_buckets = buckets;
               }
         in
         (name, v))
@@ -372,6 +386,20 @@ let add_json_obj buf fields =
 let jint v buf = Buffer.add_string buf (string_of_int v)
 let jfloat v buf = Buffer.add_string buf (Printf.sprintf "%.1f" v)
 
+let jstr s buf =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf (json_escape s);
+  Buffer.add_char buf '"'
+
+let jbuckets buckets buf =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (ub, c) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%d,%d]" ub c))
+    buckets;
+  Buffer.add_char buf ']'
+
 let to_json t =
   let s = snapshot t in
   let counters = List.filter_map (function n, Counter v -> Some (n, jint v) | _ -> None) s.metrics in
@@ -391,6 +419,7 @@ let to_json t =
                     ("p95_ns", jint tm.t_p95_ns);
                     ("p99_ns", jint tm.t_p99_ns);
                     ("max_ns", jint tm.t_max_ns);
+                    ("buckets", jbuckets tm.t_buckets);
                   ] )
         | _ -> None)
       s.metrics
@@ -467,3 +496,171 @@ let to_prometheus t =
       s.spans
   end;
   Buffer.contents buf
+
+(* Chrome trace-event (chrome://tracing / Perfetto) export of the span
+   ring buffer. Complete events ("ph":"X") with microsecond wall-clock
+   timestamps; one metadata event names the process and each thread id
+   seen in the ring. *)
+let to_chrome_trace ?(process_name = "evendb") t =
+  let events = Trace.recent t.tr in
+  let pid = Unix.getpid () in
+  let jus ns buf = Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ns /. 1e3)) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit fields =
+    if !first then first := false else Buffer.add_char buf ',';
+    add_json_obj buf fields
+  in
+  let metadata ~name ~tid ~value =
+    emit
+      [
+        ("name", jstr name);
+        ("ph", jstr "M");
+        ("pid", jint pid);
+        ("tid", jint tid);
+        ("args", fun buf -> add_json_obj buf [ ("name", jstr value) ]);
+      ]
+  in
+  metadata ~name:"process_name" ~tid:0 ~value:process_name;
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.Trace.ev_tid) events)
+  in
+  List.iter
+    (fun tid -> metadata ~name:"thread_name" ~tid ~value:(Printf.sprintf "thread-%d" tid))
+    tids;
+  List.iter
+    (fun (e : Trace.event) ->
+      emit
+        [
+          ("name", jstr e.Trace.ev_name);
+          ("cat", jstr "evendb");
+          ("ph", jstr "X");
+          ("ts", jus (to_wall_ns e.Trace.ev_start_ns));
+          ("dur", jus e.Trace.ev_dur_ns);
+          ("pid", jint pid);
+          ("tid", jint e.Trace.ev_tid);
+          ("args", fun buf -> add_json_obj buf (List.map (fun (k, v) -> (k, jint v)) e.Trace.ev_attrs));
+        ])
+    events;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: a ring of periodic snapshot deltas                  *)
+
+module Recorder = struct
+  type frame = {
+    fr_seq : int;
+    fr_at_ns : int;
+    fr_wall_ns : int;
+    fr_dur_ns : int;
+    fr_deltas : (string * int) list;
+    fr_gauges : (string * int) list;
+  }
+
+  type r = {
+    r_mutex : Mutex.t;
+    r_obs : t;
+    r_ring : frame option array;
+    mutable r_head : int;
+    mutable r_seq : int;
+    mutable r_last : (string * int) list; (* previous absolute counter values *)
+    mutable r_last_at_ns : int;
+  }
+
+  type t = r
+
+  (* Monotone series worth differencing: counters and timer op counts. *)
+  let absolutes s =
+    List.filter_map
+      (function
+        | n, Counter v -> Some (n, v)
+        | n, Timer tm -> Some (n ^ ".count", tm.t_count)
+        | _, Gauge _ -> None)
+      s.metrics
+
+  let create ?(capacity = 64) obs =
+    if capacity <= 0 then invalid_arg "Obs.Recorder.create: capacity <= 0";
+    {
+      r_mutex = Mutex.create ();
+      r_obs = obs;
+      r_ring = Array.make capacity None;
+      r_head = 0;
+      r_seq = 0;
+      r_last = absolutes (snapshot obs);
+      r_last_at_ns = now_ns ();
+    }
+
+  let tick r =
+    let s = snapshot r.r_obs in
+    let at = now_ns () in
+    let cur = absolutes s in
+    Mutex.lock r.r_mutex;
+    let deltas =
+      List.filter_map
+        (fun (n, v) ->
+          let prev = Option.value ~default:0 (List.assoc_opt n r.r_last) in
+          if v <> prev then Some (n, v - prev) else None)
+        cur
+    in
+    let gauges = List.filter_map (function n, Gauge v -> Some (n, v) | _ -> None) s.metrics in
+    let frame =
+      {
+        fr_seq = r.r_seq;
+        fr_at_ns = at;
+        fr_wall_ns = to_wall_ns at;
+        fr_dur_ns = at - r.r_last_at_ns;
+        fr_deltas = deltas;
+        fr_gauges = gauges;
+      }
+    in
+    r.r_ring.(r.r_head) <- Some frame;
+    r.r_head <- (r.r_head + 1) mod Array.length r.r_ring;
+    r.r_seq <- r.r_seq + 1;
+    r.r_last <- cur;
+    r.r_last_at_ns <- at;
+    Mutex.unlock r.r_mutex;
+    frame
+
+  let frames r =
+    Mutex.lock r.r_mutex;
+    let n = Array.length r.r_ring in
+    let acc = ref [] in
+    for i = 0 to n - 1 do
+      match r.r_ring.((r.r_head + i) mod n) with
+      | Some f -> acc := f :: !acc
+      | None -> ()
+    done;
+    Mutex.unlock r.r_mutex;
+    List.rev !acc
+
+  let reset r =
+    Mutex.lock r.r_mutex;
+    Array.fill r.r_ring 0 (Array.length r.r_ring) None;
+    r.r_head <- 0;
+    r.r_seq <- 0;
+    r.r_last <- absolutes (snapshot r.r_obs);
+    r.r_last_at_ns <- now_ns ();
+    Mutex.unlock r.r_mutex
+
+  let to_json r =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\"frames\":[";
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_json_obj buf
+          [
+            ("seq", jint f.fr_seq);
+            ("wall_ns", jint f.fr_wall_ns);
+            ("dur_ns", jint f.fr_dur_ns);
+            ("deltas", fun buf -> add_json_obj buf (List.map (fun (k, v) -> (k, jint v)) f.fr_deltas));
+            ("gauges", fun buf -> add_json_obj buf (List.map (fun (k, v) -> (k, jint v)) f.fr_gauges));
+          ])
+      (frames r);
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+end
+
+let recorder ?capacity obs = Recorder.create ?capacity obs

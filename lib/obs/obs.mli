@@ -14,8 +14,15 @@
     {!snapshot}. *)
 
 val now_ns : unit -> int
-(** Wall-clock nanoseconds (same clock as the engines' latency
-    measurements). *)
+(** Monotonic-clock nanoseconds (CLOCK_MONOTONIC) — the clock behind
+    every Timer/Trace measurement, immune to NTP steps. Differences are
+    durations; absolute values are only meaningful relative to other
+    [now_ns] readings in the same process. *)
+
+val to_wall_ns : int -> int
+(** Map a {!now_ns} reading to wall-clock nanoseconds since the Unix
+    epoch, using a wall-clock epoch captured at library load. Only for
+    export timestamps (e.g. trace files); never for durations. *)
 
 (** {2 Instruments} *)
 
@@ -60,6 +67,7 @@ module Trace : sig
     ev_name : string;
     ev_start_ns : int;
     ev_dur_ns : int;
+    ev_tid : int;  (** id of the thread that opened the span *)
     ev_attrs : (string * int) list;
   }
 
@@ -122,6 +130,9 @@ type timer_summary = {
   t_p95_ns : int;
   t_p99_ns : int;
   t_max_ns : int;
+  t_buckets : (int * int) list;
+      (** non-empty histogram buckets as [(upper_bound_ns, count)],
+          ascending — enough to re-aggregate percentiles externally *)
 }
 
 type value = Counter of int | Gauge of int | Timer of timer_summary
@@ -140,11 +151,62 @@ val reset : t -> unit
 val to_json : t -> string
 (** One JSON document: [{"counters":{..},"gauges":{..},"timers":{..},
     "spans":{..}}]. Timer entries carry count/mean/p50/p95/p99/max in
-    nanoseconds; span entries carry count, cumulative duration and
-    attribute totals. *)
+    nanoseconds plus a ["buckets"] array of [\[upper_bound_ns, count\]]
+    pairs (full histogram shape for external re-aggregation); span
+    entries carry count, cumulative duration and attribute totals. *)
+
+val to_chrome_trace : ?process_name:string -> t -> string
+(** Export the span ring buffer in Chrome trace-event format (loadable
+    in [chrome://tracing] and Perfetto): complete events ([ph:"X"])
+    with wall-clock microsecond timestamps (see {!to_wall_ns}),
+    process/thread ids, span attributes under ["args"], and metadata
+    events naming the process and each thread. *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition: metric names are sanitized to
     [evendb_<name>]; timers expose [_count], [_mean_ns] and quantile
     samples; spans expose [evendb_span_count]/[evendb_span_total_ns]
     keyed by a [name] label. *)
+
+(** {2 Flight recorder}
+
+    A ring of periodic snapshot {e deltas}: each {!Recorder.tick}
+    snapshots the registry, differences every monotone series (counters
+    and timer op counts) against the previous tick, and stores one
+    frame. The ring keeps the last [capacity] frames, giving a bounded
+    always-on record of "what changed lately" that survives until
+    overwritten — the metrics analogue of the span ring buffer. *)
+
+module Recorder : sig
+  type frame = {
+    fr_seq : int;  (** tick number since creation/reset *)
+    fr_at_ns : int;  (** monotonic timestamp of the tick *)
+    fr_wall_ns : int;  (** wall-clock timestamp, for export *)
+    fr_dur_ns : int;  (** time covered: since the previous tick *)
+    fr_deltas : (string * int) list;
+        (** counter (and [<timer>.count]) increments over the frame;
+            zero-change series are omitted *)
+    fr_gauges : (string * int) list;  (** gauge/probe values at the tick *)
+  }
+
+  type t
+
+  val tick : t -> frame
+  (** Cut a frame now and append it to the ring. *)
+
+  val frames : t -> frame list
+  (** Retained frames, oldest first. *)
+
+  val reset : t -> unit
+  (** Drop all frames and re-baseline against the current registry
+      state. *)
+
+  val to_json : t -> string
+  (** [{"frames":[{"seq","wall_ns","dur_ns","deltas":{..},
+      "gauges":{..}},..]}], oldest first. *)
+end
+
+val recorder : ?capacity:int -> t -> Recorder.t
+(** Create a flight recorder over this registry holding the last
+    [capacity] (default 64) frames. The baseline is the registry state
+    at creation time. *)

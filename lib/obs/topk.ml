@@ -1,0 +1,71 @@
+(* Space-Saving (Metwally, Agrawal & El Abbadi, 2005): a fixed set of m
+   monitored keys. A hit bumps the key's count; a miss evicts the
+   current minimum and adopts its count as the newcomer's
+   overestimation error. Any key with true frequency > N/m is
+   guaranteed to be monitored, and every count overestimates the truth
+   by at most its recorded error (itself <= N/m). *)
+
+type cell = { mutable count : int; mutable err : int }
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  cells : (string, cell) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Topk.create: capacity <= 0";
+  { mutex = Mutex.create (); capacity; cells = Hashtbl.create capacity; total = 0 }
+
+let capacity t = t.capacity
+
+(* Linear min scan on eviction: under the skewed traffic this sketch
+   exists to measure, almost every observation hits a monitored key and
+   stays O(1); the O(m) path is the rare miss. *)
+let evict_min_locked t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k c ->
+      match !victim with
+      | Some (_, vc) when vc.count <= c.count -> ()
+      | _ -> victim := Some (k, c))
+    t.cells;
+  match !victim with
+  | Some (k, c) ->
+    Hashtbl.remove t.cells k;
+    c.count
+  | None -> 0
+
+let observe ?(weight = 1) t key =
+  if weight > 0 then begin
+    Mutex.lock t.mutex;
+    t.total <- t.total + weight;
+    (match Hashtbl.find_opt t.cells key with
+    | Some c -> c.count <- c.count + weight
+    | None ->
+      let floor = if Hashtbl.length t.cells >= t.capacity then evict_min_locked t else 0 in
+      Hashtbl.replace t.cells key { count = floor + weight; err = floor });
+    Mutex.unlock t.mutex
+  end
+
+let total t =
+  Mutex.lock t.mutex;
+  let n = t.total in
+  Mutex.unlock t.mutex;
+  n
+
+let entries t =
+  Mutex.lock t.mutex;
+  let l = Hashtbl.fold (fun k c acc -> (k, c.count - c.err, c.count) :: acc) t.cells [] in
+  Mutex.unlock t.mutex;
+  List.sort
+    (fun (ka, _, ha) (kb, _, hb) ->
+      match compare hb ha with 0 -> String.compare ka kb | c -> c)
+    l
+
+let reset t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.cells;
+  t.total <- 0;
+  Mutex.unlock t.mutex

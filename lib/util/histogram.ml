@@ -130,6 +130,13 @@ let percentiles t ps =
     Array.to_list results
   end
 
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (value_of i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
 let pp ppf t =
   match percentiles t [ 50.0; 95.0; 99.0 ] with
   | [ p50; p95; p99 ] ->

@@ -33,6 +33,12 @@ val percentiles : t -> float list -> int list
     convention as {!percentile}) in a single pass over the buckets,
     returning results positionally. All zeros for an empty histogram. *)
 
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(upper_bound, count)] pairs in ascending
+    bucket order. The upper bound is the largest value the bucket can
+    hold; together with {!count} this is enough for external tooling to
+    re-aggregate percentiles within the histogram's relative error. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary: count, mean, p50/p95/p99 and max. *)
 

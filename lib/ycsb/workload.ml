@@ -137,3 +137,37 @@ let make_value t =
   Bytes.unsafe_to_string b
 
 let key_space_high = "user~"
+
+(* Exact access-probability mass per key prefix, by enumerating the
+   generator's support: every (rank, key) pair a Zipfian sampler can
+   produce, weighted by its exact probability. This is the analytic
+   ground truth the hot-prefix sketch is checked against. *)
+let prefix_weights sh ~prefix_len =
+  let tbl = Hashtbl.create 1024 in
+  let add key w =
+    let p =
+      if String.length key <= prefix_len then key else String.sub key 0 prefix_len
+    in
+    let prev = try Hashtbl.find tbl p with Not_found -> 0.0 in
+    Hashtbl.replace tbl p (prev +. w)
+  in
+  (match sh.sh_dist with
+  | Zipf_simple theta ->
+    let z = Zipf.create ~theta sh.sh_items in
+    for rank = 0 to sh.sh_items - 1 do
+      add (item_key (Zipf.scramble sh.sh_items rank)) (Zipf.probability z rank)
+    done
+  | Zipf_composite theta ->
+    let z = Zipf.create ~theta sh.p_count in
+    for rank = 0 to sh.p_count - 1 do
+      let prefix_idx = Zipf.scramble sh.p_count rank in
+      let w = Zipf.probability z rank /. float_of_int sh.per_prefix in
+      for k = 0 to sh.per_prefix - 1 do
+        add (composite_key sh ~prefix_idx ~k) w
+      done
+    done
+  | Latest | Uniform -> invalid_arg "Workload.prefix_weights: needs a Zipfian distribution");
+  List.sort
+    (fun (p1, w1) (p2, w2) ->
+      match compare w2 w1 with 0 -> String.compare p1 p2 | c -> c)
+    (Hashtbl.fold (fun p w acc -> (p, w) :: acc) tbl [])

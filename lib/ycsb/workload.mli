@@ -53,3 +53,11 @@ val make_value : t -> string
 
 val key_space_high : string
 (** Upper bound above every generated key (open-ended scans). *)
+
+val prefix_weights : shared -> prefix_len:int -> (string * float) list
+(** Analytic access distribution bucketed by the leading [prefix_len]
+    bytes of the key, sorted hottest-first; weights sum to 1. Computed
+    exactly by enumerating the Zipfian generator's support (collisions
+    of the rank scramble included), so it is the ground truth for
+    {!sample_key}'s key stream as the op count grows. Raises
+    [Invalid_argument] for [Latest]/[Uniform]. *)

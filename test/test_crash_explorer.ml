@@ -86,6 +86,38 @@ let harness_detects_lost_durability () =
          has_sub "durable write lost" || has_sub "lost durable write")
        r.Crash_explorer.violations)
 
+(* Telemetry guard on the recovery path: reopening after a crash
+   repopulates spans and counters, and the full metrics reset must
+   still zero every table afterwards. *)
+let reset_clean_after_recovery () =
+  let open Evendb_core in
+  let config =
+    {
+      Config.default with
+      max_chunk_bytes = 8 * 1024;
+      munk_rebalance_bytes = 6 * 1024;
+      munk_rebalance_appended = 64;
+      funk_log_limit_no_munk = 2 * 1024;
+      funk_log_limit_with_munk = 8 * 1024;
+      munk_cache_capacity = 4;
+    }
+  in
+  let env = Env.memory () in
+  let db = Db.open_ ~config env in
+  for i = 1 to 300 do
+    Db.put db (Printf.sprintf "k%04d" (i mod 50)) (Printf.sprintf "v%08d" i)
+  done;
+  Db.checkpoint db;
+  Env.crash env;
+  let db = Db.open_ ~config env in
+  ignore (Db.get db "k0001");
+  Alcotest.(check bool)
+    "recovery accumulated telemetry" true
+    (Db.metrics_residue db <> []);
+  Db.reset_metrics db;
+  Alcotest.(check (list string)) "reset leaves no residue" [] (Db.metrics_residue db);
+  Db.close db
+
 let suite =
   let engine_cases =
     List.concat_map
@@ -109,5 +141,6 @@ let suite =
       @ [
           Alcotest.test_case "harness detects lost durability" `Quick
             harness_detects_lost_durability;
+          Alcotest.test_case "reset clean after recovery" `Quick reset_clean_after_recovery;
         ] );
   ]

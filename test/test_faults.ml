@@ -203,6 +203,40 @@ let typed_error_surfaces (module E : ENGINE) () =
   Alcotest.(check (option string)) (E.name ^ ": post-fault key") (Some "3") (E.get db "c");
   E.close db
 
+(* Telemetry guard: a faulty workload must accumulate observable
+   residue (counters, spans, per-chunk tables, hot-prefix sketch), and
+   one [Db.reset_metrics] must zero all of it. *)
+let reset_leaves_no_residue () =
+  let open Evendb_core in
+  let config =
+    {
+      Config.default with
+      persistence = Config.Sync;
+      max_chunk_bytes = 8 * 1024;
+      munk_rebalance_bytes = 6 * 1024;
+      munk_rebalance_appended = 64;
+      funk_log_limit_no_munk = 2 * 1024;
+      funk_log_limit_with_munk = 8 * 1024;
+      munk_cache_capacity = 4;
+    }
+  in
+  let plan = Fault.plan ~seed:11 ~rate:0.02 () in
+  let env = Env.memory ~faults:plan () in
+  let db = Db.open_ ~config env in
+  for i = 1 to 400 do
+    (try Db.put db (key_of (i mod 40)) (value_of i) with Env.Io_error _ -> ());
+    if i mod 3 = 0 then
+      try ignore (Db.get db (key_of (i mod 40))) with Env.Io_error _ -> ()
+  done;
+  Fault.set_armed plan false;
+  Db.maintain db;
+  Alcotest.(check bool)
+    "faulty workload accumulated telemetry" true
+    (Db.metrics_residue db <> []);
+  Db.reset_metrics db;
+  Alcotest.(check (list string)) "reset leaves no residue" [] (Db.metrics_residue db);
+  Db.close db
+
 let base_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
 let seeds =
@@ -215,7 +249,8 @@ let seeds =
 let suite =
   [
     ( "faults",
-      List.concat_map
+      Alcotest.test_case "reset leaves no telemetry residue" `Quick reset_leaves_no_residue
+      :: List.concat_map
         (fun (module E : ENGINE) ->
           Alcotest.test_case
             (Printf.sprintf "%s typed error surfaces" E.name)

@@ -6,6 +6,7 @@ let () =
        [
          Test_util.suite;
          Test_obs.suite;
+         Test_telemetry.suite;
          Test_storage.suite;
          Test_bloom.suite;
          Test_log.suite;

@@ -1,0 +1,560 @@
+(* Spatial-locality telemetry (PR 5): per-chunk heat, the hot-prefix
+   Space-Saving sketch, the Chrome trace exporter, the flight recorder,
+   and their wiring through the engine paths. *)
+
+open Evendb_util
+open Evendb_storage
+open Evendb_core
+module Obs = Evendb_obs.Obs
+module Topk = Evendb_obs.Topk
+
+(* ------------------------------------------------------------------ *)
+(* A minimal recursive-descent JSON reader — just enough to check the
+   exporters' output is well-formed without adding a dependency. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let lit l v =
+      let m = String.length l in
+      if !pos + m <= n && String.sub s !pos m = l then begin
+        pos := !pos + m;
+        v
+      end
+      else fail ("expected " ^ l)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents b
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 >= n then fail "bad \\u escape";
+            (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some c when c < 128 -> Buffer.add_char b (Char.chr c)
+            | Some _ -> Buffer.add_char b '?'
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4
+          | _ -> fail "bad escape");
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ((k, v) :: acc)
+            | Some '}' ->
+              incr pos;
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elems (v :: acc)
+            | Some ']' ->
+              incr pos;
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let get k = function
+    | Obj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> raise (Bad ("missing key " ^ k)))
+    | _ -> raise (Bad ("not an object looking up " ^ k))
+
+  let mem k = function Obj kvs -> List.mem_assoc k kvs | _ -> false
+  let to_list = function Arr l -> l | _ -> raise (Bad "not an array")
+  let to_str = function Str s -> s | _ -> raise (Bad "not a string")
+  let to_num = function Num f -> f | _ -> raise (Bad "not a number")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Heat decay *)
+
+let heat_decay_ordering () =
+  let hl = 1_000 in
+  let cs = Chunk_stats.create ~half_life_ns:hl () in
+  for _ = 1 to 100 do
+    Chunk_stats.record_get cs 0 Chunk_stats.Funk ~now:0
+  done;
+  for _ = 1 to 10 do
+    Chunk_stats.record_get cs 1 Chunk_stats.Funk ~now:0
+  done;
+  Alcotest.(check bool)
+    "busy chunk outranks quiet one at t0" true
+    (Chunk_stats.heat cs 0 ~now:0 > Chunk_stats.heat cs 1 ~now:0);
+  (* Five half-lives later the big old burst has decayed 32x; recent
+     traffic must outrank it. *)
+  let t5 = 5 * hl in
+  for _ = 1 to 10 do
+    Chunk_stats.record_get cs 1 Chunk_stats.Munk ~now:t5
+  done;
+  let h0 = Chunk_stats.heat cs 0 ~now:t5 and h1 = Chunk_stats.heat cs 1 ~now:t5 in
+  if not (h1 > h0) then
+    Alcotest.failf "recently-hot chunk should outrank stale burst: h0=%.3f h1=%.3f" h0 h1;
+  Alcotest.(check bool)
+    "stale heat decays by 2^-5" true
+    (abs_float (h0 -. (100.0 /. 32.0)) < 0.01);
+  (* Heat goes to ~0 once traffic stops. *)
+  Alcotest.(check bool)
+    "heat vanishes after many half-lives" true
+    (Chunk_stats.heat cs 0 ~now:(t5 + (60 * hl)) < 0.001)
+
+let heat_transfer_split_merge () =
+  let hl = 1_000 in
+  let cs = Chunk_stats.create ~half_life_ns:hl () in
+  for _ = 1 to 8 do
+    Chunk_stats.record_put cs 0 ~now:0
+  done;
+  (* Split: both children inherit half the parent's heat; parent zeroed. *)
+  Chunk_stats.transfer cs ~now:0 ~old_ids:[ 0 ] ~new_ids:[ 1; 2 ];
+  Alcotest.(check bool) "parent heat zeroed" true (Chunk_stats.heat cs 0 ~now:0 = 0.0);
+  Alcotest.(check bool)
+    "children split the heat" true
+    (abs_float (Chunk_stats.heat cs 1 ~now:0 -. 4.0) < 1e-9
+    && abs_float (Chunk_stats.heat cs 2 ~now:0 -. 4.0) < 1e-9);
+  (* Merge: the child inherits the sum. *)
+  Chunk_stats.transfer cs ~now:0 ~old_ids:[ 1; 2 ] ~new_ids:[ 3 ];
+  Alcotest.(check bool)
+    "merge child inherits the sum" true
+    (abs_float (Chunk_stats.heat cs 3 ~now:0 -. 8.0) < 1e-9);
+  (* Op counters stay with the retired id. *)
+  match Chunk_stats.stat cs 0 ~now:0 with
+  | Some s -> Alcotest.(check int) "puts stay on the retired id" 8 s.Chunk_stats.st_puts
+  | None -> Alcotest.fail "retired id lost its stats"
+
+(* ------------------------------------------------------------------ *)
+(* Space-Saving sketch *)
+
+let topk_zipf_bounds () =
+  let n_keys = 500 and samples = 30_000 and capacity = 64 in
+  let z = Zipf.create ~theta:0.99 n_keys in
+  let rng = Rng.create 42 in
+  let sketch = Topk.create ~capacity () in
+  let truth = Hashtbl.create 512 in
+  for _ = 1 to samples do
+    let k = Printf.sprintf "key%04d" (Zipf.next z rng) in
+    Hashtbl.replace truth k (1 + (try Hashtbl.find truth k with Not_found -> 0));
+    Topk.observe sketch k
+  done;
+  Alcotest.(check int) "total counts every observation" samples (Topk.total sketch);
+  let entries = Topk.entries sketch in
+  Alcotest.(check bool) "at most capacity entries" true (List.length entries <= capacity);
+  let bound = samples / capacity in
+  let rec check_sorted = function
+    | (_, _, hi1) :: ((_, _, hi2) :: _ as rest) ->
+      Alcotest.(check bool) "entries sorted by count_hi desc" true (hi1 >= hi2);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted entries;
+  List.iter
+    (fun (k, lo, hi) ->
+      let t = try Hashtbl.find truth k with Not_found -> 0 in
+      if not (lo <= t && t <= hi) then
+        Alcotest.failf "true count of %s outside bounds: lo=%d true=%d hi=%d" k lo t hi;
+      if hi - lo > bound then
+        Alcotest.failf "error width of %s exceeds N/m: %d > %d" k (hi - lo) bound)
+    entries;
+  (* Every guaranteed heavy hitter (true count > N/m) must be present. *)
+  Hashtbl.iter
+    (fun k t ->
+      if t > bound && not (List.exists (fun (k', _, _) -> k' = k) entries) then
+        Alcotest.failf "heavy hitter %s (count %d > %d) missing from sketch" k t bound)
+    truth;
+  Topk.reset sketch;
+  Alcotest.(check int) "reset zeroes the total" 0 (Topk.total sketch);
+  Alcotest.(check int) "reset empties the table" 0 (List.length (Topk.entries sketch))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export *)
+
+let chrome_trace_well_formed () =
+  let obs = Obs.create () in
+  let tr = Obs.trace obs in
+  Obs.Trace.declare tr "alpha";
+  for i = 1 to 5 do
+    Obs.Trace.with_span tr ~name:"alpha" ~attrs:[ ("bytes", i * 10) ] (fun _ -> ())
+  done;
+  (* A second thread gives the export a second tid to name. *)
+  let th = Thread.create (fun () -> Obs.Trace.with_span tr ~name:"beta" (fun _ -> ())) () in
+  Thread.join th;
+  let doc = Json.parse (Obs.to_chrome_trace ~process_name:"testproc" obs) in
+  Alcotest.(check string)
+    "displayTimeUnit" "ms"
+    (Json.to_str (Json.get "displayTimeUnit" doc));
+  let events = Json.to_list (Json.get "traceEvents" doc) in
+  let phase e = Json.to_str (Json.get "ph" e) in
+  let metas = List.filter (fun e -> phase e = "M") events in
+  let xs = List.filter (fun e -> phase e = "X") events in
+  Alcotest.(check int) "all events are M or X" (List.length events)
+    (List.length metas + List.length xs);
+  Alcotest.(check int) "one X event per span" 6 (List.length xs);
+  (* One process_name metadata record carrying the given name. *)
+  let process_names =
+    List.filter (fun e -> Json.to_str (Json.get "name" e) = "process_name") metas
+  in
+  (match process_names with
+  | [ e ] ->
+    Alcotest.(check string)
+      "process name from argument" "testproc"
+      (Json.to_str (Json.get "name" (Json.get "args" e)))
+  | l -> Alcotest.failf "expected exactly one process_name event, got %d" (List.length l));
+  (* Every X event's pid/tid pair must be introduced by a thread_name
+     metadata event, and timestamps must be sane. *)
+  let pid_tid e =
+    (int_of_float (Json.to_num (Json.get "pid" e)), int_of_float (Json.to_num (Json.get "tid" e)))
+  in
+  let named_threads =
+    List.filter_map
+      (fun e -> if Json.to_str (Json.get "name" e) = "thread_name" then Some (pid_tid e) else None)
+      metas
+  in
+  List.iter
+    (fun e ->
+      if not (List.mem (pid_tid e) named_threads) then
+        Alcotest.failf "X event %s has unnamed pid/tid" (Json.to_str (Json.get "name" e));
+      Alcotest.(check bool) "ts positive" true (Json.to_num (Json.get "ts" e) > 0.0);
+      Alcotest.(check bool) "dur non-negative" true (Json.to_num (Json.get "dur" e) >= 0.0))
+    xs;
+  let tids = List.sort_uniq compare (List.map snd (List.map pid_tid xs)) in
+  Alcotest.(check int) "two distinct thread ids" 2 (List.length tids);
+  (* Span attributes surface under args. *)
+  let alpha = List.filter (fun e -> Json.to_str (Json.get "name" e) = "alpha") xs in
+  Alcotest.(check int) "alpha spans exported" 5 (List.length alpha);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "alpha carries bytes attr" true
+        (Json.mem "bytes" (Json.get "args" e)))
+    alpha
+
+(* ------------------------------------------------------------------ *)
+(* Timer buckets in snapshots and JSON export *)
+
+let timer_buckets_exported () =
+  let obs = Obs.create () in
+  let tm = Obs.timer obs "op" in
+  List.iter (Obs.Timer.record_ns tm) [ 100; 250_000; 5_000_000; 5_100_000 ];
+  let snap = Obs.snapshot obs in
+  (match List.assoc_opt "op" snap.Obs.metrics with
+  | Some (Obs.Timer s) ->
+    Alcotest.(check int) "t_count" 4 s.Obs.t_count;
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 s.Obs.t_buckets in
+    Alcotest.(check int) "bucket counts sum to t_count" 4 total;
+    let rec ascending = function
+      | (ub1, _) :: ((ub2, _) :: _ as rest) ->
+        Alcotest.(check bool) "bucket bounds ascending" true (ub1 < ub2);
+        ascending rest
+      | _ -> ()
+    in
+    ascending s.Obs.t_buckets
+  | _ -> Alcotest.fail "timer missing from snapshot");
+  let doc = Json.parse (Obs.to_json obs) in
+  let op = Json.get "op" (Json.get "timers" doc) in
+  let buckets = Json.to_list (Json.get "buckets" op) in
+  let total =
+    List.fold_left
+      (fun acc b ->
+        match Json.to_list b with
+        | [ _ub; c ] -> acc + int_of_float (Json.to_num c)
+        | _ -> Alcotest.fail "bucket entry is not a pair")
+      0 buckets
+  in
+  Alcotest.(check int) "JSON bucket counts sum to count" 4 total;
+  (* The Prometheus exporter keeps its quantile-only shape. *)
+  let prom = Obs.to_prometheus obs in
+  Alcotest.(check bool) "prometheus has quantiles" true
+    (String.length prom > 0
+    &&
+    let has_sub sub =
+      let n = String.length sub and m = String.length prom in
+      let rec at i = i + n <= m && (String.sub prom i n = sub || at (i + 1)) in
+      at 0
+    in
+    has_sub "quantile" && not (has_sub "buckets"))
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock *)
+
+let monotonic_clock () =
+  let a = Obs.now_ns () in
+  let b = Obs.now_ns () in
+  Alcotest.(check bool) "now_ns never goes back" true (b >= a);
+  Alcotest.(check int)
+    "wall mapping preserves intervals" (b - a)
+    (Obs.to_wall_ns b - Obs.to_wall_ns a);
+  let wall = Obs.to_wall_ns b in
+  Alcotest.(check bool)
+    "wall time is a plausible epoch" true
+    (wall > 1_500_000_000 * 1_000_000_000 && wall < 4_000_000_000 * 1_000_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let recorder_frames () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs "c" in
+  let tm = Obs.timer obs "t" in
+  let r = Obs.recorder ~capacity:3 obs in
+  Obs.Counter.add c 5;
+  Obs.Timer.record_ns tm 10;
+  let f1 = Obs.Recorder.tick r in
+  Alcotest.(check (option int)) "counter delta" (Some 5) (List.assoc_opt "c" f1.Obs.Recorder.fr_deltas);
+  Alcotest.(check (option int))
+    "timer op-count delta" (Some 1)
+    (List.assoc_opt "t.count" f1.Obs.Recorder.fr_deltas);
+  Obs.Counter.add c 2;
+  let f2 = Obs.Recorder.tick r in
+  Alcotest.(check (option int)) "delta since last tick" (Some 2) (List.assoc_opt "c" f2.Obs.Recorder.fr_deltas);
+  Alcotest.(check (option int))
+    "zero-change series omitted" None
+    (List.assoc_opt "t.count" f2.Obs.Recorder.fr_deltas);
+  ignore (Obs.Recorder.tick r);
+  ignore (Obs.Recorder.tick r);
+  let frames = Obs.Recorder.frames r in
+  Alcotest.(check int) "ring keeps capacity frames" 3 (List.length frames);
+  Alcotest.(check int) "oldest frame dropped" 1 (List.hd frames).Obs.Recorder.fr_seq;
+  let seqs = List.map (fun f -> f.Obs.Recorder.fr_seq) frames in
+  Alcotest.(check (list int)) "frames oldest-first" [ 1; 2; 3 ] seqs;
+  (* to_json parses and has one element per frame. *)
+  let doc = Json.parse (Obs.Recorder.to_json r) in
+  Alcotest.(check int) "json frames" 3 (List.length (Json.to_list (Json.get "frames" doc)));
+  Obs.Recorder.reset r;
+  Alcotest.(check int) "reset drops frames" 0 (List.length (Obs.Recorder.frames r));
+  Obs.Counter.add c 7;
+  let f = Obs.Recorder.tick r in
+  Alcotest.(check (option int))
+    "reset re-baselines deltas" (Some 7)
+    (List.assoc_opt "c" f.Obs.Recorder.fr_deltas)
+
+(* ------------------------------------------------------------------ *)
+(* Per-chunk wiring through the engine *)
+
+let small_config =
+  {
+    Config.default with
+    max_chunk_bytes = 8 * 1024;
+    munk_rebalance_bytes = 6 * 1024;
+    munk_rebalance_appended = 64;
+    funk_log_limit_no_munk = 2 * 1024;
+    funk_log_limit_with_munk = 8 * 1024;
+    munk_cache_capacity = 4;
+  }
+
+let key_of i = Printf.sprintf "k%05d" i
+
+let chunk_wiring () =
+  let db = Db.open_ ~config:small_config (Env.memory ()) in
+  for i = 0 to 599 do
+    Db.put db (key_of i) (String.make 64 'v')
+  done;
+  Db.maintain db;
+  Alcotest.(check bool) "workload split the keyspace" true (Db.chunk_count db > 1);
+  let residue = Db.metrics_residue db in
+  let has suffix = List.exists (fun nm -> String.ends_with ~suffix nm) residue in
+  Alcotest.(check bool) "puts recorded per chunk" true (has ".puts");
+  Alcotest.(check bool) "splits recorded" true (has ".splits");
+  Alcotest.(check bool) "rebalances recorded" true (has ".rebalances");
+  (* Heat follows the key range across splits: live chunks carry it. *)
+  let live_heat =
+    List.fold_left
+      (fun acc c -> acc +. c.Db.cs_stat.Chunk_stats.st_heat)
+      0.0 (Db.chunk_stats db)
+  in
+  Alcotest.(check bool) "live chunks carry transferred heat" true (live_heat > 0.0);
+  (* Quiescent structure: counters must now balance exactly. *)
+  Db.reset_metrics db;
+  Alcotest.(check (list string)) "reset leaves no residue" [] (Db.metrics_residue db);
+  for i = 0 to 299 do
+    ignore (Db.get db (key_of (i * 2)))
+  done;
+  ignore (Db.scan db ~low:"" ~high:"\xff" ());
+  let cs = Db.chunk_stats db in
+  Alcotest.(check int) "one stat row per live chunk" (Db.chunk_count db) (List.length cs);
+  let sum f = List.fold_left (fun acc c -> acc + f c.Db.cs_stat) 0 cs in
+  Alcotest.(check int) "every get counted once" 300 (sum (fun s -> s.Chunk_stats.st_gets));
+  Alcotest.(check int)
+    "get component split partitions the gets" 300
+    (sum (fun s ->
+         s.Chunk_stats.st_munk_hits + s.Chunk_stats.st_row_hits + s.Chunk_stats.st_funk_reads));
+  Alcotest.(check bool) "scan visits recorded" true (sum (fun s -> s.Chunk_stats.st_scans) >= 1);
+  let _, total = Db.hot_prefixes db in
+  Alcotest.(check int) "sketch fed once per op" 300 total;
+  Db.close db
+
+(* Library-level mirror of the `evendb heat` acceptance check: on the
+   default Zipf trace the sketch's top-1%-of-prefixes share must land
+   within 5 points of the generator's analytic share. *)
+let prefix_share_accuracy () =
+  let open Evendb_ycsb in
+  let config = { Config.default with topk_capacity = 4096 } in
+  let db = Db.open_ ~config (Env.memory ()) in
+  let sh = Workload.create_shared ~value_bytes:64 (Workload.Zipf_simple 0.99) ~items:4000 ~seed:5 in
+  let w = Workload.thread sh ~id:0 in
+  List.iter (fun k -> Db.put db k "v") (Workload.load_keys sh);
+  Db.maintain db;
+  Db.reset_metrics db;
+  let ops = 20_000 in
+  for _ = 1 to ops do
+    ignore (Db.get db (Workload.sample_key w))
+  done;
+  let prefix_len = (Db.config db).Config.hot_prefix_len in
+  let expected = Workload.prefix_weights sh ~prefix_len in
+  let n1 = max 1 (List.length expected / 100) in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let expected_share = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 (take n1 expected) in
+  let entries, total = Db.hot_prefixes db in
+  Alcotest.(check int) "sketch saw every read" ops total;
+  let observed_share =
+    List.fold_left (fun acc (_, _, hi) -> acc +. float_of_int hi) 0.0 (take n1 entries)
+    /. float_of_int total
+  in
+  if abs_float (observed_share -. expected_share) > 0.05 then
+    Alcotest.failf "top-1%% share off by more than 5 points: observed %.4f expected %.4f"
+      observed_share expected_share;
+  Db.close db
+
+(* The Db-level trace export inherits well-formedness; check it carries
+   real maintenance spans. *)
+let db_dump_trace () =
+  let db = Db.open_ ~config:small_config (Env.memory ()) in
+  for i = 0 to 399 do
+    Db.put db (key_of i) (String.make 64 'v')
+  done;
+  Db.maintain db;
+  let doc = Json.parse (Db.dump_trace db) in
+  let events = Json.to_list (Json.get "traceEvents" doc) in
+  let span_names =
+    List.filter_map
+      (fun e ->
+        if Json.to_str (Json.get "ph" e) = "X" then Some (Json.to_str (Json.get "name" e))
+        else None)
+      events
+  in
+  Alcotest.(check bool) "maintenance spans exported" true (span_names <> []);
+  Alcotest.(check bool) "a rebalance or split span appears" true
+    (List.exists
+       (fun n -> n = "munk_rebalance" || n = "chunk_split" || n = "cold_funk_rebalance")
+       span_names);
+  Db.close db
+
+let suite =
+  [
+    ( "telemetry",
+      [
+        Alcotest.test_case "heat decay ordering" `Quick heat_decay_ordering;
+        Alcotest.test_case "heat transfer on split/merge" `Quick heat_transfer_split_merge;
+        Alcotest.test_case "space-saving bounds on zipf stream" `Quick topk_zipf_bounds;
+        Alcotest.test_case "chrome trace well-formed" `Quick chrome_trace_well_formed;
+        Alcotest.test_case "timer buckets exported" `Quick timer_buckets_exported;
+        Alcotest.test_case "monotonic clock" `Quick monotonic_clock;
+        Alcotest.test_case "flight recorder frames" `Quick recorder_frames;
+        Alcotest.test_case "per-chunk wiring" `Quick chunk_wiring;
+        Alcotest.test_case "prefix share accuracy" `Quick prefix_share_accuracy;
+        Alcotest.test_case "db trace export" `Quick db_dump_trace;
+      ] );
+  ]
