@@ -42,6 +42,7 @@ let engine_of ?env cfg =
     env;
     logical_bytes = (fun () -> Db.logical_bytes_written db);
     metrics = (fun () -> Db.metrics_dump db `Json);
+    attr = (fun () -> Db.attr db);
     absorbed_failures = (fun () -> 0);
   }
 

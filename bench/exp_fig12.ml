@@ -21,6 +21,7 @@ let run_one (h : Harness.t) cfg dist ~items ~mix ~ops =
       env;
       logical_bytes = (fun () -> Db.logical_bytes_written db);
       metrics = (fun () -> Db.metrics_dump db `Json);
+      attr = (fun () -> Db.attr db);
       absorbed_failures = (fun () -> 0);
     }
   in

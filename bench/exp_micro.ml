@@ -106,8 +106,51 @@ let engine_baseline (h : Harness.t) =
             (p99_us r.Runner.put_hist) (p99_us r.Runner.get_hist)))
     [ `Evendb; `Lsm; `Flsm ]
 
+(* Sync-durability micro: 100% updates with fsync-per-put, slow
+   threshold calibrated to the warmup's put p95 so the slow-op ring
+   captures the tail — the canonical demonstration that fsync is the
+   dominant p99 cause (DESIGN.md, attribution model). *)
+let sync_durability (h : Harness.t) =
+  Report.heading "Micro sync-durability: 100% put, fsync per op, attributed tail";
+  (* Small working set and values: keep rebalance work rare so the
+     run isolates the per-put durability cost rather than maintenance
+     interference — fsync should be the dominant tail cause. *)
+  let items = 512 in
+  let config =
+    { (Harness.evendb_config h) with Evendb_core.Config.persistence = Evendb_core.Config.Sync }
+  in
+  let e = Engine.evendb ~config (Harness.fresh_env h) in
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.dump_metrics e ~phase:"sync_final";
+      e.Engine.close ())
+    (fun () ->
+      let shared =
+        Workload.create_shared ~value_bytes:128 (Workload.Zipf_composite 0.99) ~items ~seed:101
+      in
+      Runner.load e shared;
+      let ops = max 500 (h.ops / 2) in
+      let warm = Runner.run e shared Runner.workload_p ~ops ~threads:1 in
+      let p95 = Evendb_util.Histogram.percentile warm.Runner.put_hist 95.0 in
+      (* Re-arm the ring at the measured p95 so "slow" means this
+         workload's own tail, not the static config default. *)
+      Evendb_obs.Attr.set_threshold_ns (e.Engine.attr ()) (max 1 p95);
+      let r = Runner.run e shared Runner.workload_p ~ops ~threads:1 in
+      Harness.note_result ~phase:"sync_put" e r;
+      Harness.note_slow ~phase:"sync_put" e;
+      let attr = e.Engine.attr () in
+      let fsync_ns = Evendb_obs.Attr.cause_total_ns attr Evendb_obs.Attr.Fsync in
+      let put_ns = Evendb_obs.Attr.op_total_ns attr Evendb_obs.Attr.Put in
+      Printf.printf
+        "  sync put: %8.1f kops  p95 %8.1f us  p99 %8.1f us  fsync share of put time %.1f%%\n"
+        r.Runner.kops
+        (float_of_int p95 /. 1e3)
+        (float_of_int (Evendb_util.Histogram.percentile r.Runner.put_hist 99.0) /. 1e3)
+        (if put_ns > 0 then 100.0 *. float_of_int fsync_ns /. float_of_int put_ns else 0.0))
+
 let run (h : Harness.t) =
   engine_baseline h;
+  sync_durability h;
   Report.heading "Micro-benchmarks (Bechamel): core op of each table/figure family";
   let tests, cleanup = tests h in
   let instances = Instance.[ monotonic_clock ] in

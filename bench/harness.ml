@@ -20,6 +20,9 @@ type t = {
          harness creates. Each engine gets a fresh plan from the same
          seed, so runs stay comparable; injected counts appear in the
          per-phase metrics dumps as "faults.injected". *)
+  attr_on : bool;
+      (* per-op cause attribution in every engine the harness builds;
+         --attr off measures its own overhead (exp_attr_ab). *)
 }
 
 let mib = 1024 * 1024
@@ -33,6 +36,7 @@ let default =
     ops = 20_000;
     on_disk = false;
     fault_profile = None;
+    attr_on = true;
   }
 
 let config_factor = 64 (* shrink paper thresholds 10MB chunks -> 160KB etc. *)
@@ -47,10 +51,14 @@ let evendb_config h =
     (* Paper: 8GB munks + 4GB row cache; keep the 2:1 ratio. *)
     row_cache_capacity_per_table =
       max 64 (h.ram_budget / 2 / 3 / (h.value_bytes + 14));
+    attr_enabled = h.attr_on;
   }
 
-let lsm_config _h = Evendb_lsm.Lsm.Config.scaled ~factor:config_factor ()
-let flsm_config _h = Evendb_flsm.Flsm.Config.scaled ~factor:config_factor ()
+let lsm_config h =
+  { (Evendb_lsm.Lsm.Config.scaled ~factor:config_factor ()) with attr_enabled = h.attr_on }
+
+let flsm_config h =
+  { (Evendb_flsm.Flsm.Config.scaled ~factor:config_factor ()) with attr_enabled = h.attr_on }
 
 let bench_dir = "/tmp/evendb_bench"
 
@@ -95,10 +103,12 @@ type sample = {
   sm_phase : string;
   sm_result : Runner.result;
   sm_write_amp : float;
+  sm_attr : string; (* Attr.to_json at sample time ("{}" if unavailable) *)
 }
 
 let art_samples : sample list ref = ref [] (* newest first *)
 let art_metrics : (string * string * string) list ref = ref []
+let art_slow : string list ref = ref [] (* JSONL fragments, newest first *)
 
 let artifacts_on () = !artifact_dir <> None
 
@@ -110,8 +120,22 @@ let note_result ?(phase = "run") (e : Engine.t) (r : Runner.result) =
         sm_phase = phase;
         sm_result = r;
         sm_write_amp = Engine.write_amplification e;
+        sm_attr = (try Evendb_obs.Attr.to_json (e.Engine.attr ()) with _ -> "{}");
       }
       :: !art_samples
+
+(* Harvest the engine's slow-op ring into the experiment's
+   SLOW_<exp>.jsonl, labelling every record with engine and phase. *)
+let note_slow ?(phase = "run") (e : Engine.t) =
+  if artifacts_on () then
+    match
+      Evendb_obs.Attr.slow_ops_jsonl
+        ~tags:[ ("engine", e.Engine.name); ("phase", phase) ]
+        (e.Engine.attr ())
+    with
+    | "" -> ()
+    | jsonl -> art_slow := jsonl :: !art_slow
+    | exception _ -> ()
 
 let dump_metrics (e : Engine.t) ~phase =
   let metrics = try e.Engine.metrics () with _ -> "{}" in
@@ -198,12 +222,12 @@ let flush_artifact (h : t) =
     let buf = Buffer.create 8192 in
     let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     bpf "{\n";
-    bpf "  \"schema_version\": 1,\n";
+    bpf "  \"schema_version\": 2,\n";
     bpf "  \"experiment\": %s,\n" (art_jstr !current_experiment);
     bpf
       "  \"config\": {\"scale\": %d, \"threads\": %d, \"value_bytes\": %d, \"ram_budget\": \
-       %d, \"ops\": %d, \"on_disk\": %b, \"fault_profile\": %s},\n"
-      h.scale h.threads h.value_bytes h.ram_budget h.ops h.on_disk
+       %d, \"ops\": %d, \"on_disk\": %b, \"attr\": %b, \"fault_profile\": %s},\n"
+      h.scale h.threads h.value_bytes h.ram_budget h.ops h.on_disk h.attr_on
       (match h.fault_profile with
       | None -> "null"
       | Some (seed, rate) -> Printf.sprintf "{\"seed\": %d, \"rate\": %.6f}" seed rate);
@@ -220,18 +244,24 @@ let flush_artifact (h : t) =
         bpf
           "\n    {\"engine\": %s, \"phase\": %s, \"ops\": %d, \"seconds\": %.6f, \
            \"throughput_kops\": %.3f, \"failed_ops\": %d, \"write_amp\": %.4f, \"p50_ns\": \
-           %d, \"p95_ns\": %d, \"p99_ns\": %d, \"latency\": {"
+           %d, \"p95_ns\": %d, \"p99_ns\": %d, \"min_ns\": %d, \"max_ns\": %d, \"latency\": {"
           (art_jstr s.sm_engine) (art_jstr s.sm_phase) r.Runner.ops r.Runner.seconds
-          r.Runner.kops r.Runner.failed_ops s.sm_write_amp p50 p95 p99;
+          r.Runner.kops r.Runner.failed_ops s.sm_write_amp p50 p95 p99
+          (Evendb_util.Histogram.min_value merged)
+          (Evendb_util.Histogram.max_value merged);
         List.iteri
           (fun j (op, hist) ->
             if j > 0 then bpf ", ";
             let p50, p95, p99 = art_percentiles hist in
-            bpf "\"%s\": {\"count\": %d, \"p50_ns\": %d, \"p95_ns\": %d, \"p99_ns\": %d}" op
+            bpf
+              "\"%s\": {\"count\": %d, \"p50_ns\": %d, \"p95_ns\": %d, \"p99_ns\": %d, \
+               \"max_ns\": %d}"
+              op
               (Evendb_util.Histogram.count hist)
-              p50 p95 p99)
+              p50 p95 p99
+              (Evendb_util.Histogram.max_value hist))
           [ ("put", r.Runner.put_hist); ("get", r.Runner.get_hist); ("scan", r.Runner.scan_hist) ];
-        bpf "}}")
+        bpf "}, \"attr\": %s}" s.sm_attr)
       (List.rev !art_samples);
     bpf "\n  ],\n  \"phase_metrics\": [";
     List.iteri
@@ -241,13 +271,22 @@ let flush_artifact (h : t) =
           (art_jstr phase) metrics)
       (List.rev !art_metrics);
     bpf "\n  ]\n}\n";
+    let slow = String.concat "" (List.rev !art_slow) in
     art_samples := [];
     art_metrics := [];
+    art_slow := [];
     try
       ignore (mkdir_p dir);
       let file = Printf.sprintf "%s/BENCH_%s.json" dir (sanitize !current_experiment) in
       let oc = open_out file in
       Buffer.output_buffer oc buf;
       close_out oc;
-      Printf.printf "[artifact] wrote %s\n" file
+      Printf.printf "[artifact] wrote %s\n" file;
+      (* Always write the slow-op log (possibly empty) so CI can upload
+         it unconditionally. *)
+      let slow_file = Printf.sprintf "%s/SLOW_%s.jsonl" dir (sanitize !current_experiment) in
+      let oc = open_out slow_file in
+      output_string oc slow;
+      close_out oc;
+      Printf.printf "[artifact] wrote %s\n" slow_file
     with Sys_error _ | Unix.Unix_error _ -> ()

@@ -26,13 +26,14 @@ let experiments =
     ("fig12", "config sensitivity (log limit, bloom split)", Exp_fig12.run);
     ("ablation", "design-component ablations + sync/async cost", Exp_ablation.run);
     ("micro", "bechamel micro-benchmarks", Exp_micro.run);
+    ("attrab", "attribution overhead A/B (attr on vs off)", Exp_attr_ab.run);
   ]
 
 (* Aliases share a runner; dedupe so `main.exe` runs each once. *)
 let default_set =
   [ "fig1"; "fig3"; "fig5"; "fig6"; "fig8"; "fig9"; "fig10"; "table4"; "fig11"; "fig12"; "ablation"; "micro" ]
 
-let run_selected scale threads ops disk fault_profile json names =
+let run_selected scale threads ops disk fault_profile attr_on json names =
   Option.iter Harness.set_artifact_dir json;
   let fault_profile =
     Option.map
@@ -45,7 +46,7 @@ let run_selected scale threads ops disk fault_profile json names =
       fault_profile
   in
   let h =
-    { Harness.default with Harness.scale; threads; ops; on_disk = disk; fault_profile }
+    { Harness.default with Harness.scale; threads; ops; on_disk = disk; fault_profile; attr_on }
   in
   let names = if names = [] then default_set else names in
   (* Aliases (table2 -> fig3, fig7 -> fig6, ...) share a runner; dedupe
@@ -94,6 +95,16 @@ let fault_arg =
            probability RATE under a deterministic schedule derived from SEED (e.g. 42:0.01). \
            Injected counts are recorded in the per-phase metrics dumps.")
 
+let attr_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "attr" ] ~docv:"on|off"
+        ~doc:
+          "Per-op tail-latency cause attribution in every engine (default on). $(b,off) \
+           disables it to measure its own overhead; the attrab experiment runs both arms \
+           itself regardless of this flag.")
+
 let json_arg =
   Arg.(
     value
@@ -112,7 +123,7 @@ let cmd =
   let doc = "Regenerate the EvenDB paper's tables and figures" in
   Cmd.v (Cmd.info "evendb-bench" ~doc)
     Term.(
-      const run_selected $ scale_arg $ threads_arg $ ops_arg $ disk_arg $ fault_arg $ json_arg
-      $ names_arg)
+      const run_selected $ scale_arg $ threads_arg $ ops_arg $ disk_arg $ fault_arg $ attr_arg
+      $ json_arg $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,7 @@
      evendb stat <dir> [--json | --prometheus] [--reset-check]
      evendb heat <dir> [--items N] [--ops N] [--dist zipf|composite] [--top K] [--json]
      evendb trace <dir> --out FILE [--ops N]
+     evendb slow  <dir> [--out FILE] [--json] [--ops N] [--threshold-us US]
      evendb checkpoint <dir>
      evendb fsck <dir> [--repair]
 
@@ -145,7 +146,33 @@ let stat_cmd =
           Printf.printf "chunks:              %d\n" (Db.chunk_count db);
           Printf.printf "resident munks:      %d\n" (Db.munk_count db);
           Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
-          Printf.printf "current epoch:       %d\n" (Db.current_epoch db)
+          Printf.printf "current epoch:       %d\n" (Db.current_epoch db);
+          (* Op-latency timers, including the true observed extremes
+             (p99 is a bucket estimate; max_ns is exact). *)
+          let snap = Evendb_obs.Obs.snapshot (Db.obs db) in
+          let timers =
+            List.filter_map
+              (fun (name, v) ->
+                match v with
+                | Evendb_obs.Obs.Timer tm when tm.Evendb_obs.Obs.t_count > 0 -> Some (name, tm)
+                | _ -> None)
+              snap.Evendb_obs.Obs.metrics
+          in
+          if timers <> [] then begin
+            Printf.printf "\n%-24s %10s %10s %10s %10s %10s %10s\n" "timer" "count" "p50_us"
+              "p95_us" "p99_us" "min_us" "max_us";
+            List.iter
+              (fun (name, tm) ->
+                let us ns = float_of_int ns /. 1e3 in
+                Printf.printf "%-24s %10d %10.1f %10.1f %10.1f %10.1f %10.1f\n" name
+                  tm.Evendb_obs.Obs.t_count
+                  (us tm.Evendb_obs.Obs.t_p50_ns)
+                  (us tm.Evendb_obs.Obs.t_p95_ns)
+                  (us tm.Evendb_obs.Obs.t_p99_ns)
+                  (us tm.Evendb_obs.Obs.t_min_ns)
+                  (us tm.Evendb_obs.Obs.t_max_ns))
+              timers
+          end
         end;
         if reset_check then begin
           Db.reset_metrics db;
@@ -380,6 +407,104 @@ let trace_cmd =
           Chrome trace-event JSON, optionally driving a synthetic workload first.")
     Term.(const run $ fault_arg $ dir_arg $ out $ ops)
 
+let slow_cmd =
+  let module Attr = Evendb_obs.Attr in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the slow-op log as JSONL (one object per op: kind, wall/duration ns, \
+             per-cause breakdown, overlapping maintenance spans) instead of the table.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 2_000
+      & info [ "ops" ]
+          ~doc:
+            "Synthetic put/get ops to drive first so the slow-op ring holds attributed tail \
+             operations (0 = report only what opening, e.g. recovery, produced).")
+  in
+  let threshold_us =
+    Arg.(
+      value & opt int 1_000
+      & info [ "threshold-us" ] ~docv:"US"
+          ~doc:
+            "Slow-op threshold in microseconds; the ring is re-armed at this threshold \
+             before any synthetic ops run.")
+  in
+  let run fault_profile dir out json ops threshold_us =
+    with_db ?fault_profile dir (fun db ->
+        let attr = Db.attr db in
+        Attr.set_threshold_ns attr (max 1 (threshold_us * 1_000));
+        if ops > 0 then begin
+          let sh =
+            W.create_shared ~value_bytes:128 (W.Zipf_composite 0.99) ~items:(max 64 (ops / 2))
+              ~seed:1
+          in
+          let w = W.thread sh ~id:0 in
+          for i = 1 to ops do
+            if i land 1 = 0 then ignore (Db.get db (W.sample_key w))
+            else Db.put db (W.sample_key w) (W.make_value w)
+          done
+        end;
+        let emit s =
+          match out with
+          | None -> print_string s
+          | Some file ->
+            let oc = open_out file in
+            output_string oc s;
+            close_out oc;
+            Printf.eprintf "wrote %d bytes to %s\n" (String.length s) file
+        in
+        if json then emit (Attr.slow_ops_jsonl attr)
+        else begin
+          let slows = Attr.slow_ops attr in
+          let b = Buffer.create 4096 in
+          let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+          bpf "slow ops (> %d us): %d seen, %d retained; watchdog trips: %d\n" threshold_us
+            (Attr.slow_seen attr) (List.length slows) (Attr.watchdog_trips attr);
+          if slows <> [] then
+            bpf "%-8s %12s %6s %-16s %s\n" "kind" "dur_us" "attr%" "top cause" "breakdown (us)";
+          List.iter
+            (fun (s : Attr.slow_op) ->
+              let attributed = List.fold_left (fun a (_, ns) -> a + ns) 0 s.Attr.so_causes in
+              let top =
+                match
+                  List.sort (fun (_, a) (_, b) -> compare b a) s.Attr.so_causes
+                with
+                | (name, _) :: _ -> name
+                | [] -> "-"
+              in
+              bpf "%-8s %12.1f %5.0f%% %-16s %s\n" s.Attr.so_kind
+                (float_of_int s.Attr.so_dur_ns /. 1e3)
+                (if s.Attr.so_dur_ns > 0 then
+                   100.0 *. float_of_int attributed /. float_of_int s.Attr.so_dur_ns
+                 else 0.0)
+                top
+                (String.concat " "
+                   (List.map
+                      (fun (c, ns) -> Printf.sprintf "%s=%.1f" c (float_of_int ns /. 1e3))
+                      s.Attr.so_causes)))
+            slows;
+          emit (Buffer.contents b)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "slow"
+       ~doc:
+         "Report the slow-op ring: every operation over the threshold with its wall time \
+          decomposed into named stall causes (lock wait, log append, fsync, disk read, \
+          rebalance, compaction) and the maintenance spans it overlapped. --json emits the \
+          raw JSONL event log.")
+    Term.(const run $ fault_arg $ dir_arg $ out $ json $ ops $ threshold_us)
+
 let checkpoint_cmd =
   let run fault_profile dir = with_db ?fault_profile dir (fun db -> Db.checkpoint db) in
   Cmd.v (Cmd.info "checkpoint" ~doc:"Force a durability checkpoint")
@@ -424,6 +549,7 @@ let () =
             stat_cmd;
             heat_cmd;
             trace_cmd;
+            slow_cmd;
             checkpoint_cmd;
             fsck_cmd;
           ]))

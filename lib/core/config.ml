@@ -20,6 +20,11 @@ type t = {
   hot_prefix_len : int;
   topk_capacity : int;
   heat_half_life_ns : int;
+  attr_enabled : bool;
+  attr_slow_threshold_ns : int;
+  attr_slow_ring : int;
+  attr_watchdog_share_ppm : int;
+  attr_watchdog_cooldown_ops : int;
 }
 
 let mib = 1024 * 1024
@@ -45,6 +50,11 @@ let default =
     hot_prefix_len = 8;
     topk_capacity = 512;
     heat_half_life_ns = 10_000_000_000;
+    attr_enabled = true;
+    attr_slow_threshold_ns = 1_000_000;
+    attr_slow_ring = 256;
+    attr_watchdog_share_ppm = 500_000;
+    attr_watchdog_cooldown_ops = 4096;
   }
 
 let scaled ?(factor = 64) () =

@@ -51,6 +51,19 @@ type t = {
   heat_half_life_ns : int;
       (** Half-life of the per-chunk heat score's exponential decay
           (default 10s): heat halves after this much idle time. *)
+  attr_enabled : bool;
+      (** Per-op tail-latency cause attribution ({!Evendb_obs.Attr}).
+          Default [true]; the overhead is a few clock reads per op. *)
+  attr_slow_threshold_ns : int;
+      (** Ops at least this slow are captured in the slow-op ring with
+          their full cause breakdown (default 1ms). *)
+  attr_slow_ring : int;  (** Slow-op ring capacity (default 256). *)
+  attr_watchdog_share_ppm : int;
+      (** Stall-watchdog trip point: a single cause exceeding this
+          share (ppm) of recent op time fires a flight-recorder event
+          (default 500_000 = 50%). 0 disables the watchdog. *)
+  attr_watchdog_cooldown_ops : int;
+      (** Minimum ops between two trips on the same cause. *)
 }
 
 val default : t

@@ -48,6 +48,7 @@ type t = {
   (* Observability: one registry per instance; handles cached here so
      the hot paths bump without a hashtable lookup. *)
   obs : Obs.t;
+  attr : Attr.t; (* per-op tail-latency cause attribution *)
   tm_put : Obs.Timer.t;
   tm_get : Obs.Timer.t;
   tm_delete : Obs.Timer.t;
@@ -61,6 +62,7 @@ type t = {
 let env t = t.env
 let config t = t.cfg
 let obs t = t.obs
+let attr t = t.attr
 
 let metrics_dump t = function
   | `Json -> Obs.to_json t.obs
@@ -295,16 +297,16 @@ let note_access db c =
       | Lfu.Already_cached | Lfu.Skip -> ()
       | Lfu.Evict_other vid -> (
         match chunk_by_id db vid with
-        | Some victim -> ignore (evict_munk_chunk db victim)
+        | Some victim -> ignore (Attr.timed Attr.Rebalance (fun () -> evict_munk_chunk db victim))
         | None -> Lfu.remove db.lfu vid)
       | Lfu.Admit evictee ->
         (match evictee with
         | Some vid -> (
           match chunk_by_id db vid with
-          | Some victim -> ignore (evict_munk_chunk db victim)
+          | Some victim -> ignore (Attr.timed Attr.Rebalance (fun () -> evict_munk_chunk db victim))
           | None -> Lfu.remove db.lfu vid)
         | None -> ());
-        if not (load_munk db c) then
+        if not (Attr.timed Attr.Disk_read (fun () -> load_munk db c)) then
           (* Retired or already loaded elsewhere; keep LFU consistent. *)
           if Chunk.munk c = None then Lfu.drop_cached db.lfu (Chunk.id c))
     with Env.Corruption _ ->
@@ -354,7 +356,13 @@ let rec get_resolved db key =
     | Some v ->
       record Read_stats.Row_cache;
       Some v
-    | None -> (
+    | None ->
+      (* Munk miss, row-cache miss: the rest of this get is served from
+         the funk (bloom build + log probe + SSTable read) — the
+         disk-read stall the munk cache exists to avoid. The recursive
+         retry under [Stale] stays inside the section (nested [timed]
+         is a no-op), so its cost is charged to this op too. *)
+      Attr.timed Attr.Disk_read (fun () ->
       ensure_bloom db c;
       try
         Funk.with_pin
@@ -402,7 +410,7 @@ let rec get_resolved db key =
 
 let get db key =
   Topk.observe db.topk (prefix_of db key);
-  Obs.Timer.time db.tm_get (fun () -> get_resolved db key)
+  Attr.with_op db.attr Attr.Get db.tm_get (fun () -> get_resolved db key)
 
 (* ------------------------------------------------------------------ *)
 (* Rebalance and splits                                                *)
@@ -783,7 +791,11 @@ let merge_chunks db c n =
 let rec put_entry db key value_opt =
   let c = lookup_put db key in
   let lock = Chunk.rebalance_lock c in
-  Rwlock.lock_shared lock;
+  (* Charge the blocking acquire to Lock_wait only when actually
+     contended (a rebalance holds or awaits the chunk lock), keeping
+     the uncontended path at one try_lock. *)
+  if not (Rwlock.try_lock_shared lock) then
+    Attr.timed Attr.Lock_wait (fun () -> Rwlock.lock_shared lock);
   let retry = Chunk.retired c in
   if retry then begin
     Rwlock.unlock_shared lock;
@@ -839,7 +851,9 @@ and put_entry_and_maintain db key value_opt =
      acked write. *)
   (match db.maint with
   | None -> (
-    try maybe_maintain db c
+    (* Inline maintenance is the put paying for rebalance/split work —
+       the attribution cause this layer exists to expose. *)
+    try Attr.timed Attr.Rebalance (fun () -> maybe_maintain db c)
     with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr db.ctr_io_errors)
   | Some m ->
     if needs_munk_rebalance db c || needs_funk_rebalance db c then begin
@@ -863,7 +877,7 @@ and put_entry_and_maintain db key value_opt =
     (* Same policy as maintenance: an opportunistic checkpoint that hits
        an injected fault leaves the previous checkpoint intact and the
        next interval retries; only an explicit [checkpoint] propagates. *)
-    try checkpoint_auto db
+    try Attr.timed Attr.Fsync (fun () -> checkpoint_auto db)
     with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr db.ctr_io_errors
 
 (* ------------------------------------------------------------------ *)
@@ -889,9 +903,10 @@ let checkpoint db =
       checkpoint_locked db)
 
 let put db key value =
-  Obs.Timer.time db.tm_put (fun () -> put_entry_and_maintain db key (Some value))
+  Attr.with_op db.attr Attr.Put db.tm_put (fun () -> put_entry_and_maintain db key (Some value))
 
-let delete db key = Obs.Timer.time db.tm_delete (fun () -> put_entry_and_maintain db key None)
+let delete db key =
+  Attr.with_op db.attr Attr.Delete db.tm_delete (fun () -> put_entry_and_maintain db key None)
 
 (* ------------------------------------------------------------------ *)
 (* Scan (§3.3)                                                         *)
@@ -916,7 +931,10 @@ let scan_internal db ?limit ~low ~high () =
       (fun () ->
         let gv = Atomic.fetch_and_add db.gv 1 in
         Pending_ops.publish_scan_version db.po slot ~low ~high:(Some high) ~version:gv;
-        Pending_ops.wait_pending_puts db.po ~low ~high:(Some high) ~upto:gv;
+        (* Waiting out in-flight puts below the scan version is the
+           scan-side lock wait of the paper's §3.3 protocol. *)
+        Attr.timed Attr.Lock_wait (fun () ->
+            Pending_ops.wait_pending_puts db.po ~low ~high:(Some high) ~upto:gv);
         let acc = ref [] in
         let count = ref 0 in
         let max_count = match limit with None -> max_int | Some l -> l in
@@ -951,6 +969,7 @@ let scan_internal db ?limit ~low ~high () =
                  means its funk is gone — re-resolve the residual range
                  through the rebuilt index. [with_pin] never runs the
                  body on failure, so nothing is consumed twice. *)
+              Attr.timed Attr.Disk_read @@ fun () ->
               try
                 Funk.with_pin
                   ~current:(fun () -> Chunk.funk c)
@@ -993,7 +1012,7 @@ let scan_internal db ?limit ~low ~high () =
   end
 
 let scan db ?limit ~low ~high () =
-  Obs.Timer.time db.tm_scan (fun () -> scan_internal db ?limit ~low ~high ())
+  Attr.with_op db.attr Attr.Scan db.tm_scan (fun () -> scan_internal db ?limit ~low ~high ())
 
 (* ------------------------------------------------------------------ *)
 (* Open / recovery / close                                             *)
@@ -1120,6 +1139,11 @@ let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_fun
            }
        else None);
     obs;
+    attr =
+      Attr.create ~enabled:cfg.Config.attr_enabled
+        ~threshold_ns:cfg.Config.attr_slow_threshold_ns ~ring:cfg.Config.attr_slow_ring
+        ~watchdog_share_ppm:cfg.Config.attr_watchdog_share_ppm
+        ~watchdog_cooldown_ops:cfg.Config.attr_watchdog_cooldown_ops obs;
     tm_put = Obs.timer obs "db.put";
     tm_get = Obs.timer obs "db.get";
     tm_delete = Obs.timer obs "db.delete";
@@ -1131,6 +1155,9 @@ let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_fun
   }
   in
   register_probes db;
+  (* A watchdog trip cuts a flight-recorder frame, so the stall's
+     counter deltas are pinned in the ring even if nobody is polling. *)
+  Attr.set_trip_hook db.attr (fun _cause -> ignore (Obs.Recorder.tick db.recorder));
   db
 
 let maintainer_loop db m =
@@ -1356,11 +1383,12 @@ let chunk_stats db =
     (all_chunks db)
 
 let hot_prefixes db = (Topk.entries db.topk, Topk.total db.topk)
-let dump_trace db = Obs.to_chrome_trace db.obs
+let dump_trace db = Obs.to_chrome_trace ~extra:(Attr.chrome_events db.attr) db.obs
 let recorder db = db.recorder
 
 let reset_metrics db =
   Obs.reset db.obs;
+  Attr.reset db.attr;
   Read_stats.reset db.rstats;
   Chunk_stats.reset db.cstats ~now:(now_ns ());
   Topk.reset db.topk;

@@ -107,6 +107,15 @@ val obs : t -> Evendb_obs.Obs.t
     [cold_funk_rebalance], [funk_flush], [chunk_merge], [checkpoint],
     [recovery]) with bytes/entries attributes. *)
 
+val attr : t -> Evendb_obs.Attr.t
+(** Per-op tail-latency cause attribution (see {!Evendb_obs.Attr}):
+    every put/get/delete/scan decomposes its wall time into lock-wait,
+    log-append, fsync, disk-read, rebalance and compaction stalls; ops
+    over [attr_slow_threshold_ns] land in a slow-op ring with their
+    breakdown, and the stall watchdog ticks the flight recorder when a
+    single cause dominates recent op time. Configured by the [attr_*]
+    fields of {!Config.t}. *)
+
 val metrics_dump : t -> [ `Json | `Prometheus ] -> string
 (** Render the registry with the corresponding {!Evendb_obs.Obs}
     exporter. *)

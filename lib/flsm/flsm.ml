@@ -18,6 +18,7 @@ module Config = struct
     sync_writes : bool;
     wal_fsync_every : int;
     max_levels : int;
+    attr_enabled : bool;
   }
 
   let mib = 1024 * 1024
@@ -33,6 +34,7 @@ module Config = struct
       sync_writes = false;
       wal_fsync_every = 32768;
       max_levels = 5;
+      attr_enabled = true;
     }
 
   let scaled ?(factor = 64) () =
@@ -82,6 +84,7 @@ type t = {
   put_count : int Atomic.t;
   closed : bool Atomic.t;
   obs : Obs.t;
+  attr : Attr.t; (* per-op tail-latency cause attribution *)
   tm_put : Obs.Timer.t;
   tm_get : Obs.Timer.t;
   tm_delete : Obs.Timer.t;
@@ -104,6 +107,7 @@ let manifest_name = "FLSM_MANIFEST"
 let env t = t.env
 let logical_bytes_written t = Atomic.get t.logical_written
 let obs t = t.obs
+let attr t = t.attr
 
 let metrics_dump t = function
   | `Json -> Obs.to_json t.obs
@@ -555,7 +559,10 @@ let flush_memtable t =
 (* Operations                                                          *)
 
 let put_entry t key value_opt =
-  Mutex.lock t.writer;
+  (* As in Lsm: charge writer-mutex queueing (behind another put's
+     inline flush) to Lock_wait only when the fast try_lock loses. *)
+  if not (Mutex.try_lock t.writer) then
+    Attr.timed Attr.Lock_wait (fun () -> Mutex.lock t.writer);
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.writer)
     (fun () ->
@@ -580,13 +587,16 @@ let put_entry t key value_opt =
            the next put over the threshold retries. *)
         Obs.Counter.incr t.ctr_stalls;
         try
-          flush_memtable t;
-          compact t
+          Attr.timed Attr.Compaction (fun () ->
+              flush_memtable t;
+              compact t)
         with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr t.ctr_io_errors
       end)
 
-let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
-let delete t key = Obs.Timer.time t.tm_delete (fun () -> put_entry t key None)
+let put t key value =
+  Attr.with_op t.attr Attr.Put t.tm_put (fun () -> put_entry t key (Some value))
+
+let delete t key = Attr.with_op t.attr Attr.Delete t.tm_delete (fun () -> put_entry t key None)
 
 let guard_for guards key =
   (* Last guard with guard_key <= key; guards sorted, first is "". *)
@@ -597,7 +607,7 @@ let guard_for guards key =
   go None guards
 
 let get t key =
-  Obs.Timer.time t.tm_get @@ fun () ->
+  Attr.with_op t.attr Attr.Get t.tm_get @@ fun () ->
   let s = pin_state t in
   Fun.protect
     ~finally:(fun () -> release_state t s)
@@ -653,7 +663,9 @@ let get t key =
         | None -> (
           match Option.bind s.imm (fun imm -> Memtable.find_latest imm key) with
           | Some e -> Some e
-          | None -> from_levels ())
+          | None ->
+            (* Both memtables missed: fragment reads across guards. *)
+            Attr.timed Attr.Disk_read from_levels)
       in
       match result with
       | Some { K.value = Some v; _ } -> Some v
@@ -671,7 +683,7 @@ let bounded it ~high =
         None
 
 let scan t ?limit ~low ~high () =
-  Obs.Timer.time t.tm_scan @@ fun () ->
+  Attr.with_op t.attr Attr.Scan t.tm_scan @@ fun () ->
   if String.compare low high > 0 then []
   else begin
     Mutex.lock t.writer;
@@ -772,6 +784,7 @@ let open_internal config env =
         put_count = Atomic.make 0;
         closed = Atomic.make false;
         obs;
+        attr = Attr.create ~enabled:config.attr_enabled obs;
         tm_put = Obs.timer obs "db.put";
         tm_get = Obs.timer obs "db.get";
         tm_delete = Obs.timer obs "db.delete";
@@ -860,6 +873,7 @@ let open_internal config env =
       put_count = Atomic.make 0;
       closed = Atomic.make false;
       obs;
+      attr = Attr.create ~enabled:config.attr_enabled obs;
       tm_put = Obs.timer obs "db.put";
       tm_get = Obs.timer obs "db.get";
       tm_delete = Obs.timer obs "db.delete";

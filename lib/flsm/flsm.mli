@@ -33,6 +33,7 @@ module Config : sig
     sync_writes : bool;
     wal_fsync_every : int;
     max_levels : int;
+    attr_enabled : bool;  (** Per-op tail-latency cause attribution. *)
   }
 
   val default : t
@@ -76,5 +77,10 @@ val obs : t -> Evendb_obs.Obs.t
     [level<i>.bytes]/[level<i>.files] probes of the current shape —
     names match the LSM baseline so write-amplification shape is
     directly comparable across engines. *)
+
+val attr : t -> Evendb_obs.Attr.t
+(** Per-op cause attribution: writer-mutex waits ([Lock_wait]), WAL
+    appends/fsyncs (via the log layer), inline flush+compaction
+    ([Compaction]) and fragment reads ([Disk_read]). *)
 
 val metrics_dump : t -> [ `Json | `Prometheus ] -> string

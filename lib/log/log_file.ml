@@ -102,7 +102,13 @@ module Writer = struct
       appends = 0;
     }
 
+  (* Append and fsync charge themselves to the calling op's attribution
+     frame (Attr.timed is a no-op off the op hot path), so WAL/funk-log
+     cost shows up as Log_append/Fsync without this layer holding any
+     Attr handle. The append charge includes the writer mutex wait:
+     serialization behind a contended log IS log-append stall. *)
   let append t e =
+    Evendb_obs.Attr.timed Evendb_obs.Attr.Log_append @@ fun () ->
     Mutex.lock t.mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.mutex)
@@ -128,7 +134,7 @@ module Writer = struct
   let append_count t =
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> t.appends)
-  let fsync t = Env.fsync t.file
+  let fsync t = Evendb_obs.Attr.timed Evendb_obs.Attr.Fsync (fun () -> Env.fsync t.file)
   let close t = Env.close_file t.file
 end
 

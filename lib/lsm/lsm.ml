@@ -18,6 +18,7 @@ module Config = struct
     sync_writes : bool;
     wal_fsync_every : int;
     max_levels : int;
+    attr_enabled : bool;
   }
 
   let mib = 1024 * 1024
@@ -34,6 +35,7 @@ module Config = struct
       sync_writes = false;
       wal_fsync_every = 32768;
       max_levels = 7;
+      attr_enabled = true;
     }
 
   let scaled ?(factor = 64) () =
@@ -82,6 +84,7 @@ type t = {
   put_count : int Atomic.t;
   closed : bool Atomic.t;
   obs : Obs.t;
+  attr : Attr.t; (* per-op tail-latency cause attribution *)
   tm_put : Obs.Timer.t;
   tm_get : Obs.Timer.t;
   tm_delete : Obs.Timer.t;
@@ -107,6 +110,7 @@ let manifest_name = "LSM_MANIFEST"
 let env t = t.env
 let logical_bytes_written t = Atomic.get t.logical_written
 let obs t = t.obs
+let attr t = t.attr
 
 let metrics_dump t = function
   | `Json -> Obs.to_json t.obs
@@ -482,7 +486,11 @@ let rec compact t =
 (* Operations                                                          *)
 
 let put_entry t key value_opt =
-  Mutex.lock t.writer;
+  (* Writer-mutex queueing behind another put's inline flush is where
+     LSM write stalls spread; charge the blocking wait to Lock_wait
+     only when the fast try_lock loses. *)
+  if not (Mutex.try_lock t.writer) then
+    Attr.timed Attr.Lock_wait (fun () -> Mutex.lock t.writer);
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.writer)
     (fun () ->
@@ -515,13 +523,16 @@ let put_entry t key value_opt =
            next put over the threshold retries. *)
         Obs.Counter.incr t.ctr_stalls;
         try
-          flush_memtable t;
-          compact t
+          Attr.timed Attr.Compaction (fun () ->
+              flush_memtable t;
+              compact t)
         with Env.Io_error _ | Env.Corruption _ -> Obs.Counter.incr t.ctr_io_errors
       end)
 
-let put t key value = Obs.Timer.time t.tm_put (fun () -> put_entry t key (Some value))
-let delete t key = Obs.Timer.time t.tm_delete (fun () -> put_entry t key None)
+let put t key value =
+  Attr.with_op t.attr Attr.Put t.tm_put (fun () -> put_entry t key (Some value))
+
+let delete t key = Attr.with_op t.attr Attr.Delete t.tm_delete (fun () -> put_entry t key None)
 
 let find_in_levels ?on_hit s ~max_version key =
   (* L0 newest-first, then deeper levels; the first hit is the newest
@@ -550,7 +561,7 @@ let find_in_levels ?on_hit s ~max_version key =
   search_levels 0
 
 let get t key =
-  Obs.Timer.time t.tm_get @@ fun () ->
+  Attr.with_op t.attr Attr.Get t.tm_get @@ fun () ->
   let s = pin_state t in
   Fun.protect
     ~finally:(fun () -> release_state t s)
@@ -562,7 +573,10 @@ let get t key =
         | None -> (
           match Option.bind s.imm (fun imm -> Memtable.find_latest imm key) with
           | Some e -> Some e
-          | None -> find_in_levels ~on_hit s ~max_version:max_int key)
+          | None ->
+            (* Both memtables missed: the rest is SSTable reads. *)
+            Attr.timed Attr.Disk_read (fun () ->
+                find_in_levels ~on_hit s ~max_version:max_int key))
       in
       match result with
       | Some { K.value = Some v; _ } -> Some v
@@ -580,7 +594,7 @@ let bounded it ~high =
         None
 
 let scan t ?limit ~low ~high () =
-  Obs.Timer.time t.tm_scan @@ fun () ->
+  Attr.with_op t.attr Attr.Scan t.tm_scan @@ fun () ->
   if String.compare low high > 0 then []
   else begin
     (* Take the writer mutex briefly so (state, seq) are consistent:
@@ -675,6 +689,7 @@ let open_internal config env =
         put_count = Atomic.make 0;
         closed = Atomic.make false;
         obs;
+        attr = Attr.create ~enabled:config.attr_enabled obs;
         tm_put = Obs.timer obs "db.put";
         tm_get = Obs.timer obs "db.get";
         tm_delete = Obs.timer obs "db.delete";
@@ -756,6 +771,7 @@ let open_internal config env =
       put_count = Atomic.make 0;
       closed = Atomic.make false;
       obs;
+      attr = Attr.create ~enabled:config.attr_enabled obs;
       tm_put = Obs.timer obs "db.put";
       tm_get = Obs.timer obs "db.get";
       tm_delete = Obs.timer obs "db.delete";

@@ -29,6 +29,7 @@ module Config : sig
     sync_writes : bool;  (** fsync the WAL on every put. *)
     wal_fsync_every : int;  (** Async mode: fsync WAL every N puts (0 = only at close). *)
     max_levels : int;
+    attr_enabled : bool;  (** Per-op tail-latency cause attribution. *)
   }
 
   val default : t
@@ -79,5 +80,11 @@ val obs : t -> Evendb_obs.Obs.t
     compacted out of it), [level<i>.read_hits] (gets served by it),
     plus [level<i>.bytes]/[level<i>.files] probes of the current
     shape. *)
+
+val attr : t -> Evendb_obs.Attr.t
+(** Per-op cause attribution: writer-mutex waits ([Lock_wait]), WAL
+    appends/fsyncs (via the log layer), inline flush+compaction
+    ([Compaction] — the classic write stall) and level reads
+    ([Disk_read]). *)
 
 val metrics_dump : t -> [ `Json | `Prometheus ] -> string

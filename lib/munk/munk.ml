@@ -204,8 +204,11 @@ let iter_range t ~low ~high =
   done;
   iter_from t !cur (Some high)
 
+(* Charged to the calling op's attribution frame when a put pays for
+   rebalance inline (Attr.timed is free off the op hot path). *)
 let rebalance t ~min_retained_version =
-  of_iter (Kv_iter.compact ?min_retained_version (iter t))
+  Evendb_obs.Attr.timed Evendb_obs.Attr.Rebalance (fun () ->
+      of_iter (Kv_iter.compact ?min_retained_version (iter t)))
 
 let split_entries t ~min_retained_version =
   let entries = Kv_iter.to_list (Kv_iter.compact ?min_retained_version (iter t)) in

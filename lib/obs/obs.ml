@@ -52,16 +52,17 @@ module Timer = struct
     Mutex.unlock t.mutex;
     n
 
-  (* (count, mean, [p50; p95; p99], max, buckets) under the lock. *)
+  (* (count, mean, [p50; p95; p99], min, max, buckets) under the lock. *)
   let summary t =
     Mutex.lock t.mutex;
     let n = Histogram.count t.hist in
     let mean = Histogram.mean t.hist in
     let ps = Histogram.percentiles t.hist [ 50.0; 95.0; 99.0 ] in
+    let mn = Histogram.min_value t.hist in
     let mx = Histogram.max_value t.hist in
     let buckets = Histogram.buckets t.hist in
     Mutex.unlock t.mutex;
-    (n, mean, ps, mx, buckets)
+    (n, mean, ps, mn, mx, buckets)
 
   let reset t =
     Mutex.lock t.mutex;
@@ -292,6 +293,7 @@ type timer_summary = {
   t_p50_ns : int;
   t_p95_ns : int;
   t_p99_ns : int;
+  t_min_ns : int;
   t_max_ns : int;
   t_buckets : (int * int) list;
 }
@@ -319,7 +321,7 @@ let snapshot t : snapshot =
           | I_gauge g -> Gauge (Gauge.get g)
           | I_probe f -> Gauge (try f () with _ -> 0)
           | I_timer tm ->
-            let n, mean, ps, mx, buckets = Timer.summary tm in
+            let n, mean, ps, mn, mx, buckets = Timer.summary tm in
             let p50, p95, p99 =
               match ps with [ a; b; c ] -> (a, b, c) | _ -> (0, 0, 0)
             in
@@ -330,6 +332,7 @@ let snapshot t : snapshot =
                 t_p50_ns = p50;
                 t_p95_ns = p95;
                 t_p99_ns = p99;
+                t_min_ns = mn;
                 t_max_ns = mx;
                 t_buckets = buckets;
               }
@@ -418,6 +421,7 @@ let to_json t =
                     ("p50_ns", jint tm.t_p50_ns);
                     ("p95_ns", jint tm.t_p95_ns);
                     ("p99_ns", jint tm.t_p99_ns);
+                    ("min_ns", jint tm.t_min_ns);
                     ("max_ns", jint tm.t_max_ns);
                     ("buckets", jbuckets tm.t_buckets);
                   ] )
@@ -453,6 +457,21 @@ let to_json t =
 let sanitize name =
   String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') name
 
+(* Label values may contain any UTF-8; the exposition format requires
+   backslash, double-quote and newline to be escaped (metric and label
+   NAMES stay sanitized — the charset there is restricted). *)
+let prom_label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_prometheus t =
   let s = snapshot t in
   let buf = Buffer.create 1024 in
@@ -462,36 +481,44 @@ let to_prometheus t =
       let m = "evendb_" ^ sanitize name in
       match v with
       | Counter c ->
+        line "# HELP %s evendb counter %s" m (prom_label_escape name);
         line "# TYPE %s counter" m;
         line "%s %d" m c
       | Gauge g ->
+        line "# HELP %s evendb gauge %s" m (prom_label_escape name);
         line "# TYPE %s gauge" m;
         line "%s %d" m g
       | Timer tm ->
+        line "# HELP %s_ns evendb latency summary %s (nanoseconds)" m (prom_label_escape name);
         line "# TYPE %s_ns summary" m;
         line "%s_ns{quantile=\"0.5\"} %d" m tm.t_p50_ns;
         line "%s_ns{quantile=\"0.95\"} %d" m tm.t_p95_ns;
         line "%s_ns{quantile=\"0.99\"} %d" m tm.t_p99_ns;
         line "%s_ns_count %d" m tm.t_count;
         line "%s_ns_mean %.1f" m tm.t_mean_ns;
+        line "%s_ns_min %d" m tm.t_min_ns;
         line "%s_ns_max %d" m tm.t_max_ns)
     s.metrics;
   if s.spans <> [] then begin
+    line "# HELP evendb_span_count closed spans per span name";
     line "# TYPE evendb_span_count counter";
     List.iter
       (fun (st : Trace.span_stat) ->
-        line "evendb_span_count{name=\"%s\"} %d" (sanitize st.Trace.span_name)
+        line "evendb_span_count{name=\"%s\"} %d"
+          (prom_label_escape st.Trace.span_name)
           st.Trace.span_count)
       s.spans;
+    line "# HELP evendb_span_total_ns cumulative span duration per span name";
     line "# TYPE evendb_span_total_ns counter";
     List.iter
       (fun (st : Trace.span_stat) ->
-        line "evendb_span_total_ns{name=\"%s\"} %d" (sanitize st.Trace.span_name)
+        line "evendb_span_total_ns{name=\"%s\"} %d"
+          (prom_label_escape st.Trace.span_name)
           st.Trace.span_total_ns;
         List.iter
           (fun (k, v) ->
             line "evendb_span_attr_total{name=\"%s\",attr=\"%s\"} %d"
-              (sanitize st.Trace.span_name) (sanitize k) v)
+              (prom_label_escape st.Trace.span_name) (prom_label_escape k) v)
           st.Trace.span_attr_totals)
       s.spans
   end;
@@ -501,8 +528,8 @@ let to_prometheus t =
    ring buffer. Complete events ("ph":"X") with microsecond wall-clock
    timestamps; one metadata event names the process and each thread id
    seen in the ring. *)
-let to_chrome_trace ?(process_name = "evendb") t =
-  let events = Trace.recent t.tr in
+let to_chrome_trace ?(process_name = "evendb") ?(extra = []) t =
+  let events = Trace.recent t.tr @ extra in
   let pid = Unix.getpid () in
   let jus ns buf = Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ns /. 1e3)) in
   let buf = Buffer.create 4096 in

@@ -53,6 +53,10 @@ module Timer : sig
       exception). *)
 
   val count : t -> int
+
+  val summary : t -> int * float * int list * int * int * (int * int) list
+  (** [(count, mean_ns, [p50; p95; p99], min_ns, max_ns, buckets)],
+      read atomically under the timer's lock. *)
 end
 
 (** {2 Event tracing} *)
@@ -129,7 +133,8 @@ type timer_summary = {
   t_p50_ns : int;
   t_p95_ns : int;
   t_p99_ns : int;
-  t_max_ns : int;
+  t_min_ns : int;  (** true observed minimum, not a bucket estimate *)
+  t_max_ns : int;  (** true observed maximum, not a bucket estimate *)
   t_buckets : (int * int) list;
       (** non-empty histogram buckets as [(upper_bound_ns, count)],
           ascending — enough to re-aggregate percentiles externally *)
@@ -150,23 +155,28 @@ val reset : t -> unit
 
 val to_json : t -> string
 (** One JSON document: [{"counters":{..},"gauges":{..},"timers":{..},
-    "spans":{..}}]. Timer entries carry count/mean/p50/p95/p99/max in
-    nanoseconds plus a ["buckets"] array of [\[upper_bound_ns, count\]]
-    pairs (full histogram shape for external re-aggregation); span
-    entries carry count, cumulative duration and attribute totals. *)
+    "spans":{..}}]. Timer entries carry count/mean/p50/p95/p99/min/max
+    in nanoseconds plus a ["buckets"] array of
+    [\[upper_bound_ns, count\]] pairs (full histogram shape for
+    external re-aggregation); span entries carry count, cumulative
+    duration and attribute totals. *)
 
-val to_chrome_trace : ?process_name:string -> t -> string
+val to_chrome_trace : ?process_name:string -> ?extra:Trace.event list -> t -> string
 (** Export the span ring buffer in Chrome trace-event format (loadable
     in [chrome://tracing] and Perfetto): complete events ([ph:"X"])
     with wall-clock microsecond timestamps (see {!to_wall_ns}),
     process/thread ids, span attributes under ["args"], and metadata
-    events naming the process and each thread. *)
+    events naming the process and each thread. [extra] events (e.g.
+    {!Attr.chrome_events} slow-op reconstructions) are appended after
+    the ring's. *)
 
 val to_prometheus : t -> string
-(** Prometheus text exposition: metric names are sanitized to
-    [evendb_<name>]; timers expose [_count], [_mean_ns] and quantile
-    samples; spans expose [evendb_span_count]/[evendb_span_total_ns]
-    keyed by a [name] label. *)
+(** Prometheus text exposition with [# HELP]/[# TYPE] lines: metric
+    names are sanitized to [evendb_<name>]; timers expose [_count],
+    [_mean_ns], [_min]/[_max] and quantile samples; spans expose
+    [evendb_span_count]/[evendb_span_total_ns] keyed by a [name] label
+    whose value is escaped per the exposition format (backslash,
+    double-quote, newline). *)
 
 (** {2 Flight recorder}
 

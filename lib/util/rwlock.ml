@@ -48,6 +48,13 @@ let unlock_exclusive t =
   else Condition.broadcast t.can_read;
   Mutex.unlock t.mutex
 
+let try_lock_shared t =
+  Mutex.lock t.mutex;
+  let ok = (not t.writer) && t.waiting_writers = 0 in
+  if ok then t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex;
+  ok
+
 let try_lock_exclusive t =
   Mutex.lock t.mutex;
   let ok = (not t.writer) && t.readers = 0 in

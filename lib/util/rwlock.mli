@@ -12,6 +12,12 @@ val create : unit -> t
 val lock_shared : t -> unit
 val unlock_shared : t -> unit
 
+val try_lock_shared : t -> bool
+(** Non-blocking shared acquire; fails when a writer holds or waits
+    (same writer preference as {!lock_shared}). Lets put paths detect a
+    contended lock cheaply and only then fall into the blocking —
+    latency-attributed — acquire. *)
+
 val lock_exclusive : t -> unit
 val unlock_exclusive : t -> unit
 

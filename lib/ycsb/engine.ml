@@ -11,6 +11,7 @@ type t = {
   env : Env.t;
   logical_bytes : unit -> int;
   metrics : unit -> string;
+  attr : unit -> Evendb_obs.Attr.t;
   absorbed_failures : unit -> int;
 }
 
@@ -27,6 +28,7 @@ let evendb ?config env =
     env;
     logical_bytes = (fun () -> Evendb_core.Db.logical_bytes_written db);
     metrics = (fun () -> Evendb_core.Db.metrics_dump db `Json);
+    attr = (fun () -> Evendb_core.Db.attr db);
     absorbed_failures = (fun () -> 0);
   }
 
@@ -43,6 +45,7 @@ let lsm ?config env =
     env;
     logical_bytes = (fun () -> Evendb_lsm.Lsm.logical_bytes_written db);
     metrics = (fun () -> Evendb_lsm.Lsm.metrics_dump db `Json);
+    attr = (fun () -> Evendb_lsm.Lsm.attr db);
     absorbed_failures = (fun () -> 0);
   }
 
@@ -59,6 +62,7 @@ let flsm ?config env =
     env;
     logical_bytes = (fun () -> Evendb_flsm.Flsm.logical_bytes_written db);
     metrics = (fun () -> Evendb_flsm.Flsm.metrics_dump db `Json);
+    attr = (fun () -> Evendb_flsm.Flsm.attr db);
     absorbed_failures = (fun () -> 0);
   }
 

@@ -14,6 +14,11 @@ type t = {
   env : Env.t;
   logical_bytes : unit -> int;
   metrics : unit -> string;  (** JSON metrics snapshot (see {!Evendb_obs.Obs.to_json}). *)
+  attr : unit -> Evendb_obs.Attr.t;
+      (** The engine's per-op tail-latency attribution handle: slow-op
+          ring, cause fractions and watchdog (see {!Evendb_obs.Attr}).
+          Benchmarks use it to calibrate slow thresholds and export
+          per-phase breakdowns. *)
   absorbed_failures : unit -> int;
       (** Operations swallowed by {!fault_tolerant} (0 on a bare engine). *)
 }

@@ -23,4 +23,5 @@ let () =
          Test_scrub.suite;
          Test_crash_explorer.suite;
          Test_ycsb.suite;
+         Test_attr.suite;
        ])
