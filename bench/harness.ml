@@ -68,7 +68,17 @@ let bench_dir = "/tmp/evendb_bench"
    <bench_dir>/metrics/<experiment>_<engine>_<phase>.json. *)
 
 let current_experiment = ref "exp"
-let set_experiment name = current_experiment := name
+
+(* An experiment that overrides harness knobs internally (e.g. scaling
+   forces the disk backend and its own value size) registers its
+   effective config here so the artifact's "config" block describes
+   the run that actually happened, not the CLI defaults. *)
+let config_override : t option ref = ref None
+let note_config_override h = config_override := Some h
+
+let set_experiment name =
+  current_experiment := name;
+  config_override := None
 
 let metrics_dir = bench_dir ^ "/metrics"
 
@@ -219,6 +229,7 @@ let flush_artifact (h : t) =
   match !artifact_dir with
   | None -> ()
   | Some dir ->
+    let h = Option.value ~default:h !config_override in
     let buf = Buffer.create 8192 in
     let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     bpf "{\n";

@@ -25,6 +25,7 @@ let experiments =
     ("fig11", "thread scalability", Exp_fig11.run);
     ("fig12", "config sensitivity (log limit, bloom split)", Exp_fig12.run);
     ("ablation", "design-component ablations + sync/async cost", Exp_ablation.run);
+    ("scaling", "sync-durable throughput vs domains (group commit + shards; forces --disk)", Exp_scaling.run);
     ("micro", "bechamel micro-benchmarks", Exp_micro.run);
     ("attrab", "attribution overhead A/B (attr on vs off)", Exp_attr_ab.run);
   ]

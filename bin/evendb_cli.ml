@@ -23,17 +23,16 @@ module Env = Evendb_storage.Env
 module Fault = Evendb_storage.Fault
 module W = Evendb_ycsb.Workload
 
-let with_db ?fault_profile ?config dir f =
-  let faults = Option.map Fault.parse_profile fault_profile in
-  let report () =
-    Option.iter
-      (fun p -> Printf.eprintf "injected faults (%s): %d\n" (Fault.profile_string p) (Fault.injected p))
-      faults
-  in
-  match
-    let db = Db.open_ ?config (Env.disk ?faults dir) in
-    Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
-  with
+module Shard = Evendb_shard
+
+(* A directory holds either a plain store or a sharded one (created by
+   [load --shards N]); the SHARDS partition file tells them apart. Every
+   data command auto-detects — opening a sharded directory as a plain
+   store would silently present a fresh empty root namespace. *)
+type store = Plain of Db.t | Sharded of Shard.t
+
+let run_guarded ~report f =
+  match f () with
   | v ->
     report ();
     v
@@ -43,6 +42,58 @@ let with_db ?fault_profile ?config dir f =
     report ();
     Printf.eprintf "evendb: %s\n" (Evendb_storage.Io_error.to_string info);
     exit 3
+
+let fault_report faults () =
+  Option.iter
+    (fun p -> Printf.eprintf "injected faults (%s): %d\n" (Fault.profile_string p) (Fault.injected p))
+    faults
+
+let with_store ?fault_profile ?config ?(shards = 0) dir f =
+  let faults = Option.map Fault.parse_profile fault_profile in
+  run_guarded ~report:(fault_report faults) (fun () ->
+      let env = Env.disk ?faults dir in
+      if shards > 1 || Env.exists env "SHARDS" then begin
+        let boundaries =
+          if Env.exists env "SHARDS" then []
+          else begin
+            (* New sharded store: uniform split keys over the synthetic
+               (YCSB-style) key space the load command populates. *)
+            let key_space = 1 lsl Evendb_ycsb.Keys.key_bits in
+            List.init (shards - 1) (fun i ->
+                Evendb_ycsb.Keys.encode ((i + 1) * (key_space / shards)))
+          end
+        in
+        let s = Shard.open_ ?config ~boundaries env in
+        Fun.protect ~finally:(fun () -> Shard.close s) (fun () -> f (Sharded s))
+      end
+      else begin
+        let db = Db.open_ ?config env in
+        Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f (Plain db))
+      end)
+
+(* Commands tied to one store's introspection surface (heat maps,
+   traces, slow-op rings) stay single-store. *)
+let with_db ?fault_profile ?config dir f =
+  let faults = Option.map Fault.parse_profile fault_profile in
+  run_guarded ~report:(fault_report faults) (fun () ->
+      let env = Env.disk ?faults dir in
+      if Env.exists env "SHARDS" then begin
+        Printf.eprintf "evendb: %s is a sharded store; this command works on plain stores\n" dir;
+        exit 2
+      end;
+      let db = Db.open_ ?config env in
+      Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db))
+
+let s_put = function Plain db -> Db.put db | Sharded s -> Shard.put s
+let s_get = function Plain db -> Db.get db | Sharded s -> Shard.get s
+let s_delete = function Plain db -> Db.delete db | Sharded s -> Shard.delete s
+
+let s_scan st ~limit ~low ~high =
+  match st with
+  | Plain db -> Db.scan db ~limit ~low ~high ()
+  | Sharded s -> Shard.scan s ~limit ~low ~high ()
+
+let s_checkpoint = function Plain db -> Db.checkpoint db | Sharded s -> Shard.checkpoint s
 
 let fault_arg =
   Arg.(
@@ -62,14 +113,16 @@ let key_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY")
 let value_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE")
 
 let put_cmd =
-  let run fault_profile dir key value = with_db ?fault_profile dir (fun db -> Db.put db key value) in
+  let run fault_profile dir key value =
+    with_store ?fault_profile dir (fun st -> s_put st key value)
+  in
   Cmd.v (Cmd.info "put" ~doc:"Write one key")
     Term.(const run $ fault_arg $ dir_arg $ key_arg $ value_arg)
 
 let get_cmd =
   let run fault_profile dir key =
-    with_db ?fault_profile dir (fun db ->
-        match Db.get db key with
+    with_store ?fault_profile dir (fun st ->
+        match s_get st key with
         | Some v -> print_endline v
         | None ->
           prerr_endline "(not found)";
@@ -78,7 +131,7 @@ let get_cmd =
   Cmd.v (Cmd.info "get" ~doc:"Read one key") Term.(const run $ fault_arg $ dir_arg $ key_arg)
 
 let del_cmd =
-  let run fault_profile dir key = with_db ?fault_profile dir (fun db -> Db.delete db key) in
+  let run fault_profile dir key = with_store ?fault_profile dir (fun st -> s_delete st key) in
   Cmd.v (Cmd.info "del" ~doc:"Delete one key") Term.(const run $ fault_arg $ dir_arg $ key_arg)
 
 let scan_cmd =
@@ -86,10 +139,8 @@ let scan_cmd =
   let high = Arg.(required & pos 2 (some string) None & info [] ~docv:"HIGH") in
   let limit = Arg.(value & opt int 1000 & info [ "limit" ] ~doc:"Max rows.") in
   let run fault_profile dir low high limit =
-    with_db ?fault_profile dir (fun db ->
-        List.iter
-          (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
-          (Db.scan db ~limit ~low ~high ()))
+    with_store ?fault_profile dir (fun st ->
+        List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) (s_scan st ~limit ~low ~high))
   in
   Cmd.v (Cmd.info "scan" ~doc:"Atomic range query")
     Term.(const run $ fault_arg $ dir_arg $ low $ high $ limit)
@@ -102,22 +153,31 @@ let load_cmd =
       & opt (enum [ ("zipf", `Zipf); ("composite", `Composite); ("uniform", `Uniform) ]) `Composite
       & info [ "dist" ] ~doc:"Key distribution.")
   in
-  let run fault_profile dir items dist =
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Create the store range-sharded over N independent shards (uniform split keys \
+             over the synthetic key space). Only honored when the directory is fresh; an \
+             existing store keeps its partition.")
+  in
+  let run fault_profile dir items dist shards =
     let d =
       match dist with
       | `Zipf -> Evendb_ycsb.Workload.Zipf_simple 0.99
       | `Composite -> Evendb_ycsb.Workload.Zipf_composite 0.99
       | `Uniform -> Evendb_ycsb.Workload.Uniform
     in
-    with_db ?fault_profile dir (fun db ->
+    with_store ?fault_profile ~shards dir (fun st ->
         let sh = Evendb_ycsb.Workload.create_shared ~value_bytes:128 d ~items ~seed:1 in
         let w = Evendb_ycsb.Workload.thread sh ~id:0 in
         let keys = Evendb_ycsb.Workload.load_keys sh in
-        List.iter (fun k -> Db.put db k (Evendb_ycsb.Workload.make_value w)) keys;
+        List.iter (fun k -> s_put st k (Evendb_ycsb.Workload.make_value w)) keys;
         Printf.printf "loaded %d keys\n" (List.length keys))
   in
   Cmd.v (Cmd.info "load" ~doc:"Bulk-load a synthetic dataset")
-    Term.(const run $ fault_arg $ dir_arg $ items $ dist)
+    Term.(const run $ fault_arg $ dir_arg $ items $ dist $ shards)
 
 let stat_cmd =
   let json =
@@ -138,52 +198,123 @@ let stat_cmd =
              zero; lists any residue and exits 4 — a regression guard for reset coverage of \
              newly added tables.")
   in
-  let run fault_profile dir json prometheus reset_check =
-    with_db ?fault_profile dir (fun db ->
-        if json then print_string (Db.metrics_dump db `Json)
-        else if prometheus then print_string (Db.metrics_dump db `Prometheus)
-        else begin
-          Printf.printf "chunks:              %d\n" (Db.chunk_count db);
-          Printf.printf "resident munks:      %d\n" (Db.munk_count db);
-          Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
-          Printf.printf "current epoch:       %d\n" (Db.current_epoch db);
-          (* Op-latency timers, including the true observed extremes
-             (p99 is a bucket estimate; max_ns is exact). *)
-          let snap = Evendb_obs.Obs.snapshot (Db.obs db) in
-          let timers =
-            List.filter_map
-              (fun (name, v) ->
+  (* Group-commit activity, aggregated over whichever stores the
+     directory holds. Nothing to print on async stores (no committer:
+     the counters read zero). *)
+  let commit_summary snaps =
+    let counter name =
+      List.fold_left
+        (fun acc snap ->
+          List.fold_left
+            (fun acc (n, v) ->
+              match v with Evendb_obs.Obs.Counter c when n = name -> acc + c | _ -> acc)
+            acc snap.Evendb_obs.Obs.metrics)
+        0 snaps
+    in
+    let batches = counter "commit.batches" in
+    if batches > 0 then begin
+      let members, max_batch =
+        List.fold_left
+          (fun acc snap ->
+            List.fold_left
+              (fun (members, max_batch) (n, v) ->
                 match v with
-                | Evendb_obs.Obs.Timer tm when tm.Evendb_obs.Obs.t_count > 0 -> Some (name, tm)
-                | _ -> None)
-              snap.Evendb_obs.Obs.metrics
-          in
-          if timers <> [] then begin
-            Printf.printf "\n%-24s %10s %10s %10s %10s %10s %10s\n" "timer" "count" "p50_us"
-              "p95_us" "p99_us" "min_us" "max_us";
-            List.iter
-              (fun (name, tm) ->
-                let us ns = float_of_int ns /. 1e3 in
-                Printf.printf "%-24s %10d %10.1f %10.1f %10.1f %10.1f %10.1f\n" name
-                  tm.Evendb_obs.Obs.t_count
-                  (us tm.Evendb_obs.Obs.t_p50_ns)
-                  (us tm.Evendb_obs.Obs.t_p95_ns)
-                  (us tm.Evendb_obs.Obs.t_p99_ns)
-                  (us tm.Evendb_obs.Obs.t_min_ns)
-                  (us tm.Evendb_obs.Obs.t_max_ns))
-              timers
+                | Evendb_obs.Obs.Timer tm when n = "commit.batch_size" ->
+                  ( members
+                    + int_of_float (tm.Evendb_obs.Obs.t_mean_ns *. float_of_int tm.Evendb_obs.Obs.t_count),
+                    max max_batch tm.Evendb_obs.Obs.t_max_ns )
+                | _ -> (members, max_batch))
+              acc snap.Evendb_obs.Obs.metrics)
+          (0, 0) snaps
+      in
+      Printf.printf "group commit:        %d batches, %d fsyncs (%d saved), mean batch %.1f, max %d\n"
+        batches (counter "commit.fsyncs") (counter "commit.fsyncs_saved")
+        (float_of_int members /. float_of_int batches)
+        max_batch
+    end
+  in
+  let timer_table snaps =
+    (* Op-latency timers, including the true observed extremes (p99 is
+       a bucket estimate; max_ns is exact). Batch-size histograms count
+       members, not nanoseconds — they render in the group-commit line
+       instead. *)
+    let timers =
+      List.concat_map
+        (fun (label, snap) ->
+          List.filter_map
+            (fun (name, v) ->
+              match v with
+              | Evendb_obs.Obs.Timer tm
+                when tm.Evendb_obs.Obs.t_count > 0 && name <> "commit.batch_size" ->
+                Some (label ^ name, tm)
+              | _ -> None)
+            snap.Evendb_obs.Obs.metrics)
+        snaps
+    in
+    if timers <> [] then begin
+      Printf.printf "\n%-24s %10s %10s %10s %10s %10s %10s\n" "timer" "count" "p50_us"
+        "p95_us" "p99_us" "min_us" "max_us";
+      List.iter
+        (fun (name, tm) ->
+          let us ns = float_of_int ns /. 1e3 in
+          Printf.printf "%-24s %10d %10.1f %10.1f %10.1f %10.1f %10.1f\n" name
+            tm.Evendb_obs.Obs.t_count
+            (us tm.Evendb_obs.Obs.t_p50_ns)
+            (us tm.Evendb_obs.Obs.t_p95_ns)
+            (us tm.Evendb_obs.Obs.t_p99_ns)
+            (us tm.Evendb_obs.Obs.t_min_ns)
+            (us tm.Evendb_obs.Obs.t_max_ns))
+        timers
+    end
+  in
+  let reset_check_dbs dbs =
+    List.iter Db.reset_metrics dbs;
+    match List.concat_map Db.metrics_residue dbs with
+    | [] -> prerr_endline "reset check: clean"
+    | residue ->
+      Printf.eprintf "reset check: %d metrics still non-zero after reset:\n"
+        (List.length residue);
+      List.iter (Printf.eprintf "  %s\n") residue;
+      exit 4
+  in
+  let run fault_profile dir json prometheus reset_check =
+    with_store ?fault_profile dir (fun st ->
+        (match st with
+        | Plain db ->
+          if json then print_string (Db.metrics_dump db `Json)
+          else if prometheus then print_string (Db.metrics_dump db `Prometheus)
+          else begin
+            Printf.printf "chunks:              %d\n" (Db.chunk_count db);
+            Printf.printf "resident munks:      %d\n" (Db.munk_count db);
+            Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
+            Printf.printf "current epoch:       %d\n" (Db.current_epoch db);
+            let snap = Evendb_obs.Obs.snapshot (Db.obs db) in
+            commit_summary [ snap ];
+            timer_table [ ("", snap) ]
           end
-        end;
-        if reset_check then begin
-          Db.reset_metrics db;
-          match Db.metrics_residue db with
-          | [] -> prerr_endline "reset check: clean"
-          | residue ->
-            Printf.eprintf "reset check: %d metrics still non-zero after reset:\n"
-              (List.length residue);
-            List.iter (Printf.eprintf "  %s\n") residue;
-            exit 4
-        end)
+        | Sharded s ->
+          if json then print_string (Shard.metrics_dump s `Json)
+          else if prometheus then print_string (Shard.metrics_dump s `Prometheus)
+          else begin
+            let n = Shard.shard_count s in
+            Printf.printf "shards:              %d\n" n;
+            Printf.printf "chunks:              %d\n" (Shard.chunk_count s);
+            List.iteri
+              (fun i db ->
+                Printf.printf "  shard %-2d           %d chunks, %d munks, %d log bytes\n" i
+                  (Db.chunk_count db) (Db.munk_count db) (Db.log_space db))
+              (List.init n (Shard.shard s));
+            let snaps =
+              List.init n (fun i -> Evendb_obs.Obs.snapshot (Db.obs (Shard.shard s i)))
+            in
+            commit_summary snaps;
+            timer_table
+              (List.mapi (fun i snap -> (Printf.sprintf "s%02d/" i, snap)) snaps)
+          end);
+        if reset_check then
+          match st with
+          | Plain db -> reset_check_dbs [ db ]
+          | Sharded s -> reset_check_dbs (List.init (Shard.shard_count s) (Shard.shard s)))
   in
   Cmd.v
     (Cmd.info "stat" ~doc:"Store statistics (--json/--prometheus for the metrics registry)")
@@ -506,7 +637,7 @@ let slow_cmd =
     Term.(const run $ fault_arg $ dir_arg $ out $ json $ ops $ threshold_us)
 
 let checkpoint_cmd =
-  let run fault_profile dir = with_db ?fault_profile dir (fun db -> Db.checkpoint db) in
+  let run fault_profile dir = with_store ?fault_profile dir s_checkpoint in
   Cmd.v (Cmd.info "checkpoint" ~doc:"Force a durability checkpoint")
     Term.(const run $ fault_arg $ dir_arg)
 

@@ -25,6 +25,8 @@ type t = {
   attr_slow_ring : int;
   attr_watchdog_share_ppm : int;
   attr_watchdog_cooldown_ops : int;
+  group_commit_max_batch : int;
+  group_commit_max_wait_ns : int;
 }
 
 let mib = 1024 * 1024
@@ -55,7 +57,33 @@ let default =
     attr_slow_ring = 256;
     attr_watchdog_share_ppm = 500_000;
     attr_watchdog_cooldown_ops = 4096;
+    group_commit_max_batch = 64;
+    group_commit_max_wait_ns = 400_000;
   }
+
+(* Reject knob combinations that would silently misbehave — a ring of
+   capacity 0 drops every slow op, a watchdog share above 100% never
+   trips, a batch of 0 would deadlock the committer. Raised before any
+   file is touched, so a bad config can't half-open a store. *)
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Config.validate: " ^^ fmt) in
+  if t.max_chunk_bytes <= 0 then fail "max_chunk_bytes = %d (must be positive)" t.max_chunk_bytes;
+  if t.po_slots < 1 then fail "po_slots = %d (must be >= 1)" t.po_slots;
+  if t.munk_cache_capacity < 1 then
+    fail "munk_cache_capacity = %d (must be >= 1)" t.munk_cache_capacity;
+  if t.group_commit_max_batch < 1 then
+    fail "group_commit_max_batch = %d (must be >= 1; 1 = per-op fsync)" t.group_commit_max_batch;
+  if t.group_commit_max_wait_ns < 1 then
+    fail "group_commit_max_wait_ns = %d (must be >= 1ns)" t.group_commit_max_wait_ns;
+  if t.attr_slow_ring < 1 then fail "attr_slow_ring = %d (must be >= 1)" t.attr_slow_ring;
+  if t.attr_slow_threshold_ns < 0 then
+    fail "attr_slow_threshold_ns = %d (must be >= 0)" t.attr_slow_threshold_ns;
+  if t.attr_watchdog_share_ppm < 0 || t.attr_watchdog_share_ppm > 1_000_000 then
+    fail "attr_watchdog_share_ppm = %d (must be in [0, 1_000_000])" t.attr_watchdog_share_ppm;
+  if t.attr_watchdog_cooldown_ops < 0 then
+    fail "attr_watchdog_cooldown_ops = %d (must be >= 0)" t.attr_watchdog_cooldown_ops;
+  if t.checkpoint_every_puts < 0 then
+    fail "checkpoint_every_puts = %d (must be >= 0; 0 = explicit only)" t.checkpoint_every_puts
 
 let scaled ?(factor = 64) () =
   if factor <= 0 then invalid_arg "Config.scaled: factor <= 0";

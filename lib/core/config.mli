@@ -64,9 +64,27 @@ type t = {
           (default 500_000 = 50%). 0 disables the watchdog. *)
   attr_watchdog_cooldown_ops : int;
       (** Minimum ops between two trips on the same cause. *)
+  group_commit_max_batch : int;
+      (** Max sync puts coalesced into one fsync by the group committer
+          (default 64). [1] degenerates to one fsync per put — exactly
+          the pre-group-commit behaviour. Sync mode only. *)
+  group_commit_max_wait_ns : int;
+      (** Upper bound on how long a commit leader waits for followers to
+          join a forming batch (default 400µs, a couple of device
+          fsyncs). Mostly a backstop: the leader publishes a batch
+          target sized to the in-flight writer cohort, the joiner that
+          fills it seals the batch immediately, and a solo writer
+          (target 1) commits without waiting at all — the bound only
+          matters when an expected writer stalls before joining. *)
 }
 
 val default : t
+
+val validate : t -> unit
+(** Reject nonsensical knob values with [Invalid_argument] — e.g. a
+    group-commit batch or formation wait below 1, an
+    [attr_slow_ring] of 0, or a watchdog share above 1e6 ppm. Called by
+    {!Db.open_} before touching storage. *)
 
 val scaled : ?factor:int -> unit -> t
 (** [scaled ~factor ()] divides all size thresholds by [factor]

@@ -45,6 +45,7 @@ type t = {
   put_count : int Atomic.t;
   closed : bool Atomic.t;
   maint : maintainer option;
+  committer : Group_commit.t option; (* Some iff persistence = Sync *)
   (* Observability: one registry per instance; handles cached here so
      the hot paths bump without a hashtable lookup. *)
   obs : Obs.t;
@@ -505,8 +506,28 @@ let split_chunk_locked db c compacted floor =
                 publish_funks db ~add:[ id ] ~disown:[ old_funk ]))
       [ c1; c2 ])
 
-(* Munk rebalance: compact in memory; split if over the size limit. *)
-let munk_rebalance db c =
+(* Bypass-chain length grows with the appended/sorted ratio, not the
+   appended count alone: every put's [Munk.find_position] walk is
+   bounded by the entries appended since the last rebalance that fall
+   between two sorted-prefix anchors, so a munk with a small sorted
+   prefix (worst case: a fresh one, prefix empty) degrades to an O(n)
+   list walk per put long before a fixed threshold fires. Scale the
+   trigger with the sorted prefix — expected walk stays ~1/4 entry for
+   uniform keys — and cap it at the configured limit so a huge munk
+   keeps today's rebalance cadence. *)
+let munk_appended_limit db m =
+  let sorted = Munk.entry_count m - Munk.appended_count m in
+  min db.cfg.munk_rebalance_appended (max 128 (sorted / 4))
+
+let munk_over_threshold db m =
+  Munk.byte_size m > db.cfg.munk_rebalance_bytes
+  || Munk.appended_count m > munk_appended_limit db m
+
+(* Munk rebalance: compact in memory; split if over the size limit.
+   [force] bypasses the double-checked trigger — explicit maintenance
+   compacts below-threshold munks on purpose (tombstone resolution for
+   the merge trigger), and must not be treated as a convoy straggler. *)
+let munk_rebalance ?(force = false) db c =
   let lock = Chunk.rebalance_lock c in
   Rwlock.lock_exclusive lock;
   Fun.protect
@@ -515,6 +536,14 @@ let munk_rebalance db c =
       if not (Chunk.retired c) then
         match Chunk.munk c with
         | None -> ()
+        | Some munk when (not force) && not (munk_over_threshold db munk) ->
+          (* Double-checked: several writers can cross the trigger
+             together and queue for the exclusive lock; whoever gets it
+             first does the work and installs a compacted munk, so the
+             rest must re-read the trigger here or they each re-sort an
+             already-clean munk back to back, stalling every writer
+             behind a convoy of no-op compactions. *)
+          ()
         | Some munk ->
           Obs.Trace.with_span (Obs.trace db.obs) ~name:"munk_rebalance" (fun sp ->
               Chunk_stats.record_rebalance db.cstats (Chunk.id c) ~now:(now_ns ());
@@ -682,9 +711,7 @@ let funk_log_limit db c =
 
 let needs_munk_rebalance db c =
   match Chunk.munk c with
-  | Some m ->
-    Munk.byte_size m > db.cfg.munk_rebalance_bytes
-    || Munk.appended_count m > db.cfg.munk_rebalance_appended
+  | Some m -> munk_over_threshold db m
   | None -> false
 
 let needs_funk_rebalance db c = Funk.log_size (Chunk.funk c) > funk_log_limit db c
@@ -818,7 +845,9 @@ let rec put_entry db key value_opt =
             let funk = Chunk.funk c in
             let off = Funk.append funk entry in
             Obs.Counter.incr db.ctr_log_appends;
-            (if db.cfg.persistence = Config.Sync then Funk.fsync_log funk);
+            (match db.committer with
+            | Some gc -> Group_commit.sync gc funk
+            | None -> ());
             match Chunk.munk c with
             | Some munk ->
               let may_discard ~old_version ~new_version =
@@ -842,7 +871,13 @@ let rec put_entry db key value_opt =
 
 and put_entry_and_maintain db key value_opt =
   Topk.observe db.topk (prefix_of db key);
-  let c = put_entry db key value_opt in
+  let c =
+    (* Tracked so a batch leader's fill-aware formation wait can tell
+       whether this writer is mid-append and worth waiting for. *)
+    match db.committer with
+    | Some gc -> Group_commit.track gc (fun () -> put_entry db key value_opt)
+    | None -> put_entry db key value_opt
+  in
   note_access db c;
   (* The put itself is durable by this point (or already raised); an
      I/O failure inside piggy-backed maintenance rolls itself back and
@@ -1093,7 +1128,7 @@ let register_probes db =
         (fun () -> (Io_stats.snapshot_kind st kind).Io_stats.bytes_read))
     Io_stats.all_kinds
 
-let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_funk_id ~live =
+let make_db env cfg ~obs ~committer ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_funk_id ~live =
   let lfu = Lfu.create ~capacity:cfg.Config.munk_cache_capacity () in
   List.iter
     (fun c -> if Chunk.munk c <> None then ignore (Lfu.force_insert lfu (Chunk.id c)))
@@ -1127,6 +1162,19 @@ let make_db env cfg ~obs ~head ~chunks ~gv ~rt ~epoch ~last_checkpoint ~next_fun
     logical_written = Atomic.make 0;
     put_count = Atomic.make 0;
     closed = Atomic.make false;
+    committer =
+      (* A caller-supplied committer lets several stores share one batch
+         stream (the sharded front end: one fsync can cover appends to
+         every shard's log). Only meaningful under Sync — ignored
+         otherwise, matching the put path which never consults it. *)
+      (if cfg.Config.persistence = Config.Sync then
+         match committer with
+         | Some _ as c -> c
+         | None ->
+           Some
+             (Group_commit.create ~max_batch:cfg.Config.group_commit_max_batch
+                ~max_wait_ns:cfg.Config.group_commit_max_wait_ns obs)
+       else None);
     maint =
       (if cfg.Config.background_maintenance then
          Some
@@ -1219,7 +1267,7 @@ let stop_maintainer db =
     m.m_domain <- None
   | None -> ()
 
-let open_internal config env =
+let open_internal config ~committer env =
   let obs = Obs.create () in
   match Manifest.load env with
   | None ->
@@ -1233,7 +1281,7 @@ let open_internal config env =
     Recovery_table.store env Recovery_table.empty;
     store_mode env config.Config.persistence;
     let chunk = Chunk.create ~id:0 ~min_key:"" ~funk ~munk:(Some (Munk.of_sorted [])) in
-    make_db env config ~obs ~head:chunk ~chunks:[ chunk ] ~gv:(Version.pack ~epoch:0 ~seq:0)
+    make_db env config ~obs ~committer ~head:chunk ~chunks:[ chunk ] ~gv:(Version.pack ~epoch:0 ~seq:0)
       ~rt:Recovery_table.empty ~epoch:0 ~last_checkpoint:(-1) ~next_funk_id:1 ~live:[ 0 ]
   | Some manifest ->
     (* Recovery (§3.5): bump the epoch, record the previous epoch's
@@ -1321,12 +1369,13 @@ let open_internal config env =
     Obs.Trace.add_attr recovery_sp "chunks" (List.length chunks);
     Obs.Trace.add_attr recovery_sp "bytes"
       (List.fold_left (fun acc f -> acc + Funk.total_bytes f) 0 funks);
-    make_db env config ~obs ~head ~chunks ~gv:(Version.pack ~epoch ~seq:0) ~rt ~epoch
+    make_db env config ~obs ~committer ~head ~chunks ~gv:(Version.pack ~epoch ~seq:0) ~rt ~epoch
       ~last_checkpoint:last_ckpt ~next_funk_id:manifest.Manifest.next_id
       ~live:manifest.Manifest.live)
 
-let open_ ?(config = Config.default) env =
-  let db = open_internal config env in
+let open_ ?(config = Config.default) ?committer env =
+  Config.validate config;
+  let db = open_internal config ~committer env in
   start_maintainer db;
   db
 
@@ -1438,7 +1487,7 @@ let maintain db =
             match Chunk.munk c with
             | Some m when Munk.appended_count m > 0 || Munk.tombstone_count m > 0 ->
               dirty := true;
-              munk_rebalance db c
+              munk_rebalance ~force:true db c
             | _ -> ())
         (all_chunks db);
       (* Merge underflowing neighbours to a fixpoint (each merge

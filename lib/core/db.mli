@@ -27,11 +27,17 @@ type t
 
 (** {2 Lifecycle} *)
 
-val open_ : ?config:Config.t -> Env.t -> t
+val open_ : ?config:Config.t -> ?committer:Group_commit.t -> Env.t -> t
 (** Open (or create) the database stored in [env]. Runs recovery if
     funks from a previous incarnation are present: chunk metadata is
     rebuilt from the funk files (no log replay); data loads lazily.
-    Raises [Invalid_argument] on corrupted metadata files. *)
+    Raises [Invalid_argument] on corrupted metadata files.
+
+    [committer] supplies an external group committer to use instead of
+    a store-private one, so several stores can coalesce their sync puts
+    into shared fsync batches (the sharded front end passes one
+    committer to every shard). Only consulted when
+    [config.persistence = Sync]; ignored otherwise. *)
 
 val open_dir : ?config:Config.t -> string -> t
 (** Convenience: [open_] over a fresh disk environment rooted at the

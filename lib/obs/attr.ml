@@ -8,10 +8,19 @@
    (Log_file, Munk) call [timed] without any handle, and whichever
    instance opened the frame receives the charge. *)
 
-type cause = Lock_wait | Log_append | Fsync | Disk_read | Rebalance | Compaction
+type cause =
+  | Lock_wait
+  | Log_append
+  | Fsync
+  | Disk_read
+  | Rebalance
+  | Compaction
+  | Commit_wait
 
-let all_causes = [ Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction ]
-let n_causes = 6
+let all_causes =
+  [ Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait ]
+
+let n_causes = 7
 
 let cause_index = function
   | Lock_wait -> 0
@@ -20,6 +29,7 @@ let cause_index = function
   | Disk_read -> 3
   | Rebalance -> 4
   | Compaction -> 5
+  | Commit_wait -> 6
 
 let cause_name = function
   | Lock_wait -> "lock_wait"
@@ -28,8 +38,10 @@ let cause_name = function
   | Disk_read -> "disk_read"
   | Rebalance -> "rebalance"
   | Compaction -> "compaction"
+  | Commit_wait -> "commit_wait"
 
-let cause_of_index = [| Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction |]
+let cause_of_index =
+  [| Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait |]
 
 type kind = Put | Get | Delete | Scan
 

@@ -44,6 +44,9 @@ type cause =
                    inline by the op *)
   | Compaction  (** LSM/FLSM memtable flush + compaction paid inline
                     (the classic write stall) *)
+  | Commit_wait  (** group commit: waiting for a batch to form, for the
+                     leader slot, or for another domain's leader to
+                     finish the batch's fsync *)
 
 val all_causes : cause list
 val cause_name : cause -> string

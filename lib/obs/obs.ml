@@ -472,57 +472,109 @@ let prom_label_escape s =
     s;
   Buffer.contents buf
 
-let to_prometheus t =
-  let s = snapshot t in
+(* One exposition over any number of registries. Each metric name gets
+   its # HELP / # TYPE pair exactly once (the format forbids repeats),
+   followed by one sample per registry; a registry tagged [Some v]
+   labels its samples [<label>="v"] — how a sharded store exports
+   per-shard series without concatenating (invalid) documents. *)
+let to_prometheus_parts ~label (parts : (string option * snapshot) list) =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  (* Sample labels: the registry's tag plus any per-sample labels. *)
+  let lbl who extra =
+    let items =
+      (match who with
+      | None -> []
+      | Some v -> [ Printf.sprintf "%s=\"%s\"" label (prom_label_escape v) ])
+      @ extra
+    in
+    match items with [] -> "" | items -> "{" ^ String.concat "," items ^ "}"
+  in
+  (* Union of metric names in sorted order, each with its per-registry
+     samples in [parts] order. *)
+  let tbl : (string, (string option * value) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let names = ref [] in
   List.iter
-    (fun (name, v) ->
+    (fun (who, s) ->
+      List.iter
+        (fun (name, v) ->
+          (match Hashtbl.find_opt tbl name with
+          | Some r -> r := (who, v) :: !r
+          | None ->
+            Hashtbl.add tbl name (ref [ (who, v) ]);
+            names := name :: !names))
+        s.metrics)
+    parts;
+  List.iter
+    (fun name ->
+      let samples = List.rev !(Hashtbl.find tbl name) in
       let m = "evendb_" ^ sanitize name in
-      match v with
-      | Counter c ->
+      (match samples with
+      | (_, Counter _) :: _ ->
         line "# HELP %s evendb counter %s" m (prom_label_escape name);
-        line "# TYPE %s counter" m;
-        line "%s %d" m c
-      | Gauge g ->
+        line "# TYPE %s counter" m
+      | (_, Gauge _) :: _ ->
         line "# HELP %s evendb gauge %s" m (prom_label_escape name);
-        line "# TYPE %s gauge" m;
-        line "%s %d" m g
-      | Timer tm ->
+        line "# TYPE %s gauge" m
+      | (_, Timer _) :: _ ->
         line "# HELP %s_ns evendb latency summary %s (nanoseconds)" m (prom_label_escape name);
-        line "# TYPE %s_ns summary" m;
-        line "%s_ns{quantile=\"0.5\"} %d" m tm.t_p50_ns;
-        line "%s_ns{quantile=\"0.95\"} %d" m tm.t_p95_ns;
-        line "%s_ns{quantile=\"0.99\"} %d" m tm.t_p99_ns;
-        line "%s_ns_count %d" m tm.t_count;
-        line "%s_ns_mean %.1f" m tm.t_mean_ns;
-        line "%s_ns_min %d" m tm.t_min_ns;
-        line "%s_ns_max %d" m tm.t_max_ns)
-    s.metrics;
-  if s.spans <> [] then begin
+        line "# TYPE %s_ns summary" m
+      | [] -> ());
+      List.iter
+        (fun (who, v) ->
+          match v with
+          | Counter c -> line "%s%s %d" m (lbl who []) c
+          | Gauge g -> line "%s%s %d" m (lbl who []) g
+          | Timer tm ->
+            line "%s_ns%s %d" m (lbl who [ "quantile=\"0.5\"" ]) tm.t_p50_ns;
+            line "%s_ns%s %d" m (lbl who [ "quantile=\"0.95\"" ]) tm.t_p95_ns;
+            line "%s_ns%s %d" m (lbl who [ "quantile=\"0.99\"" ]) tm.t_p99_ns;
+            line "%s_ns_count%s %d" m (lbl who []) tm.t_count;
+            line "%s_ns_mean%s %.1f" m (lbl who []) tm.t_mean_ns;
+            line "%s_ns_min%s %d" m (lbl who []) tm.t_min_ns;
+            line "%s_ns_max%s %d" m (lbl who []) tm.t_max_ns)
+        samples)
+    (List.sort compare (List.rev !names));
+  if List.exists (fun (_, s) -> s.spans <> []) parts then begin
     line "# HELP evendb_span_count closed spans per span name";
     line "# TYPE evendb_span_count counter";
     List.iter
-      (fun (st : Trace.span_stat) ->
-        line "evendb_span_count{name=\"%s\"} %d"
-          (prom_label_escape st.Trace.span_name)
-          st.Trace.span_count)
-      s.spans;
+      (fun (who, s) ->
+        List.iter
+          (fun (st : Trace.span_stat) ->
+            line "evendb_span_count%s %d"
+              (lbl who [ Printf.sprintf "name=\"%s\"" (prom_label_escape st.Trace.span_name) ])
+              st.Trace.span_count)
+          s.spans)
+      parts;
     line "# HELP evendb_span_total_ns cumulative span duration per span name";
     line "# TYPE evendb_span_total_ns counter";
     List.iter
-      (fun (st : Trace.span_stat) ->
-        line "evendb_span_total_ns{name=\"%s\"} %d"
-          (prom_label_escape st.Trace.span_name)
-          st.Trace.span_total_ns;
+      (fun (who, s) ->
         List.iter
-          (fun (k, v) ->
-            line "evendb_span_attr_total{name=\"%s\",attr=\"%s\"} %d"
-              (prom_label_escape st.Trace.span_name) (prom_label_escape k) v)
-          st.Trace.span_attr_totals)
-      s.spans
+          (fun (st : Trace.span_stat) ->
+            line "evendb_span_total_ns%s %d"
+              (lbl who [ Printf.sprintf "name=\"%s\"" (prom_label_escape st.Trace.span_name) ])
+              st.Trace.span_total_ns;
+            List.iter
+              (fun (k, v) ->
+                line "evendb_span_attr_total%s %d"
+                  (lbl who
+                     [
+                       Printf.sprintf "name=\"%s\"" (prom_label_escape st.Trace.span_name);
+                       Printf.sprintf "attr=\"%s\"" (prom_label_escape k);
+                     ])
+                  v)
+              st.Trace.span_attr_totals)
+          s.spans)
+      parts
   end;
   Buffer.contents buf
+
+let to_prometheus t = to_prometheus_parts ~label:"shard" [ (None, snapshot t) ]
+
+let to_prometheus_many ?(label = "shard") parts =
+  to_prometheus_parts ~label (List.map (fun (v, t) -> (Some v, snapshot t)) parts)
 
 (* Chrome trace-event (chrome://tracing / Perfetto) export of the span
    ring buffer. Complete events ("ph":"X") with microsecond wall-clock

@@ -178,6 +178,14 @@ val to_prometheus : t -> string
     whose value is escaped per the exposition format (backslash,
     double-quote, newline). *)
 
+val to_prometheus_many : ?label:string -> (string * t) list -> string
+(** One exposition over several registries (e.g. a sharded store's
+    per-shard instances): each metric name gets its [# HELP]/[# TYPE]
+    pair exactly once — the format forbids repeats, so concatenating
+    {!to_prometheus} outputs would be invalid — followed by one sample
+    per registry labelled [<label>="<value>"] (default label
+    ["shard"]). *)
+
 (** {2 Flight recorder}
 
     A ring of periodic snapshot {e deltas}: each {!Recorder.tick}

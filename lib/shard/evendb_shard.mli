@@ -1,0 +1,74 @@
+(** Range-sharded front end over independent {!Evendb_core.Db}
+    instances.
+
+    [open_ ~boundaries:[k1; ...; k_{n-1}]] partitions the key space
+    into [n] shards ([shard 0 = (-inf, k1)], [shard i = [k_i, k_{i+1})],
+    [shard n-1 = [k_{n-1}, +inf)]), each a full store — own chunks,
+    caches, maintenance, group committer — on a disjoint flat
+    sub-namespace ({!Evendb_storage.Env.sub}) of one shared
+    environment. Point ops route by key; scans visit the touched
+    shards in key order and concatenate (disjoint sorted ranges — the
+    concatenation is the merged cursor).
+
+    The partition is persisted in a checksummed [SHARDS] file at the
+    namespace root; reopening rebuilds the same shards, and passing
+    different [boundaries] over an existing store raises.
+
+    Consistency: point ops keep every single-shard guarantee (atomic,
+    sync-durable when configured); a cross-shard scan is a sequence of
+    per-shard snapshots, not one global snapshot. *)
+
+open Evendb_storage
+
+type t
+
+val open_ :
+  ?config:Evendb_core.Config.t -> ?shared_commit:bool -> ?boundaries:string list -> Env.t -> t
+(** [boundaries] are the strictly-increasing split keys (empty = one
+    shard). [config] applies to every shard. Raises [Invalid_argument]
+    on an unsorted partition, more than 64 shards, or boundaries that
+    contradict an existing store's [SHARDS] file.
+
+    [shared_commit] (default [true]) gives all shards one group
+    committer, so sync puts routed to different shards coalesce into
+    shared fsync batches — the right default when writers spread over
+    shards. Pass [false] for per-shard committers when writers are
+    shard-affine: batches then never span another shard's log and
+    independent per-shard commit streams overlap in the kernel. Only
+    meaningful under [Sync] persistence. *)
+
+val close : t -> unit
+(** Close every shard. Idempotent. *)
+
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val delete : t -> string -> unit
+
+val scan : t -> ?limit:int -> low:string -> high:string -> unit -> (string * string) list
+
+val maintain : t -> unit
+val checkpoint : t -> unit
+
+val shard_count : t -> int
+val boundaries : t -> string list
+val env : t -> Env.t
+(** The shared root environment (aggregate I/O stats live here). *)
+
+val shard : t -> int -> Evendb_core.Db.t
+(** Direct access to one shard's store (tests, per-shard stats). *)
+
+val route : t -> string -> int
+(** Index of the shard covering the key. *)
+
+val logical_bytes_written : t -> int
+val chunk_count : t -> int
+
+val attr : t -> Evendb_obs.Attr.t
+(** Shard 0's attribution instance (a representative sample; frames are
+    charged to whichever shard ran the op). *)
+
+val metrics_dump : t -> [ `Json | `Prometheus ] -> string
+(** [`Prometheus] renders all shards in one valid exposition with a
+    [shard="<i>"] label on every sample
+    ({!Evendb_obs.Obs.to_prometheus_many}); [`Json] nests one document
+    per shard under ["shards"]. *)

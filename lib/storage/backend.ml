@@ -452,3 +452,68 @@ let disk dir : packed =
       let supports_crash = false
       let crash () = invalid_arg "Env.crash: backend does not support crash simulation"
     end)
+
+(* ------------------------------------------------------------------ *)
+(* Name-prefix middleware: a flat sub-namespace inside an existing
+   backend. The prefix stays inside the file NAME (no directories) so
+   the disk backend's top-level-only [list_files] still sees every
+   prefixed file, and suffix-based classification (".log"/".sst") is
+   unaffected. The one structured name — "quarantine/x", fsck's
+   quarantine area — keeps its directory component outermost, so
+   quarantined files stay inside the directory every backend already
+   lists. *)
+
+let quarantine_dir = "quarantine/"
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let prefixed ~prefix (B (module Inner) : packed) : packed =
+  if prefix = "" || String.contains prefix '/' then
+    invalid_arg "Backend.prefixed: prefix must be non-empty and contain no '/'";
+  let map name =
+    if has_prefix ~prefix:quarantine_dir name then
+      quarantine_dir ^ prefix
+      ^ String.sub name (String.length quarantine_dir)
+          (String.length name - String.length quarantine_dir)
+    else prefix ^ name
+  in
+  let unmap name =
+    if has_prefix ~prefix name then
+      Some (String.sub name (String.length prefix) (String.length name - String.length prefix))
+    else if
+      has_prefix ~prefix:(quarantine_dir ^ prefix) name
+    then
+      Some
+        (quarantine_dir
+        ^ String.sub name
+            (String.length quarantine_dir + String.length prefix)
+            (String.length name - String.length quarantine_dir - String.length prefix))
+    else None
+  in
+  B
+    (module struct
+      type handle = Inner.handle
+
+      let backend_name = Printf.sprintf "prefixed(%s)+%s" prefix Inner.backend_name
+      let create name = Inner.create (map name)
+      let open_append name = Inner.open_append (map name)
+      let append = Inner.append
+      let handle_size = Inner.handle_size
+      let fsync = Inner.fsync
+      let close = Inner.close
+      let size name = Inner.size (map name)
+      let read_at name ~off ~len = Inner.read_at (map name) ~off ~len
+      let exists name = Inner.exists (map name)
+      let delete name = Inner.delete (map name)
+      let rename ~old_name ~new_name = Inner.rename ~old_name:(map old_name) ~new_name:(map new_name)
+      let list_files () = List.filter_map unmap (Inner.list_files ())
+
+      let sync_namespace () =
+        (* Syncs the whole underlying namespace — a superset of this
+           sub-namespace, which is safe (durability is monotone). *)
+        Inner.sync_namespace ()
+
+      let supports_crash = Inner.supports_crash
+      let crash = Inner.crash
+    end)

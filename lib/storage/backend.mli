@@ -66,6 +66,17 @@ val disk : string -> packed
     names may carry a ["quarantine/"] prefix (fsck's quarantine
     sub-directory); [list_files] reports those as ["quarantine/x"]. *)
 
+val prefixed : prefix:string -> packed -> packed
+(** A flat sub-namespace: every file name is mapped to [prefix ^ name]
+    in the inner backend (["quarantine/x"] to ["quarantine/" ^ prefix ^
+    "x"], keeping fsck's quarantine directory outermost), and
+    [list_files] returns only this sub-namespace's files with the
+    prefix stripped. The prefix must be non-empty and contain no ['/']
+    — it lives inside the name, so backends that only list top-level
+    files still see everything. Disjoint prefixes give disjoint
+    namespaces over one shared backend (the shard substrate); [crash] /
+    [sync_namespace] act on the whole underlying namespace. *)
+
 (** {2 Mutation journal}
 
     The crash-point explorer's substrate: {!journaled_memory} records

@@ -82,6 +82,13 @@ let disk ?faults dir = make ?faults (Backend.disk dir)
 let memory ?faults () = make ?faults (Backend.memory ())
 let of_backend ?faults base = make ?faults base
 
+(* A sub-environment layers a fresh Counting (its own Io_stats) over a
+   name-prefixed view of the parent's FULL stack, so the parent's
+   accounting and fault plan keep seeing every byte the child does —
+   aggregate write-amp and deterministic injection stay correct for
+   sharded stores. *)
+let sub t ~prefix = make (Backend.prefixed ~prefix t.backend)
+
 let backend_name t = match t.backend with Backend.B (module M) -> M.backend_name
 let supports_crash t = match t.backend with Backend.B (module M) -> M.supports_crash
 

@@ -65,6 +65,13 @@ val of_backend : ?faults:Fault.plan -> Backend.packed -> t
 (** Mount an arbitrary backend stack. The [Counting] (stats) layer is
     always applied outermost; [?faults] is spliced directly beneath it. *)
 
+val sub : t -> prefix:string -> t
+(** A child environment over a {!Backend.prefixed} view of this
+    environment's full stack: disjoint prefixes partition one backend
+    into independent flat namespaces (one per shard). The child has its
+    own {!stats}; the parent's stats and fault plan still see (and may
+    inject into) every child operation. *)
+
 val stats : t -> Io_stats.t
 
 val backend_name : t -> string

@@ -32,6 +32,32 @@ let evendb ?config env =
     absorbed_failures = (fun () -> 0);
   }
 
+(* Range-sharded front end over the YCSB key space: n shards with
+   uniform split keys over [Keys.encode]'s full range, so the scrambled
+   (uniform) key stream load-balances across them — and so
+   [Workload.Range_uniform shards] slices map one-to-one onto shards. *)
+let evendb_sharded ?config ?shared_commit ~shards env =
+  if shards < 1 then invalid_arg "Engine.evendb_sharded: shards < 1";
+  let boundaries =
+    let key_space = 1 lsl Keys.key_bits in
+    List.init (shards - 1) (fun i -> Keys.encode ((i + 1) * (key_space / shards)))
+  in
+  let db = Evendb_shard.open_ ?config ?shared_commit ~boundaries env in
+  {
+    name = Printf.sprintf "EvenDB-sharded-%d" shards;
+    put = Evendb_shard.put db;
+    get = Evendb_shard.get db;
+    delete = Evendb_shard.delete db;
+    scan = (fun ~low ~high ~limit -> Evendb_shard.scan db ~limit ~low ~high ());
+    maintain = (fun () -> Evendb_shard.maintain db);
+    close = (fun () -> Evendb_shard.close db);
+    env;
+    logical_bytes = (fun () -> Evendb_shard.logical_bytes_written db);
+    metrics = (fun () -> Evendb_shard.metrics_dump db `Json);
+    attr = (fun () -> Evendb_shard.attr db);
+    absorbed_failures = (fun () -> 0);
+  }
+
 let lsm ?config env =
   let db = Evendb_lsm.Lsm.open_ ?config env in
   {

@@ -24,6 +24,13 @@ type t = {
 }
 
 val evendb : ?config:Evendb_core.Config.t -> Env.t -> t
+
+val evendb_sharded :
+  ?config:Evendb_core.Config.t -> ?shared_commit:bool -> shards:int -> Env.t -> t
+(** {!Evendb_shard} front end: [shards] range shards with uniform split
+    keys over the YCSB key space, all inside [env] (disjoint
+    name-prefixed sub-namespaces). *)
+
 val lsm : ?config:Evendb_lsm.Lsm.Config.t -> Env.t -> t
 val flsm : ?config:Evendb_flsm.Flsm.Config.t -> Env.t -> t
 

@@ -5,9 +5,22 @@ let prefix_bits = 14
 let suffix_bits = key_bits - prefix_bits
 let max_key = 1 lsl key_bits
 
+(* Hot path for every workload op: a hand-rolled digit fill is ~5x
+   cheaper than [Printf.sprintf "user%010d"], and at 8 sync writers on
+   one core the per-op CPU sits directly on the group-commit batch
+   reform path. Output is byte-identical to the sprintf form. *)
 let encode v =
   if v < 0 || v >= max_key then invalid_arg "Keys.encode: out of range";
-  Printf.sprintf "user%010d" v
+  let b = Bytes.make 14 '0' in
+  Bytes.blit_string "user" 0 b 0 4;
+  let rec fill i v =
+    if v > 0 then begin
+      Bytes.unsafe_set b i (Char.unsafe_chr (Char.code '0' + (v mod 10)));
+      fill (i - 1) (v / 10)
+    end
+  in
+  fill 13 v;
+  Bytes.unsafe_to_string b
 
 let decode s =
   if String.length s <> 14 || String.sub s 0 4 <> "user" then

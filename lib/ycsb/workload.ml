@@ -5,12 +5,14 @@ type dist =
   | Zipf_composite of float
   | Latest
   | Uniform
+  | Range_uniform of int
 
 let dist_name = function
   | Zipf_simple _ -> "Zipf-simple"
   | Zipf_composite _ -> "Zipf-composite"
   | Latest -> "Latest-simple"
   | Uniform -> "Uniform"
+  | Range_uniform n -> Printf.sprintf "Range-uniform/%d" n
 
 type shared = {
   sh_dist : dist;
@@ -26,6 +28,7 @@ type shared = {
 
 type t = {
   sh : shared;
+  t_id : int; (* worker id: selects the slice under [Range_uniform] *)
   rng : Rng.t;
   zipf : Zipf.t option;
   latest : Zipf.t option;
@@ -38,6 +41,9 @@ let prefix_space = 1 lsl Keys.prefix_bits
 
 let create_shared ?(value_bytes = 800) dist ~items ~seed =
   if items <= 0 then invalid_arg "Workload.create_shared: items <= 0";
+  (match dist with
+  | Range_uniform n when n < 1 -> invalid_arg "Workload.create_shared: Range_uniform n < 1"
+  | _ -> ());
   let p_count = max 1 (min prefix_space (items / 64)) in
   let per_prefix = max 1 (items / p_count) in
   {
@@ -63,13 +69,14 @@ let thread sh ~id =
     match sh.sh_dist with
     | Zipf_simple theta -> Some (Zipf.create ~theta sh.sh_items)
     | Zipf_composite theta -> Some (Zipf.create ~theta sh.p_count)
-    | Latest | Uniform -> None
+    | Latest | Uniform | Range_uniform _ -> None
   in
   let latest =
     match sh.sh_dist with Latest -> Some (Zipf.latest ~item_count:sh.sh_items) | _ -> None
   in
   {
     sh;
+    t_id = id;
     rng;
     zipf;
     latest;
@@ -86,7 +93,7 @@ let composite_key sh ~prefix_idx ~k =
 
 let load_keys sh =
   match sh.sh_dist with
-  | Uniform -> []
+  | Uniform | Range_uniform _ -> []
   | Zipf_composite _ ->
     List.concat
       (List.init sh.p_count (fun prefix_idx ->
@@ -109,6 +116,13 @@ let sample_key t =
     in
     item_key j
   | Uniform -> Keys.encode (Rng.int t.rng (1 lsl Keys.key_bits))
+  | Range_uniform n ->
+    (* Worker i draws only from slice (i mod n) of the key space — the
+       paper's spatially-local deployment, where each writer owns a
+       contiguous range. Slices align with the sharded front end's
+       default boundaries when n = shard count. *)
+    let slice = (1 lsl Keys.key_bits) / n in
+    Keys.encode (((t.t_id mod n) * slice) + Rng.int t.rng slice)
 
 let insert_key t =
   match t.sh.sh_dist with
@@ -121,6 +135,10 @@ let insert_key t =
   | Uniform ->
     ignore (Atomic.fetch_and_add t.sh.item_count 1);
     Keys.encode (Rng.int t.rng (1 lsl Keys.key_bits))
+  | Range_uniform n ->
+    ignore (Atomic.fetch_and_add t.sh.item_count 1);
+    let slice = (1 lsl Keys.key_bits) / n in
+    Keys.encode (((t.t_id mod n) * slice) + Rng.int t.rng slice)
   | Zipf_simple _ | Latest ->
     let j = Atomic.fetch_and_add t.sh.item_count 1 in
     item_key j
@@ -166,7 +184,8 @@ let prefix_weights sh ~prefix_len =
         add (composite_key sh ~prefix_idx ~k) w
       done
     done
-  | Latest | Uniform -> invalid_arg "Workload.prefix_weights: needs a Zipfian distribution");
+  | Latest | Uniform | Range_uniform _ ->
+    invalid_arg "Workload.prefix_weights: needs a Zipfian distribution");
   List.sort
     (fun (p1, w1) (p2, w2) ->
       match compare w2 w1 with 0 -> String.compare p1 p2 | c -> c)

@@ -7,7 +7,10 @@
     - {e Zipf-composite} — a Zipfian primary attribute (the key's top
       14 bits) with a uniform remainder;
     - {e Latest} — skewed towards recently inserted keys;
-    - {e Uniform} — uniformly random keys (ingestion only).
+    - {e Uniform} — uniformly random keys (ingestion only);
+    - {e Range-uniform} — uniform within per-worker contiguous key
+      slices (ingestion with spatial locality: worker [i] owns slice
+      [i mod n] of the key space).
 
     A {!shared} value holds the dataset geometry and the (atomic) item
     counter; each worker domain derives a deterministic per-thread
@@ -18,6 +21,7 @@ type dist =
   | Zipf_composite of float
   | Latest
   | Uniform
+  | Range_uniform of int  (** worker-affine slices; [n] = slice count *)
 
 val dist_name : dist -> string
 
@@ -38,7 +42,7 @@ val dist : shared -> dist
 
 val load_keys : shared -> string list
 (** The initial dataset's keys in ascending order (the paper loads in
-    key order). Empty for [Uniform] (pure ingestion). *)
+    key order). Empty for [Uniform]/[Range_uniform] (pure ingestion). *)
 
 val sample_key : t -> string
 (** A key to read or update, drawn from the distribution. *)

@@ -1,0 +1,59 @@
+(* Config.validate: the open-time front door rejects nonsense knobs
+   with a telling message instead of letting them wedge the store
+   (a zero group-commit batch would deadlock every sync put; an empty
+   slow-op ring would make attribution divide by zero; a watchdog
+   share above 100% can never trip). *)
+
+open Evendb_core
+open Evendb_storage
+
+let default_validates () = Config.validate Config.default
+
+let rejects name cfg =
+  Alcotest.test_case name `Quick (fun () ->
+      match Config.validate cfg with
+      | () -> Alcotest.failf "%s: expected Invalid_argument" name
+      | exception Invalid_argument msg ->
+        let prefix = "Config.validate:" in
+        Alcotest.(check bool)
+          (name ^ ": message identifies the validator")
+          true
+          (String.length msg >= String.length prefix
+          && String.sub msg 0 (String.length prefix) = prefix))
+
+let open_rejects_invalid () =
+  let config = { Config.default with group_commit_max_batch = 0 } in
+  match Db.open_ ~config (Env.memory ()) with
+  | _ -> Alcotest.fail "Db.open_ accepted an invalid config"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "config",
+      [
+        Alcotest.test_case "default validates" `Quick default_validates;
+        Alcotest.test_case "Db.open_ runs validate" `Quick open_rejects_invalid;
+        rejects "zero group-commit batch"
+          { Config.default with group_commit_max_batch = 0 };
+        rejects "negative group-commit batch"
+          { Config.default with group_commit_max_batch = -4 };
+        rejects "zero group-commit wait"
+          { Config.default with group_commit_max_wait_ns = 0 };
+        rejects "negative group-commit wait"
+          { Config.default with group_commit_max_wait_ns = -1 };
+        rejects "empty slow-op ring" { Config.default with attr_slow_ring = 0 };
+        rejects "negative slow threshold"
+          { Config.default with attr_slow_threshold_ns = -1 };
+        rejects "watchdog share above 100%"
+          { Config.default with attr_watchdog_share_ppm = 1_000_001 };
+        rejects "negative watchdog share"
+          { Config.default with attr_watchdog_share_ppm = -1 };
+        rejects "negative watchdog cooldown"
+          { Config.default with attr_watchdog_cooldown_ops = -1 };
+        rejects "zero chunk size" { Config.default with max_chunk_bytes = 0 };
+        rejects "zero po slots" { Config.default with po_slots = 0 };
+        rejects "zero munk cache" { Config.default with munk_cache_capacity = 0 };
+        rejects "negative checkpoint interval"
+          { Config.default with checkpoint_every_puts = -1 };
+      ] );
+  ]

@@ -98,8 +98,53 @@ module Flsm_engine : ENGINE = struct
   let scan t ~low ~high = Flsm.scan t ~low ~high ()
 end
 
+module Evendb_sharded_engine : ENGINE = struct
+  open Evendb_core
+
+  type t = Evendb_shard.t
+
+  let name = "evendb-sharded"
+
+  let config =
+    {
+      Config.default with
+      persistence = Config.Sync;
+      max_chunk_bytes = 8 * 1024;
+      munk_rebalance_bytes = 6 * 1024;
+      munk_rebalance_appended = 64;
+      funk_log_limit_no_munk = 2 * 1024;
+      funk_log_limit_with_munk = 8 * 1024;
+      munk_cache_capacity = 4;
+    }
+
+  (* Split the soak's k0000..k0039 key range across three shards so
+     faults land on every shard's log and on the SHARDS metadata. *)
+  let boundaries = [ "k0013"; "k0027" ]
+
+  let open_ env =
+    (* First open provisions the SHARDS file and each shard's initial
+       log under armed faults; provisioning is not the contract under
+       test, so retry until the store comes up (the deterministic plan
+       advances on every injected failure, so this terminates). *)
+    let rec go n =
+      try Evendb_shard.open_ ~config ~boundaries env
+      with Env.Io_error _ when n > 0 -> go (n - 1)
+    in
+    go 1000
+
+  let close = Evendb_shard.close
+  let put = Evendb_shard.put
+  let get = Evendb_shard.get
+  let scan t ~low ~high = Evendb_shard.scan t ~low ~high ()
+end
+
 let engines =
-  [ (module Evendb_engine : ENGINE); (module Lsm_engine); (module Flsm_engine) ]
+  [
+    (module Evendb_engine : ENGINE);
+    (module Evendb_sharded_engine);
+    (module Lsm_engine);
+    (module Flsm_engine);
+  ]
 
 let key_of i = Printf.sprintf "k%04d" i
 let value_of seq = Printf.sprintf "v%08d" seq

@@ -13,10 +13,13 @@ let () =
          Test_sstable.suite;
          Test_cache.suite;
          Test_munk.suite;
+         Test_config.suite;
          Test_core.suite;
          Test_funk.suite;
          Test_recovery.suite;
          Test_concurrency.suite;
+         Test_group_commit.suite;
+         Test_shard.suite;
          Test_lsm.suite;
          Test_flsm.suite;
          Test_faults.suite;

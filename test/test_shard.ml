@@ -1,0 +1,198 @@
+(* Range-sharded front end: routing, merged scans, persisted partition,
+   crash durability through the shared environment, and the one-valid-
+   exposition metrics contract. *)
+
+open Evendb_storage
+module Shard = Evendb_shard
+module Config = Evendb_core.Config
+module Db = Evendb_core.Db
+
+let sync_config =
+  {
+    Config.default with
+    persistence = Config.Sync;
+    max_chunk_bytes = 8 * 1024;
+    munk_rebalance_bytes = 6 * 1024;
+    munk_rebalance_appended = 64;
+    funk_log_limit_no_munk = 2 * 1024;
+    funk_log_limit_with_munk = 8 * 1024;
+    munk_cache_capacity = 4;
+  }
+
+let boundaries = [ "g"; "n" ]
+
+let routing_and_point_ops () =
+  let env = Env.memory () in
+  let t = Shard.open_ ~config:sync_config ~boundaries env in
+  Alcotest.(check int) "three shards" 3 (Shard.shard_count t);
+  Alcotest.(check (list string)) "boundaries" boundaries (Shard.boundaries t);
+  List.iter
+    (fun (k, shard) -> Alcotest.(check int) ("route " ^ k) shard (Shard.route t k))
+    [
+      ("", 0);
+      ("apple", 0);
+      ("fzzz", 0);
+      ("g", 1) (* boundary key belongs to the upper shard *);
+      ("mango", 1);
+      ("n", 2);
+      ("zebra", 2);
+    ];
+  let pairs = [ ("apple", "0"); ("grape", "1"); ("mango", "2"); ("peach", "3") ] in
+  List.iter (fun (k, v) -> Shard.put t k v) pairs;
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) ("get " ^ k) (Some v) (Shard.get t k);
+      (* The value lives on the routed shard and nowhere else. *)
+      for i = 0 to Shard.shard_count t - 1 do
+        let here = Db.get (Shard.shard t i) k in
+        if i = Shard.route t k then
+          Alcotest.(check (option string)) (k ^ " on its shard") (Some v) here
+        else
+          Alcotest.(check (option string)) (k ^ " absent elsewhere") None here
+      done)
+    pairs;
+  Shard.delete t "grape";
+  Alcotest.(check (option string)) "deleted" None (Shard.get t "grape");
+  Shard.close t
+
+let scan_merges_across_shards () =
+  let env = Env.memory () in
+  let t = Shard.open_ ~config:sync_config ~boundaries env in
+  let keys = List.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+  (* Insert shuffled so arrival order never masks a merge bug. *)
+  List.iter (fun k -> Shard.put t k ("v-" ^ k)) (List.rev keys);
+  (* Db.scan treats [high] as inclusive; the shard merge must too. *)
+  let expect lo hi = List.filter (fun k -> lo <= k && k <= hi) keys in
+  let got lo hi = List.map fst (Shard.scan t ~low:lo ~high:hi ()) in
+  Alcotest.(check (list string)) "full range" keys (got "" "zz");
+  Alcotest.(check (list string)) "crosses both boundaries" (expect "c" "t") (got "c" "t");
+  Alcotest.(check (list string)) "within one shard" (expect "h" "k") (got "h" "k");
+  Alcotest.(check (list string)) "starts on a boundary" (expect "g" "p") (got "g" "p");
+  Alcotest.(check (list string)) "singleton range" [ "x" ] (got "x" "x");
+  Alcotest.(check (list string)) "empty range" [] (got "xa" "xz");
+  (* Limit stops the merge mid-shard: first 5 keys of c..t, in order. *)
+  Alcotest.(check (list string))
+    "limit truncates across shards"
+    [ "c"; "d"; "e"; "f"; "g" ]
+    (List.map fst (Shard.scan t ~limit:5 ~low:"c" ~high:"t" ()));
+  List.iter
+    (fun (k, v) -> Alcotest.(check string) ("value of " ^ k) ("v-" ^ k) v)
+    (Shard.scan t ~low:"" ~high:"zz" ());
+  Shard.close t
+
+let partition_persists_and_mismatch_rejected () =
+  let env = Env.memory () in
+  let t = Shard.open_ ~config:sync_config ~boundaries env in
+  Shard.put t "apple" "1";
+  Shard.put t "mango" "2";
+  Shard.put t "zebra" "3";
+  Shard.close t;
+  (* Reopen without boundaries: the stored partition is authoritative. *)
+  let t2 = Shard.open_ ~config:sync_config env in
+  Alcotest.(check (list string)) "partition recovered" boundaries (Shard.boundaries t2);
+  Alcotest.(check (option string)) "data intact" (Some "2") (Shard.get t2 "mango");
+  Shard.close t2;
+  (* Contradicting an existing partition must raise, not resplit. *)
+  (match Shard.open_ ~config:sync_config ~boundaries:[ "q" ] env with
+  | _ -> Alcotest.fail "mismatched boundaries accepted"
+  | exception Invalid_argument _ -> ());
+  (* Bad partitions rejected up front. *)
+  (match Shard.open_ ~boundaries:[ "b"; "a" ] (Env.memory ()) with
+  | _ -> Alcotest.fail "unsorted boundaries accepted"
+  | exception Invalid_argument _ -> ());
+  match Shard.open_ ~boundaries:(List.init 70 (Printf.sprintf "k%03d")) (Env.memory ()) with
+  | _ -> Alcotest.fail "70 shards accepted"
+  | exception Invalid_argument _ -> ()
+
+let crash_keeps_acked_writes () =
+  let env = Env.memory () in
+  let t = Shard.open_ ~config:sync_config ~boundaries env in
+  for i = 0 to 99 do
+    Shard.put t (Printf.sprintf "%c%02d" (Char.chr (Char.code 'a' + (i mod 26))) i)
+      (string_of_int i)
+  done;
+  Env.crash env;
+  let t2 = Shard.open_ ~config:sync_config env in
+  for i = 0 to 99 do
+    let k = Printf.sprintf "%c%02d" (Char.chr (Char.code 'a' + (i mod 26))) i in
+    Alcotest.(check (option string)) k (Some (string_of_int i)) (Shard.get t2 k)
+  done;
+  Alcotest.(check int) "scan after crash" 100
+    (List.length (Shard.scan t2 ~low:"" ~high:"\xff" ()));
+  Shard.close t2;
+  Shard.close t
+
+let concurrent_domains_across_shards () =
+  let env = Env.memory () in
+  let t = Shard.open_ ~config:sync_config ~boundaries env in
+  (* One writer domain per shard region: the shards commit in parallel. *)
+  let prefixes = [| "a"; "h"; "p" |] in
+  let per_domain = 150 in
+  let workers =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Shard.put t (Printf.sprintf "%s%04d" prefixes.(d) i) (Printf.sprintf "d%d-%d" d i)
+            done))
+  in
+  List.iter Domain.join workers;
+  for d = 0 to 2 do
+    for i = 0 to per_domain - 1 do
+      let k = Printf.sprintf "%s%04d" prefixes.(d) i in
+      if Shard.get t k <> Some (Printf.sprintf "d%d-%d" d i) then
+        Alcotest.failf "lost or wrong %s" k
+    done
+  done;
+  Alcotest.(check int) "merged scan sees all" (3 * per_domain)
+    (List.length (Shard.scan t ~low:"" ~high:"\xff" ()));
+  Shard.close t
+
+let has_sub sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let metrics_one_valid_exposition () =
+  let env = Env.memory () in
+  let t = Shard.open_ ~config:sync_config ~boundaries env in
+  Shard.put t "apple" "1";
+  Shard.put t "mango" "2";
+  Shard.put t "zebra" "3";
+  let prom = Shard.metrics_dump t `Prometheus in
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d labelled" i)
+      true
+      (has_sub (Printf.sprintf "shard=\"%d\"" i) prom)
+  done;
+  (* The exposition format forbids repeating # TYPE for a name: the
+     merged dump must carry each exactly once. *)
+  let type_lines =
+    List.filter (has_sub "# TYPE ") (String.split_on_char '\n' prom)
+  in
+  Alcotest.(check int) "no duplicate TYPE lines"
+    (List.length (List.sort_uniq compare type_lines))
+    (List.length type_lines);
+  Alcotest.(check bool) "commit metrics exported" true
+    (has_sub "evendb_commit_batches" prom);
+  let json = Shard.metrics_dump t `Json in
+  Alcotest.(check bool) "json nests per shard" true (has_sub "\"shards\"" json);
+  Shard.close t;
+  (* close is idempotent *)
+  Shard.close t
+
+let suite =
+  [
+    ( "shard",
+      [
+        Alcotest.test_case "routing and point ops" `Quick routing_and_point_ops;
+        Alcotest.test_case "scan merges across shards" `Quick scan_merges_across_shards;
+        Alcotest.test_case "partition persists; mismatch rejected" `Quick
+          partition_persists_and_mismatch_rejected;
+        Alcotest.test_case "crash keeps acked writes" `Quick crash_keeps_acked_writes;
+        Alcotest.test_case "concurrent domains across shards" `Quick
+          concurrent_domains_across_shards;
+        Alcotest.test_case "metrics: one valid exposition" `Quick
+          metrics_one_valid_exposition;
+      ] );
+  ]
