@@ -27,6 +27,8 @@ type t = {
   attr_watchdog_cooldown_ops : int;
   group_commit_max_batch : int;
   group_commit_max_wait_ns : int;
+  block_cache_bytes : int;
+  sorted_view_enabled : bool;
 }
 
 let mib = 1024 * 1024
@@ -59,6 +61,8 @@ let default =
     attr_watchdog_cooldown_ops = 4096;
     group_commit_max_batch = 64;
     group_commit_max_wait_ns = 400_000;
+    block_cache_bytes = 32 * mib;
+    sorted_view_enabled = true;
   }
 
 (* Reject knob combinations that would silently misbehave — a ring of
@@ -83,7 +87,9 @@ let validate t =
   if t.attr_watchdog_cooldown_ops < 0 then
     fail "attr_watchdog_cooldown_ops = %d (must be >= 0)" t.attr_watchdog_cooldown_ops;
   if t.checkpoint_every_puts < 0 then
-    fail "checkpoint_every_puts = %d (must be >= 0; 0 = explicit only)" t.checkpoint_every_puts
+    fail "checkpoint_every_puts = %d (must be >= 0; 0 = explicit only)" t.checkpoint_every_puts;
+  if t.block_cache_bytes < 0 then
+    fail "block_cache_bytes = %d (must be >= 0; 0 = no block cache)" t.block_cache_bytes
 
 let scaled ?(factor = 64) () =
   if factor <= 0 then invalid_arg "Config.scaled: factor <= 0";

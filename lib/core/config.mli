@@ -76,6 +76,17 @@ type t = {
           fills it seals the batch immediately, and a solo writer
           (target 1) commits without waiting at all — the bound only
           matters when an expected writer stalls before joining. *)
+  block_cache_bytes : int;
+      (** Capacity of the shared sstable block cache installed on the
+          store's environment (default 32MiB; 0 disables it and reads
+          take the historical uncached path). Shards opened over one
+          parent environment share a single budget. *)
+  sorted_view_enabled : bool;
+      (** Serve munk-less scans through the persistent sorted view
+          (rebuilt at flush/eviction) instead of re-merging log +
+          SSTable per scan (default [true]; disable for A/B). Scans
+          fall back to the merge path whenever a view is missing or
+          stale, so flipping this is always safe. *)
 }
 
 val default : t

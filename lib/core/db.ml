@@ -58,6 +58,10 @@ type t = {
   ctr_funk_flushes : Obs.Counter.t;
   ctr_funk_merges : Obs.Counter.t;
   ctr_io_errors : Obs.Counter.t; (* maintenance/checkpoint I/O failures absorbed *)
+  ctr_view_builds : Obs.Counter.t;
+  ctr_view_loads : Obs.Counter.t;
+  ctr_view_scans : Obs.Counter.t;
+  ctr_view_fallbacks : Obs.Counter.t;
 }
 
 let env t = t.env
@@ -181,6 +185,18 @@ let build_bloom db funk =
     (Funk.log_offsets_for_bloom funk ~visible:(visible db));
   bloom
 
+(* Rebuild a funk's sorted view. Views are derived data, so storage
+   failures are absorbed: the view simply stays missing (or stale) and
+   scans keep using the merge path. Callers hold the funk exclusively
+   (same discipline as bloom rebuilds). *)
+let rebuild_view db funk =
+  if db.cfg.sorted_view_enabled then
+    Attr.timed Attr.View_build (fun () ->
+        try
+          Funk.build_view funk;
+          Obs.Counter.incr db.ctr_view_builds
+        with Env.Io_error _ -> Obs.Counter.incr db.ctr_io_errors)
+
 (* Lazily create the bloom filter of a munk-less chunk (recovery leaves
    them absent). Takes the chunk's rebalance lock exclusively so no put
    can append a record the new filter would miss. *)
@@ -274,10 +290,14 @@ let evict_munk_chunk db c =
         if Funk.log_size (Chunk.funk c) > db.cfg.funk_log_limit_no_munk then
           ignore (flush_munk_locked db c munk);
         Chunk.set_munk c None;
-        (* Bloom filters are re-created on munk eviction (§2.2). *)
+        (* Bloom filters are re-created on munk eviction (§2.2); the
+           sorted view alongside them — the chunk is now cold and its
+           scans shift to the funk. *)
         Funk.with_pin
           ~current:(fun () -> Chunk.funk c)
-          (fun funk -> Chunk.set_bloom c (Some (build_bloom db funk)));
+          (fun funk ->
+            Chunk.set_bloom c (Some (build_bloom db funk));
+            rebuild_view db funk);
         Lfu.drop_cached db.lfu (Chunk.id c);
         true
       | Some _ -> false)
@@ -503,6 +523,7 @@ let split_chunk_locked db c compacted floor =
                 in
                 Chunk.set_funk nc funk';
                 Chunk.set_bloom nc (Some (build_bloom db funk'));
+                rebuild_view db funk';
                 publish_funks db ~add:[ id ] ~disown:[ old_funk ]))
       [ c1; c2 ])
 
@@ -617,6 +638,8 @@ let cold_funk_rebalance db c =
               divert_records (fun _ -> funk');
               Chunk.set_funk c funk';
               Chunk.set_bloom c (Some (build_bloom db funk'));
+              (* Built after the divert so the view covers it. *)
+              rebuild_view db funk';
               publish_funks db ~add:[ id ] ~disown:[ funk ]
             end)
       end
@@ -666,6 +689,8 @@ let cold_funk_rebalance db c =
                 in
                 Chunk.set_bloom c1 (Some (build_bloom db funk1));
                 Chunk.set_bloom c2 (Some (build_bloom db funk2));
+                rebuild_view db funk1;
+                rebuild_view db funk2;
                 Chunk.set_next c1 (Some c2);
                 splice_chunks db c ~first:c1 ~last:c2;
                 Lfu.transfer db.lfu ~old_id:(Chunk.id c) ~new_ids:[ Chunk.id c1; Chunk.id c2 ];
@@ -1004,34 +1029,69 @@ let scan_internal db ?limit ~low ~high () =
                  means its funk is gone — re-resolve the residual range
                  through the rebuilt index. [with_pin] never runs the
                  body on failure, so nothing is consumed twice. *)
-              Attr.timed Attr.Disk_read @@ fun () ->
               try
                 Funk.with_pin
                   ~current:(fun () -> Chunk.funk c)
                   (fun funk ->
-                    let log_entries =
-                      Funk.log_entries_in_range funk ~visible:(visible db) ~low:lo ~high
+                    (* Unified read path: walk the persistent sorted
+                       view (one pre-merged cursor, blocks through the
+                       shared cache) and fall back to re-merging
+                       log + SSTable when the view is absent or stale.
+                       Both paths materialise before [consume], so a
+                       mid-walk failure never consumes half a chunk. *)
+                    let via_view =
+                      if not db.cfg.Config.sorted_view_enabled then None
+                      else
+                        Attr.timed Attr.Cache_read @@ fun () ->
+                        match
+                          Funk.load_view funk
+                            ~on_load:(fun () -> Obs.Counter.incr db.ctr_view_loads)
+                        with
+                        | None -> None
+                        | Some v -> (
+                          try
+                            let it = Funk.view_cursor funk v ~low:lo ~high in
+                            let rec drain acc =
+                              match it () with
+                              | Some (e : K.entry) ->
+                                drain (if visible db e.version then e :: acc else acc)
+                              | None -> List.rev acc
+                            in
+                            Some (drain [])
+                          with Sorted_view.Stale | Env.Corruption _ ->
+                            Funk.invalidate_view funk;
+                            Obs.Counter.incr db.ctr_view_fallbacks;
+                            None)
                     in
-                    (* Materialise the SSTable's slice before consuming:
-                       a corrupt block then degrades this one chunk to
-                       its log contents instead of aborting the scan
-                       half-consumed (logs resync past damage and never
-                       raise). *)
-                    let sst_entries =
-                      try
-                        let it =
-                          bounded_iter (Sstable.Reader.iter_from (Funk.sst funk) lo) ~high
-                        in
-                        let rec drain acc =
-                          match it () with
-                          | Some (e : K.entry) ->
-                            drain (if visible db e.version then e :: acc else acc)
-                          | None -> List.rev acc
-                        in
-                        drain []
-                      with Env.Corruption _ -> []
-                    in
-                    consume (K.merge [ K.of_list log_entries; K.of_list sst_entries ]));
+                    match via_view with
+                    | Some entries ->
+                      Obs.Counter.incr db.ctr_view_scans;
+                      Attr.timed Attr.Cache_read (fun () -> consume (K.of_list entries))
+                    | None ->
+                      Attr.timed Attr.Disk_read @@ fun () ->
+                      let log_entries =
+                        Funk.log_entries_in_range funk ~visible:(visible db) ~low:lo ~high
+                      in
+                      (* Materialise the SSTable's slice before consuming:
+                         a corrupt block then degrades this one chunk to
+                         its log contents instead of aborting the scan
+                         half-consumed (logs resync past damage and never
+                         raise). *)
+                      let sst_entries =
+                        try
+                          let it =
+                            bounded_iter (Sstable.Reader.iter_from (Funk.sst funk) lo) ~high
+                          in
+                          let rec drain acc =
+                            match it () with
+                            | Some (e : K.entry) ->
+                              drain (if visible db e.version then e :: acc else acc)
+                            | None -> List.rev acc
+                          in
+                          drain []
+                        with Env.Corruption _ -> []
+                      in
+                      consume (K.merge [ K.of_list log_entries; K.of_list sst_entries ]));
                 false
               with Funk.Stale -> true)
           in
@@ -1072,12 +1132,15 @@ let load_mode env : Config.persistence =
   else Config.Async
 
 let parse_funk_file name =
-  (* funk_NNNNNNNN.sst / .log *)
-  if String.length name = 17 && String.sub name 0 5 = "funk_" then
+  (* funk_NNNNNNNN.sst / .log / .view *)
+  if String.length name >= 17 && String.sub name 0 5 = "funk_" then
     match int_of_string_opt (String.sub name 5 8) with
     | Some id ->
-      let ext = String.sub name 13 4 in
-      if ext = ".sst" then Some (id, `Sst) else if ext = ".log" then Some (id, `Log) else None
+      let ext = String.sub name 13 (String.length name - 13) in
+      if ext = ".sst" then Some (id, `Sst)
+      else if ext = ".log" then Some (id, `Log)
+      else if ext = ".view" then Some (id, `View)
+      else None
     | None -> None
   else None
 
@@ -1103,6 +1166,15 @@ let register_probes db =
   p "cache.lfu.hits" (fun () -> Lfu.hits db.lfu);
   p "cache.lfu.misses" (fun () -> Lfu.misses db.lfu);
   p "cache.lfu.evictions" (fun () -> Lfu.evictions db.lfu);
+  (* The block cache may be shared store-wide (one budget across every
+     shard of a range-sharded front end); these probes then report the
+     shared cache's totals from each shard's registry. *)
+  let with_bc f = match Env.block_cache db.env with Some bc -> f bc | None -> 0 in
+  p "blockcache.hits" (fun () -> with_bc Block_cache.hits);
+  p "blockcache.misses" (fun () -> with_bc Block_cache.misses);
+  p "blockcache.fills" (fun () -> with_bc Block_cache.fills);
+  p "blockcache.evictions" (fun () -> with_bc Block_cache.evictions);
+  p "blockcache.bytes" (fun () -> with_bc Block_cache.resident_bytes);
   p "db.chunks" (fun () -> Chunk_index.size (Atomic.get db.index));
   p "db.munks" (fun () ->
       List.length
@@ -1200,6 +1272,10 @@ let make_db env cfg ~obs ~committer ~head ~chunks ~gv ~rt ~epoch ~last_checkpoin
     ctr_funk_flushes = Obs.counter obs "funk.flushes";
     ctr_funk_merges = Obs.counter obs "funk.merges";
     ctr_io_errors = Obs.counter obs "io.errors";
+    ctr_view_builds = Obs.counter obs "sorted_view.builds";
+    ctr_view_loads = Obs.counter obs "sorted_view.loads";
+    ctr_view_scans = Obs.counter obs "sorted_view.scans";
+    ctr_view_fallbacks = Obs.counter obs "sorted_view.stale_fallbacks";
   }
   in
   register_probes db;
@@ -1375,6 +1451,9 @@ let open_internal config ~committer env =
 
 let open_ ?(config = Config.default) ?committer env =
   Config.validate config;
+  (* No-op when the env already carries a cache — a store opened on a
+     shard's sub-env joins the parent's (store-wide) budget. *)
+  Env.install_block_cache env ~capacity_bytes:config.Config.block_cache_bytes;
   let db = open_internal config ~committer env in
   start_maintainer db;
   db

@@ -34,6 +34,10 @@ module Config : sig
     wal_fsync_every : int;
     max_levels : int;
     attr_enabled : bool;  (** Per-op tail-latency cause attribution. *)
+    block_cache_bytes : int;
+        (** Shared sstable block cache installed on the env at open
+            (default 32MiB; 0 disables — no-op if the env already
+            carries one). *)
   }
 
   val default : t

@@ -19,6 +19,7 @@ module Config = struct
     wal_fsync_every : int;
     max_levels : int;
     attr_enabled : bool;
+    block_cache_bytes : int;
   }
 
   let mib = 1024 * 1024
@@ -36,6 +37,7 @@ module Config = struct
       wal_fsync_every = 32768;
       max_levels = 7;
       attr_enabled = true;
+      block_cache_bytes = 32 * mib;
     }
 
   let scaled ?(factor = 64) () =
@@ -785,6 +787,19 @@ let open_internal config env =
     })
 
 (* Snapshot-time level shape, next to the byte-flow counters above. *)
+let register_block_cache_probes t =
+  let with_bc f =
+    match Env.block_cache t.env with
+    | Some bc -> f bc
+    | None -> 0
+  in
+  let module B = Evendb_cache.Block_cache in
+  Obs.probe t.obs "blockcache.hits" (fun () -> with_bc B.hits);
+  Obs.probe t.obs "blockcache.misses" (fun () -> with_bc B.misses);
+  Obs.probe t.obs "blockcache.fills" (fun () -> with_bc B.fills);
+  Obs.probe t.obs "blockcache.evictions" (fun () -> with_bc B.evictions);
+  Obs.probe t.obs "blockcache.bytes" (fun () -> with_bc B.resident_bytes)
+
 let register_level_probes t =
   for i = 0 to t.cfg.max_levels - 1 do
     Obs.probe t.obs
@@ -796,8 +811,13 @@ let register_level_probes t =
   done
 
 let open_ ?(config = Config.default) env =
+  (* Level/fragment reads flow through [Sstable.Reader], which consults
+     the env's shared block cache; installing here unifies the budget
+     with any other engine opened over the same env. *)
+  Env.install_block_cache env ~capacity_bytes:config.Config.block_cache_bytes;
   let t = open_internal config env in
   register_level_probes t;
+  register_block_cache_probes t;
   t
 
 let compact_now t =

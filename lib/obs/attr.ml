@@ -16,11 +16,16 @@ type cause =
   | Rebalance
   | Compaction
   | Commit_wait
+  | Cache_read
+  | View_build
 
 let all_causes =
-  [ Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait ]
+  [
+    Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait; Cache_read;
+    View_build;
+  ]
 
-let n_causes = 7
+let n_causes = 9
 
 let cause_index = function
   | Lock_wait -> 0
@@ -30,6 +35,8 @@ let cause_index = function
   | Rebalance -> 4
   | Compaction -> 5
   | Commit_wait -> 6
+  | Cache_read -> 7
+  | View_build -> 8
 
 let cause_name = function
   | Lock_wait -> "lock_wait"
@@ -39,9 +46,14 @@ let cause_name = function
   | Rebalance -> "rebalance"
   | Compaction -> "compaction"
   | Commit_wait -> "commit_wait"
+  | Cache_read -> "cache_read"
+  | View_build -> "view_build"
 
 let cause_of_index =
-  [| Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait |]
+  [|
+    Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait; Cache_read;
+    View_build;
+  |]
 
 type kind = Put | Get | Delete | Scan
 

@@ -47,6 +47,10 @@ type cause =
   | Commit_wait  (** group commit: waiting for a batch to form, for the
                      leader slot, or for another domain's leader to
                      finish the batch's fsync *)
+  | Cache_read  (** munk-less scan served through the sorted view +
+                    shared block cache (the unified read path) *)
+  | View_build  (** sorted-view rebuild paid inline by the op that
+                    triggered the eviction/flush *)
 
 val all_causes : cause list
 val cause_name : cause -> string

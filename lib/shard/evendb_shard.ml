@@ -152,6 +152,12 @@ let open_ ?config ?(shared_commit = true) ?(boundaries = []) env =
     end
     else (None, None)
   in
+  (* Install the block cache on the parent env before the sub-envs are
+     cut: children inherit the parent's cache, so every shard shares
+     ONE store-wide budget instead of multiplying it by shard count.
+     Per-shard [Db.open_] then sees a cache already present and leaves
+     it alone. *)
+  Env.install_block_cache env ~capacity_bytes:cfg.Config.block_cache_bytes;
   let shards =
     Array.init
       (Array.length boundaries + 1)

@@ -45,6 +45,32 @@ let decode_entry s pos : Kv_iter.entry * int =
     ({ key; value = Some (String.sub s p vlen); version; counter }, p + vlen)
   end
 
+(* Same decoders over a cached (bigarray-backed) block: only the keys
+   and values are materialized as strings; the block itself is never
+   copied. Out-of-bounds access raises [Invalid_argument], like the
+   string decoders, so both paths share their corruption handling. *)
+let read_varint_big (b : Bigslice.t) pos =
+  let rec go acc shift pos =
+    let c = Char.code (Bigslice.get b pos) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 <> 0 then go acc (shift + 7) (pos + 1) else (acc, pos + 1)
+  in
+  go 0 0 pos
+
+let decode_entry_big (b : Bigslice.t) pos : Kv_iter.entry * int =
+  let op = Char.code (Bigslice.get b pos) in
+  let klen, p = read_varint_big b (pos + 1) in
+  let key = Bigslice.substring b ~off:p ~len:klen in
+  let p = p + klen in
+  let version, p = read_varint_big b p in
+  let counter, p = read_varint_big b p in
+  if op = op_delete then ({ Kv_iter.key; value = None; version; counter }, p)
+  else begin
+    let vlen, p = read_varint_big b p in
+    ({ Kv_iter.key; value = Some (Bigslice.substring b ~off:p ~len:vlen); version; counter },
+     p + vlen)
+  end
+
 type block_meta = {
   first_key : string;
   offset : int;
@@ -330,6 +356,9 @@ module Reader = struct
   let chunk_min_key t = t.chunk_min_key
   let entry_count t = t.count
 
+  (* Direct, always-verifying block read: bypasses the shared block
+     cache so [verify] (scrub) checks the bytes actually on disk, not a
+     trusted cached copy. *)
   let read_block t i =
     let b = t.blocks.(i) in
     let data = Env.read_at t.env t.name ~off:b.offset ~len:b.length in
@@ -337,21 +366,54 @@ module Reader = struct
       corrupt t.env t.name (Printf.sprintf "block %d checksum mismatch" i);
     data
 
+  (* Serving-path block read through the environment's shared cache:
+     the fill closure verifies the CRC once, a hit returns the cached
+     slice with no copy and no re-verification. *)
+  let fetch_block t i =
+    let b = t.blocks.(i) in
+    let fill () =
+      let data = Env.pread t.env t.name ~off:b.offset ~len:b.length in
+      if Crc32c.bigslice data ~pos:0 ~len:b.length <> b.crc then
+        corrupt t.env t.name (Printf.sprintf "block %d checksum mismatch" i);
+      data
+    in
+    match Env.block_cache t.env with
+    | Some bc ->
+      Evendb_cache.Block_cache.find_or_fill bc ~space:(Env.cache_space t.env)
+        ~file:t.name ~index:i ~fill
+    | None -> fill ()
+
   let block_entries t i =
-    let data = read_block t i in
     let n = t.blocks.(i).entries in
     let entries = Array.make n None in
-    match
-      let pos = ref 0 in
-      for j = 0 to n - 1 do
-        let e, next = decode_entry data !pos in
-        entries.(j) <- Some e;
-        pos := next
-      done
-    with
-    | () -> Array.map Option.get entries
-    | exception Invalid_argument _ ->
-      corrupt t.env t.name (Printf.sprintf "block %d undecodable" i)
+    match Env.block_cache t.env with
+    | None ->
+      (* No cache installed: the historical string read path. *)
+      let data = read_block t i in
+      (match
+         let pos = ref 0 in
+         for j = 0 to n - 1 do
+           let e, next = decode_entry data !pos in
+           entries.(j) <- Some e;
+           pos := next
+         done
+       with
+      | () -> Array.map Option.get entries
+      | exception Invalid_argument _ ->
+        corrupt t.env t.name (Printf.sprintf "block %d undecodable" i))
+    | Some _ ->
+      let data = fetch_block t i in
+      (match
+         let pos = ref 0 in
+         for j = 0 to n - 1 do
+           let e, next = decode_entry_big data !pos in
+           entries.(j) <- Some e;
+           pos := next
+         done
+       with
+      | () -> Array.map Option.get entries
+      | exception Invalid_argument _ ->
+        corrupt t.env t.name (Printf.sprintf "block %d undecodable" i))
 
   let verify t =
     (* [open_] already checked header, footer offsets, index and bloom
@@ -436,6 +498,40 @@ module Reader = struct
     next
 
   let iter t = iter_blocks_from t 0 None
+
+  (* Iterator positioned at the [n]th entry of the table (0-based,
+     counted across blocks in file order) — the sorted view's seek
+     primitive: its fences record how many sstable entries a token
+     prefix consumed, so a cursor can resume mid-table without key
+     comparisons. *)
+  let iter_from_nth t n =
+    if n < 0 then invalid_arg "Sstable.iter_from_nth: negative index";
+    let bi = ref 0 and skip = ref n in
+    while !bi < Array.length t.blocks && !skip >= t.blocks.(!bi).entries do
+      skip := !skip - t.blocks.(!bi).entries;
+      incr bi
+    done;
+    if !bi >= Array.length t.blocks then fun () -> None
+    else begin
+      let cur = ref (block_entries t !bi) in
+      let ci = ref !skip in
+      let bi = ref (!bi + 1) in
+      let rec next () =
+        if !ci < Array.length !cur then begin
+          let e = (!cur).(!ci) in
+          incr ci;
+          Some e
+        end
+        else if !bi < Array.length t.blocks then begin
+          cur := block_entries t !bi;
+          ci := 0;
+          incr bi;
+          next ()
+        end
+        else None
+      in
+      next
+    end
 
   let iter_from t key =
     let bi = find_block t key in

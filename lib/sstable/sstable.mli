@@ -92,4 +92,9 @@ module Reader : sig
 
   val iter_from : t -> string -> Kv_iter.t
   (** Scan starting at the first entry with key >= the argument. *)
+
+  val iter_from_nth : t -> int -> Kv_iter.t
+  (** Scan starting at the [n]th entry (0-based, across blocks in file
+      order); empty when [n >= entry_count]. The sorted view's seek
+      primitive. *)
 end

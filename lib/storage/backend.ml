@@ -12,6 +12,7 @@ module type BACKEND = sig
   val close : handle -> unit
   val size : string -> int
   val read_at : string -> off:int -> len:int -> string
+  val pread : string -> off:int -> len:int -> Evendb_util.Bigslice.t
   val exists : string -> bool
   val delete : string -> unit
   val rename : old_name:string -> new_name:string -> unit
@@ -103,6 +104,20 @@ let memory_of_files init : packed =
             if off + len > mf.len then
               invalid_arg "Env.read_at: range beyond end of file";
             Bytes.sub_string mf.data off len)
+
+      (* Partial read mirroring [Disk.pread]: the slice is a private
+         copy (the backing [Bytes.t] is mutable), taken under the same
+         lock and with the same bounds contract as [read_at], so the
+         block cache behaves identically under crash simulation. *)
+      let pread name ~off ~len =
+        let mf = find name in
+        with_lock mf.mf_mutex (fun () ->
+            if off + len > mf.len then
+              invalid_arg "Env.read_at: range beyond end of file";
+            let slice = Evendb_util.Bigslice.create len in
+            Evendb_util.Bigslice.blit_from_bytes mf.data ~src_off:off slice
+              ~dst_off:0 ~len;
+            slice)
 
       let exists name = with_lock ns_mutex (fun () -> Hashtbl.mem files name)
       let delete name = with_lock ns_mutex (fun () -> Hashtbl.remove files name)
@@ -211,6 +226,7 @@ let journaled j (B (module Inner) : packed) : packed =
       let close (_, h) = Inner.close h
       let size = Inner.size
       let read_at = Inner.read_at
+      let pread = Inner.pread
       let exists = Inner.exists
 
       let delete name =
@@ -317,6 +333,12 @@ let disk dir : packed =
   in
   mkdir_p dir;
   let read_fds : (string, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
+  (* Read-only mmap windows for [pread], keyed by name. A mapping can
+     lag behind an append (files are append-only, never rewritten in
+     place), so it is remapped whenever a request reaches past its
+     length, and dropped alongside the read fd whenever the name is
+     created over, deleted, or renamed. *)
+  let mmaps : (string, Evendb_util.Bigslice.buf) Hashtbl.t = Hashtbl.create 64 in
   let fds_mutex = Mutex.create () in
   let path name = Filename.concat dir name in
   (* Names may carry a sub-directory (fsck --repair quarantines files
@@ -330,6 +352,7 @@ let disk dir : packed =
   in
   let drop_read_fd name =
     with_lock fds_mutex (fun () ->
+        Hashtbl.remove mmaps name;
         match Hashtbl.find_opt read_fds name with
         | None -> ()
         | Some fd ->
@@ -422,6 +445,43 @@ let disk dir : packed =
                 read_fully 0 len;
                 Bytes.unsafe_to_string b))
 
+      let pread name ~off ~len =
+        if len = 0 then begin
+          (* Still validate the name and bounds like [read_at]. *)
+          let file_len = size name in
+          if off > file_len then invalid_arg "Env.read_at: range beyond end of file";
+          Evendb_util.Bigslice.create 0
+        end
+        else
+          with_lock fds_mutex (fun () ->
+              let remap () =
+                let fd =
+                  try Unix.openfile (path name) [ Unix.O_RDONLY ] 0 with
+                  | Unix.Unix_error (Unix.ENOENT, _, _) -> raise Not_found
+                  | Unix.Unix_error (e, _, _) -> raise (of_unix ~op:"read" ~file:name e)
+                in
+                Fun.protect
+                  ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    wrap ~op:"read" ~file:name (fun () ->
+                        let file_len = (Unix.fstat fd).Unix.st_size in
+                        if off + len > file_len then
+                          invalid_arg "Env.read_at: range beyond end of file";
+                        let g =
+                          Unix.map_file fd Bigarray.char Bigarray.c_layout false
+                            [| file_len |]
+                        in
+                        let buf = Bigarray.array1_of_genarray g in
+                        Hashtbl.replace mmaps name buf;
+                        buf))
+              in
+              let buf =
+                match Hashtbl.find_opt mmaps name with
+                | Some buf when off + len <= Bigarray.Array1.dim buf -> buf
+                | _ -> remap ()
+              in
+              Evendb_util.Bigslice.of_bigarray ~off ~len buf)
+
       let exists name = Sys.file_exists (path name)
 
       let delete name =
@@ -504,6 +564,7 @@ let prefixed ~prefix (B (module Inner) : packed) : packed =
       let close = Inner.close
       let size name = Inner.size (map name)
       let read_at name ~off ~len = Inner.read_at (map name) ~off ~len
+      let pread name ~off ~len = Inner.pread (map name) ~off ~len
       let exists name = Inner.exists (map name)
       let delete name = Inner.delete (map name)
       let rename ~old_name ~new_name = Inner.rename ~old_name:(map old_name) ~new_name:(map new_name)

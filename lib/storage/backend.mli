@@ -33,6 +33,14 @@ module type BACKEND = sig
   (** Raises [Not_found] for a missing file. *)
 
   val read_at : string -> off:int -> len:int -> string
+
+  val pread : string -> off:int -> len:int -> Evendb_util.Bigslice.t
+  (** Partial read returning a bigarray-backed slice: an mmap window on
+      the disk backend (zero-copy), a private buffer on the memory
+      backend. Same bounds/missing-file contract as [read_at]. The
+      slice is only guaranteed stable until the file is deleted,
+      renamed, or created over. *)
+
   val exists : string -> bool
   val delete : string -> unit
   val rename : old_name:string -> new_name:string -> unit

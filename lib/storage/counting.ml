@@ -30,6 +30,11 @@ let wrap st ~kind_of_name (Backend.B (module Inner) : Backend.packed) : Backend.
         Io_stats.add_read ~kind:(kind_of_name name) st len;
         s
 
+      let pread name ~off ~len =
+        let s = Inner.pread name ~off ~len in
+        Io_stats.add_read ~kind:(kind_of_name name) st len;
+        s
+
       let exists = Inner.exists
       let delete = Inner.delete
       let rename = Inner.rename

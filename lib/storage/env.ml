@@ -29,6 +29,9 @@ type t = {
   mutable generation : int; (* bumped by [crash] to invalidate handles *)
   corruptions : int Atomic.t; (* checksum/structure failures detected on reads *)
   log_resyncs : int Atomic.t; (* garbage regions skipped by log CRC resync *)
+  mutable block_cache : Evendb_cache.Block_cache.t option;
+      (* shared sstable-block cache; [sub] children inherit it *)
+  cache_space : int; (* disambiguates file names across sub-namespaces *)
 }
 
 and file = {
@@ -58,6 +61,11 @@ let kind_of_name name : Io_stats.kind =
   else if Filename.check_suffix name ".sst" then Io_stats.Sstable
   else Io_stats.Meta
 
+(* Cache-key namespaces are process-global so any two environments —
+   related by [sub] or not — sharing one block cache can never collide
+   on equal file names. *)
+let next_cache_space = Atomic.make 0
+
 let make ?faults base =
   let st = Io_stats.create () in
   let base = match faults with None -> base | Some p -> Fault.wrap p base in
@@ -71,6 +79,8 @@ let make ?faults base =
     generation = 0;
     corruptions = Atomic.make 0;
     log_resyncs = Atomic.make 0;
+    block_cache = None;
+    cache_space = Atomic.fetch_and_add next_cache_space 1;
   }
 
 let note_corruption t = Atomic.incr t.corruptions
@@ -87,7 +97,27 @@ let of_backend ?faults base = make ?faults base
    accounting and fault plan keep seeing every byte the child does —
    aggregate write-amp and deterministic injection stay correct for
    sharded stores. *)
-let sub t ~prefix = make (Backend.prefixed ~prefix t.backend)
+let sub t ~prefix =
+  let child = make (Backend.prefixed ~prefix t.backend) in
+  (* The block cache is shared downward: all shards of a store draw
+     from the parent's one budget (each child still has its own cache
+     space, so equal names in sibling namespaces stay distinct). *)
+  child.block_cache <- t.block_cache;
+  child
+
+let block_cache t = t.block_cache
+let cache_space t = t.cache_space
+let set_block_cache t bc = t.block_cache <- bc
+
+(* Install a fresh shared cache unless one was inherited or installed
+   already — a [Db] opened on a shard's sub-environment must join the
+   store-wide cache, not shadow it. *)
+let install_block_cache t ~capacity_bytes =
+  match t.block_cache with
+  | Some _ -> ()
+  | None ->
+    if capacity_bytes > 0 then
+      t.block_cache <- Some (Evendb_cache.Block_cache.create ~capacity_bytes ())
 
 let backend_name t = match t.backend with Backend.B (module M) -> M.backend_name
 let supports_crash t = match t.backend with Backend.B (module M) -> M.supports_crash
@@ -111,7 +141,15 @@ let register t name fh =
       Hashtbl.replace t.open_files id file;
       file)
 
+let invalidate_cached_blocks t name =
+  match t.block_cache with
+  | None -> ()
+  | Some bc ->
+    Evendb_cache.Block_cache.invalidate_file bc ~space:t.cache_space ~file:name
+
 let create t name =
+  (* [create] truncates: any cached blocks describe the old contents. *)
+  invalidate_cached_blocks t name;
   match t.backend with
   | Backend.B (module M) -> register t name (FH ((module M), M.create name))
 
@@ -158,10 +196,19 @@ let read_all t name =
   let n = size t name in
   if n = 0 then "" else read_at t name ~off:0 ~len:n
 
+let pread t name ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Env.pread: negative range";
+  match t.backend with Backend.B (module M) -> M.pread name ~off ~len
+
 let exists t name = match t.backend with Backend.B (module M) -> M.exists name
-let delete t name = match t.backend with Backend.B (module M) -> M.delete name
+
+let delete t name =
+  invalidate_cached_blocks t name;
+  match t.backend with Backend.B (module M) -> M.delete name
 
 let rename t ~old_name ~new_name =
+  invalidate_cached_blocks t old_name;
+  invalidate_cached_blocks t new_name;
   match t.backend with Backend.B (module M) -> M.rename ~old_name ~new_name
 
 let list_files t = match t.backend with Backend.B (module M) -> M.list_files ()
@@ -188,6 +235,11 @@ let crash t =
   match t.backend with
   | Backend.B (module M) ->
     M.crash ();
+    (* Unsynced suffixes just vanished; cached blocks of this namespace
+       may describe bytes that no longer exist. *)
+    (match t.block_cache with
+    | Some bc -> Evendb_cache.Block_cache.invalidate_space bc ~space:t.cache_space
+    | None -> ());
     with_lock t.ns_mutex (fun () ->
         Hashtbl.reset t.open_files;
         t.generation <- t.generation + 1)

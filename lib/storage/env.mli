@@ -133,7 +133,32 @@ val read_at : t -> string -> off:int -> len:int -> string
 
 val read_all : t -> string -> string
 
+val pread : t -> string -> off:int -> len:int -> Evendb_util.Bigslice.t
+(** Partial read returning a bigarray-backed slice — an mmap window on
+    disk, a private copy in memory (see {!Backend.BACKEND.pread}).
+    Same bounds/missing-file contract and stats accounting as
+    {!read_at}. *)
+
 val exists : t -> string -> bool
+
+(** {2 Shared block cache}
+
+    An environment may carry one {!Evendb_cache.Block_cache.t},
+    shared by every sstable reader opened through it. {!sub} children
+    inherit the parent's cache (one budget across all shards), each
+    under its own {!cache_space} so equal file names in sibling
+    namespaces never collide. The environment invalidates cached
+    blocks on {!delete}, {!rename} and {!crash}. *)
+
+val install_block_cache : t -> capacity_bytes:int -> unit
+(** Install a fresh cache of the given capacity, unless one is already
+    present (inherited or installed) or [capacity_bytes = 0]. *)
+
+val set_block_cache : t -> Evendb_cache.Block_cache.t option -> unit
+val block_cache : t -> Evendb_cache.Block_cache.t option
+
+val cache_space : t -> int
+(** This environment's cache-key namespace (process-globally unique). *)
 
 (** {2 Namespace} *)
 

@@ -151,6 +151,23 @@ let wrap p (Backend.B (module Inner) : Backend.packed) : Backend.packed =
         end
         else s
 
+      (* Same decision sequence as [read_at] (one corrupt draw, then
+         position + mask), flipped on a private copy — never on the
+         returned slice, which may be an mmap window onto the real
+         file. *)
+      let pread name ~off ~len =
+        let s = Inner.pread name ~off ~len in
+        if len > 0 && corrupt_fires p then begin
+          Atomic.incr p.inj_corrupt;
+          let i = draw_int p len in
+          let mask = 1 + draw_int p 255 in
+          let b = Evendb_util.Bigslice.copy s in
+          Evendb_util.Bigslice.set b i
+            (Char.chr (Char.code (Evendb_util.Bigslice.get b i) lxor mask));
+          b
+        end
+        else s
+
       let fsync (name, h) =
         if fires p then begin
           Atomic.incr p.inj_fsync;

@@ -29,6 +29,15 @@ let bytes ?(init = 0l) b ~pos ~len =
   done;
   finish !crc
 
+let bigslice ?(init = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigslice.length b then
+    invalid_arg "Crc32c.bigslice: slice out of bounds";
+  let crc = ref (start init) in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bigslice.unsafe_get b i))
+  done;
+  finish !crc
+
 let string ?(init = 0l) s =
   let crc = ref (start init) in
   for i = 0 to String.length s - 1 do

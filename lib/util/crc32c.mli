@@ -10,6 +10,10 @@ val string : ?init:int32 -> string -> int32
 val bytes : ?init:int32 -> bytes -> pos:int -> len:int -> int32
 (** [bytes b ~pos ~len] checksums the given slice. *)
 
+val bigslice : ?init:int32 -> Bigslice.t -> pos:int -> len:int -> int32
+(** [bigslice b ~pos ~len] checksums a bigarray-backed slice without
+    copying it — the fill-time verification path of the block cache. *)
+
 val mask : int32 -> int32
 (** [mask crc] applies the standard rotation+offset masking (as in
     LevelDB/RocksDB) so that checksums of data containing embedded CRCs

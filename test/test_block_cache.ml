@@ -1,0 +1,171 @@
+(* Shared block cache (PR 8): the capacity bound must hold at every
+   instant (not just eventually), a cached block is verified exactly
+   once, LFU keeps hot blocks through cold churn, oversized blocks are
+   served uncached, and namespace invalidation is surgical. The same
+   properties are re-checked under 4-domain contention. *)
+
+open Evendb_util
+open Evendb_cache
+
+let block n len = Bigslice.of_string (String.make len (Char.chr (n land 0xff)))
+
+(* Drive > 2x the capacity of distinct blocks through the cache and
+   assert the resident total never exceeds the budget after any
+   insert. *)
+let capacity_bound () =
+  let cap = 64 * 1024 in
+  let blk = 4 * 1024 in
+  let bc = Block_cache.create ~capacity_bytes:cap () in
+  let n = (2 * cap / blk) + 8 in
+  for i = 0 to n - 1 do
+    ignore (Block_cache.find_or_fill bc ~space:0 ~file:"f" ~index:i ~fill:(fun () -> block i blk));
+    let r = Block_cache.resident_bytes bc in
+    if r > cap then Alcotest.failf "resident %d > capacity %d after insert %d" r cap i
+  done;
+  Alcotest.(check bool) "evictions happened" true (Block_cache.evictions bc > 0);
+  Alcotest.(check int) "distinct blocks: every access filled" n (Block_cache.fills bc);
+  Alcotest.(check int) "distinct blocks: every access missed" n (Block_cache.misses bc)
+
+(* CRC verification lives in the fill closure; a cached block must be
+   served without running it again. *)
+let fill_once () =
+  let bc = Block_cache.create ~capacity_bytes:(1024 * 1024) () in
+  let fills = ref 0 in
+  let fill () =
+    incr fills;
+    block 1 512
+  in
+  for _ = 1 to 10 do
+    let s = Block_cache.find_or_fill bc ~space:0 ~file:"f" ~index:0 ~fill in
+    Alcotest.(check int) "slice length" 512 (Bigslice.length s)
+  done;
+  Alcotest.(check int) "verified exactly once" 1 !fills;
+  Alcotest.(check int) "fills" 1 (Block_cache.fills bc);
+  Alcotest.(check int) "misses" 1 (Block_cache.misses bc);
+  Alcotest.(check int) "hits" 9 (Block_cache.hits bc)
+
+(* One shard makes the policy observable: a block accessed 30+ times
+   must survive a churn of 40 once-touched blocks through a 4-block
+   budget. *)
+let lfu_keeps_hot_blocks () =
+  let blk = 1024 in
+  let bc = Block_cache.create ~shards:1 ~capacity_bytes:(4 * blk) () in
+  let fill_count = Array.make 64 0 in
+  let get i =
+    ignore
+      (Block_cache.find_or_fill bc ~space:0 ~file:"f" ~index:i ~fill:(fun () ->
+           fill_count.(i) <- fill_count.(i) + 1;
+           block i blk))
+  in
+  for _ = 1 to 32 do
+    get 0
+  done;
+  for i = 1 to 40 do
+    get i
+  done;
+  get 0;
+  Alcotest.(check int) "hot block never refilled" 1 fill_count.(0);
+  Alcotest.(check bool) "cold churn evicted" true (Block_cache.evictions bc > 0)
+
+(* A block larger than a shard's budget must be served (correctness)
+   but never cached (the bound stays strict). *)
+let oversized_served_uncached () =
+  let bc = Block_cache.create ~shards:1 ~capacity_bytes:1024 () in
+  for _ = 1 to 3 do
+    let s =
+      Block_cache.find_or_fill bc ~space:0 ~file:"big" ~index:0 ~fill:(fun () -> block 7 4096)
+    in
+    Alcotest.(check int) "served in full" 4096 (Bigslice.length s)
+  done;
+  Alcotest.(check int) "never resident" 0 (Block_cache.resident_bytes bc);
+  Alcotest.(check int) "refilled every time" 3 (Block_cache.fills bc)
+
+(* A fill that raises (corruption, I/O error) must cache nothing and
+   leave the cache usable. *)
+let failed_fill_caches_nothing () =
+  let bc = Block_cache.create ~capacity_bytes:1024 () in
+  (try
+     ignore
+       (Block_cache.find_or_fill bc ~space:0 ~file:"f" ~index:0 ~fill:(fun () ->
+            failwith "bad crc"));
+     Alcotest.fail "fill exception swallowed"
+   with Failure _ -> ());
+  Alcotest.(check int) "nothing resident" 0 (Block_cache.resident_bytes bc);
+  let fills = ref 0 in
+  let s =
+    Block_cache.find_or_fill bc ~space:0 ~file:"f" ~index:0 ~fill:(fun () ->
+        incr fills;
+        block 3 128)
+  in
+  Alcotest.(check int) "retried fill runs" 1 !fills;
+  Alcotest.(check int) "and serves" 128 (Bigslice.length s)
+
+(* invalidate_file drops exactly one (space, file); invalidate_space
+   drops one namespace and spares others — the shard/crash contract. *)
+let invalidation_is_surgical () =
+  let bc = Block_cache.create ~capacity_bytes:(1024 * 1024) () in
+  let fills = ref 0 in
+  let get space file i =
+    ignore
+      (Block_cache.find_or_fill bc ~space ~file ~index:i ~fill:(fun () ->
+           incr fills;
+           block i 256))
+  in
+  get 0 "a" 0;
+  get 0 "a" 1;
+  get 0 "b" 0;
+  get 1 "a" 0;
+  Alcotest.(check int) "four distinct blocks" 4 !fills;
+  Block_cache.invalidate_file bc ~space:0 ~file:"a";
+  get 0 "a" 0;
+  get 0 "b" 0;
+  get 1 "a" 0;
+  Alcotest.(check int) "only (0, a) was dropped" 5 !fills;
+  Block_cache.invalidate_space bc ~space:0;
+  get 0 "a" 0;
+  get 0 "b" 0;
+  get 1 "a" 0;
+  Alcotest.(check int) "space 0 dropped, space 1 kept" 7 !fills;
+  Block_cache.clear bc;
+  Alcotest.(check int) "empty after clear" 0 (Block_cache.resident_bytes bc)
+
+(* Four domains hammer a shared working set larger than the cache.
+   Invariants checked on every access from every domain: served slices
+   carry the right bytes (a racing fill must never surface a torn or
+   foreign block) and the resident total never exceeds capacity. *)
+let concurrent_domains () =
+  let cap = 32 * 1024 in
+  let blk = 1024 in
+  let per_domain = 5_000 in
+  let bc = Block_cache.create ~capacity_bytes:cap () in
+  let violation = Atomic.make false in
+  let worker seed () =
+    let st = Random.State.make [| 0xb10c; seed |] in
+    for _ = 1 to per_domain do
+      let i = Random.State.int st 128 in
+      let s = Block_cache.find_or_fill bc ~space:0 ~file:"f" ~index:i ~fill:(fun () -> block i blk) in
+      if Bigslice.length s <> blk || Bigslice.get s 0 <> Char.chr (i land 0xff) then
+        Atomic.set violation true;
+      if Block_cache.resident_bytes bc > cap then Atomic.set violation true
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "no content/bound violation under 4 domains" false (Atomic.get violation);
+  Alcotest.(check int) "every access is a hit or a miss" (4 * per_domain)
+    (Block_cache.hits bc + Block_cache.misses bc);
+  Alcotest.(check bool) "resident bound holds at rest" true (Block_cache.resident_bytes bc <= cap)
+
+let suite =
+  [
+    ( "block_cache",
+      [
+        Alcotest.test_case "capacity bound holds at every insert" `Quick capacity_bound;
+        Alcotest.test_case "a block is verified exactly once" `Quick fill_once;
+        Alcotest.test_case "LFU keeps hot blocks through cold churn" `Quick lfu_keeps_hot_blocks;
+        Alcotest.test_case "oversized blocks served but not cached" `Quick oversized_served_uncached;
+        Alcotest.test_case "a failed fill caches nothing" `Quick failed_fill_caches_nothing;
+        Alcotest.test_case "invalidation is per-file / per-space" `Quick invalidation_is_surgical;
+        Alcotest.test_case "4-domain contention" `Quick concurrent_domains;
+      ] );
+  ]

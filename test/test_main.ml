@@ -12,6 +12,8 @@ let () =
          Test_log.suite;
          Test_sstable.suite;
          Test_cache.suite;
+         Test_block_cache.suite;
+         Test_sorted_view.suite;
          Test_munk.suite;
          Test_config.suite;
          Test_core.suite;
