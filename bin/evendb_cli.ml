@@ -11,16 +11,29 @@
      evendb slow  <dir> [--out FILE] [--json] [--ops N] [--threshold-us US]
      evendb checkpoint <dir>
      evendb fsck <dir> [--repair]
+     evendb snapshot <dir> [ID] [--drop]
+     evendb backup <dir> <dest> [--snapshot ID] [--base ID]
+     evendb restore <src> <dst>
+     evendb fence <dir>
+     evendb promote <dir> [--from PRIMARY_DIR]
 
-   Every invocation except fsck opens (recovering if needed) and
-   cleanly closes the store in <dir>; fsck works on the raw directory
-   without opening the store. *)
+   Every invocation except fsck and restore opens (recovering if
+   needed) and cleanly closes the store in <dir>; fsck and restore work
+   on raw directories without opening a store.
+
+   A store carrying the FOLLOWER marker is a replication standby:
+   direct writes (put/del/load) are refused — promote it first. A store
+   carrying the FENCED marker is a deposed primary: every write raises
+   and the CLI exits 5. *)
 
 open Cmdliner
 module Db = Evendb_core.Db
 module Chunk_stats = Evendb_core.Chunk_stats
+module Snapshot = Evendb_core.Snapshot
+module Backup = Evendb_core.Backup
 module Env = Evendb_storage.Env
 module Fault = Evendb_storage.Fault
+module Repl = Evendb_repl.Repl
 module W = Evendb_ycsb.Workload
 
 module Shard = Evendb_shard
@@ -42,16 +55,50 @@ let run_guarded ~report f =
     report ();
     Printf.eprintf "evendb: %s\n" (Evendb_storage.Io_error.to_string info);
     exit 3
+  | exception Env.Corruption c ->
+    report ();
+    Printf.eprintf "evendb: %s\n" (Evendb_storage.Io_error.corruption_to_string c);
+    exit 3
+  | exception Db.Fenced ->
+    report ();
+    Printf.eprintf "evendb: store is fenced (deposed primary); writes are refused\n";
+    exit 5
 
 let fault_report faults () =
   Option.iter
     (fun p -> Printf.eprintf "injected faults (%s): %d\n" (Fault.profile_string p) (Fault.injected p))
     faults
 
-let with_store ?fault_profile ?config ?(shards = 0) dir f =
+(* Direct writes to a replication standby would diverge it from its
+   primary silently; the only sanctioned write path is the stream (or
+   promotion). Read-only commands pass [writes:false]. *)
+(* Read-only commands may open a follower, but must not weaken it: the
+   MODE marker follows the opening config, and a standby must stay
+   Sync (an applied-but-unsynced stream record would be acked to the
+   shipper yet lost on crash). *)
+let follower_safe_config env config =
+  if Env.exists env Repl.follower_marker then
+    Some
+      {
+        (Option.value config ~default:Evendb_core.Config.default) with
+        Evendb_core.Config.persistence = Evendb_core.Config.Sync;
+      }
+  else config
+
+let refuse_follower_writes env =
+  if Env.exists env Repl.follower_marker then begin
+    Printf.eprintf
+      "evendb: store is a replication follower; direct writes are refused (run `evendb \
+       promote` to make it a primary)\n";
+    exit 2
+  end
+
+let with_store ?fault_profile ?config ?(shards = 0) ?(writes = false) dir f =
   let faults = Option.map Fault.parse_profile fault_profile in
   run_guarded ~report:(fault_report faults) (fun () ->
       let env = Env.disk ?faults dir in
+      if writes then refuse_follower_writes env;
+      let config = follower_safe_config env config in
       if shards > 1 || Env.exists env "SHARDS" then begin
         let boundaries =
           if Env.exists env "SHARDS" then []
@@ -81,6 +128,7 @@ let with_db ?fault_profile ?config dir f =
         Printf.eprintf "evendb: %s is a sharded store; this command works on plain stores\n" dir;
         exit 2
       end;
+      let config = follower_safe_config env config in
       let db = Db.open_ ?config env in
       Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db))
 
@@ -114,7 +162,7 @@ let value_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE"
 
 let put_cmd =
   let run fault_profile dir key value =
-    with_store ?fault_profile dir (fun st -> s_put st key value)
+    with_store ?fault_profile ~writes:true dir (fun st -> s_put st key value)
   in
   Cmd.v (Cmd.info "put" ~doc:"Write one key")
     Term.(const run $ fault_arg $ dir_arg $ key_arg $ value_arg)
@@ -131,7 +179,9 @@ let get_cmd =
   Cmd.v (Cmd.info "get" ~doc:"Read one key") Term.(const run $ fault_arg $ dir_arg $ key_arg)
 
 let del_cmd =
-  let run fault_profile dir key = with_store ?fault_profile dir (fun st -> s_delete st key) in
+  let run fault_profile dir key =
+    with_store ?fault_profile ~writes:true dir (fun st -> s_delete st key)
+  in
   Cmd.v (Cmd.info "del" ~doc:"Delete one key") Term.(const run $ fault_arg $ dir_arg $ key_arg)
 
 let scan_cmd =
@@ -169,7 +219,7 @@ let load_cmd =
       | `Composite -> Evendb_ycsb.Workload.Zipf_composite 0.99
       | `Uniform -> Evendb_ycsb.Workload.Uniform
     in
-    with_store ?fault_profile ~shards dir (fun st ->
+    with_store ?fault_profile ~shards ~writes:true dir (fun st ->
         let sh = Evendb_ycsb.Workload.create_shared ~value_bytes:128 d ~items ~seed:1 in
         let w = Evendb_ycsb.Workload.thread sh ~id:0 in
         let keys = Evendb_ycsb.Workload.load_keys sh in
@@ -288,6 +338,16 @@ let stat_cmd =
             Printf.printf "resident munks:      %d\n" (Db.munk_count db);
             Printf.printf "funk log bytes:      %d\n" (Db.log_space db);
             Printf.printf "current epoch:       %d\n" (Db.current_epoch db);
+            (match Db.list_snapshots db with
+            | [] -> ()
+            | snaps ->
+              Printf.printf "snapshots:           %d (%s)\n" (List.length snaps)
+                (String.concat ", " (List.map (fun i -> i.Snapshot.id) snaps)));
+            let env = Env.disk dir in
+            if Env.exists env Repl.follower_marker then
+              Printf.printf "replication:         follower, applied LSN %d\n"
+                (Repl.Follower.load_watermark env)
+            else if Db.fenced db then Printf.printf "replication:         fenced (deposed primary)\n";
             let snap = Evendb_obs.Obs.snapshot (Db.obs db) in
             commit_summary [ snap ];
             timer_table [ ("", snap) ]
@@ -666,6 +726,167 @@ let fsck_cmd =
           payloads) and the manifest's cross-file references. Exits 2 if errors remain.")
     Term.(const run $ dir_arg $ repair)
 
+let snapshot_cmd =
+  let id_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ID" ~doc:"Snapshot identifier.")
+  in
+  let drop =
+    Arg.(value & flag & info [ "drop" ] ~doc:"Drop snapshot $(i,ID) instead of creating it.")
+  in
+  let run fault_profile dir id drop =
+    with_db ?fault_profile dir (fun db ->
+        match (id, drop) with
+        | None, true ->
+          prerr_endline "evendb: --drop needs a snapshot ID";
+          exit 2
+        | None, false ->
+          List.iter
+            (fun (i : Snapshot.info) ->
+              Printf.printf "%s\tversion %d\t%d funks\n" i.Snapshot.id i.Snapshot.version
+                (List.length i.Snapshot.funks))
+            (Db.list_snapshots db)
+        | Some id, true ->
+          Db.drop_snapshot db ~id;
+          Printf.printf "dropped snapshot %s\n" id
+        | Some id, false ->
+          let info = Db.snapshot db ~id in
+          Printf.printf "published snapshot %s at version %d (%d funks)\n" info.Snapshot.id
+            info.Snapshot.version
+            (List.length info.Snapshot.funks))
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Publish a point-in-time read-only snapshot under snapshots/ID/ (crash-safe: a \
+          snapshot exists only once its COMPLETE marker is published; half-published \
+          snapshots are swept at recovery). Without ID, list the published snapshots.")
+    Term.(const run $ fault_arg $ dir_arg $ id_arg $ drop)
+
+let backup_cmd =
+  let dest_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST") in
+  let snap_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"ID"
+          ~doc:
+            "Ship snapshot $(docv) (published if it does not exist yet). Default: publish a \
+             fresh auto-named snapshot at the current cut.")
+  in
+  let base_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "base" ] ~docv:"ID"
+          ~doc:
+            "Incremental: ship only funks changed since base snapshot $(docv) (SSTables of \
+             shared funks are carried by reference; their logs ship only the grown suffix). \
+             The base must be the snapshot of the previous archive in the chain.")
+  in
+  let run fault_profile dir dest snap base =
+    with_db ?fault_profile dir (fun db ->
+        let snapshot_id =
+          match snap with
+          | Some id when Snapshot.exists (Db.env db) ~id -> id
+          | Some id -> (Db.snapshot db ~id).Snapshot.id
+          | None ->
+            let rec fresh n =
+              let id = Printf.sprintf "auto-%04d" n in
+              if Snapshot.exists (Db.env db) ~id then fresh (n + 1) else id
+            in
+            (Db.snapshot db ~id:(fresh 0)).Snapshot.id
+        in
+        let name, stats =
+          Backup.ship ~obs:(Db.obs db) ~src:(Db.env db) ~dest:(Env.disk dest) ~snapshot_id
+            ?base_id:base ()
+        in
+        Printf.printf "shipped snapshot %s to %s/%s: %d funks, %d bytes%s\n" snapshot_id dest
+          name stats.Backup.funks_shipped stats.Backup.bytes_shipped
+          (match base with Some b -> Printf.sprintf " (incremental over %s)" b | None -> ""))
+  in
+  Cmd.v
+    (Cmd.info "backup"
+       ~doc:
+         "Ship a snapshot into a self-describing CRC-trailered archive in DEST \
+          (backup_<seq>.evbk). With --base, only what changed since the base snapshot is \
+          shipped. Interrupted ships leave only a *.tmp behind.")
+    Term.(const run $ fault_arg $ dir_arg $ dest_arg $ snap_arg $ base_arg)
+
+let restore_cmd =
+  let src_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC") in
+  let dst_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST") in
+  let run src dst =
+    run_guarded
+      ~report:(fun () -> ())
+      (fun () ->
+        match Backup.restore ~src:(Env.disk src) ~dest:(Env.disk dst) with
+        | () -> Printf.printf "restored %s from the archive chain in %s\n" dst src
+        | exception Invalid_argument msg ->
+          Printf.eprintf "evendb: %s\n" msg;
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Rebuild a store from the backup archive chain in SRC (one full plus any \
+          incrementals) into the empty directory DST. The result opens normally and passes \
+          fsck; a damaged archive or broken chain is rejected whole.")
+    Term.(const run $ src_arg $ dst_arg)
+
+let fence_cmd =
+  let run fault_profile dir =
+    with_db ?fault_profile dir (fun db ->
+        Db.fence db;
+        Printf.printf "fenced %s: all writes now fail until promotion copies its state\n" dir)
+  in
+  Cmd.v
+    (Cmd.info "fence"
+       ~doc:
+         "Fence a (deposed) primary: publish the durable FENCED marker, after which every \
+          write raises and the CLI exits 5. Reads stay available. Part of the failover \
+          runbook — fence the old primary before promoting its replica.")
+    Term.(const run $ fault_arg $ dir_arg)
+
+let promote_cmd =
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"PRIMARY_DIR"
+          ~doc:
+            "The deposed primary's store. When reachable it is fenced and its recovered \
+             durable state is applied onto the replica before promotion, so nothing acked is \
+             lost. Omit when the primary's disk is gone; the replica then serves its last \
+             applied state.")
+  in
+  let run dir from =
+    run_guarded
+      ~report:(fun () -> ())
+      (fun () ->
+        let renv = Env.disk dir in
+        if not (Env.exists renv Repl.follower_marker) then begin
+          Printf.eprintf "evendb: %s is not a replication follower\n" dir;
+          exit 2
+        end;
+        let f = Repl.Follower.open_ renv in
+        let applied = Repl.Follower.applied_lsn f in
+        let primary = Option.map (fun d -> Db.open_ (Env.disk d)) from in
+        let db = Repl.promote ?primary f in
+        Printf.printf "promoted %s (watermark was LSN %d%s)\n" dir applied
+          (match from with
+          | Some d -> Printf.sprintf "; fenced and drained %s" d
+          | None -> "; old primary unreachable — serving last applied state");
+        Db.close db;
+        Option.iter Db.close primary)
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a replication follower to primary: fence the old primary (--from), top the \
+          replica up from its recovered durable state, drop the FOLLOWER marker and \
+          watermark, and checkpoint. The store then accepts direct writes.")
+    Term.(const run $ dir_arg $ from_arg)
+
 let () =
   let doc = "EvenDB: a key-value store optimized for spatial locality" in
   exit
@@ -683,4 +904,9 @@ let () =
             slow_cmd;
             checkpoint_cmd;
             fsck_cmd;
+            snapshot_cmd;
+            backup_cmd;
+            restore_cmd;
+            fence_cmd;
+            promote_cmd;
           ]))

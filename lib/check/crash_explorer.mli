@@ -81,3 +81,36 @@ val explore :
     Violations abort nothing — the full list comes back for reporting. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Pair exploration}
+
+    A Sync primary replicating to a follower over a fault-injected
+    link, with {e either} node crashed at {e every} point of its
+    mutation journal ([Drop_unsynced] model):
+
+    - primary crash at [p], replica frozen at its last shipped state:
+      recover both, {!Evendb_repl.Repl.promote} — the promoted store
+      must satisfy the single-node durability oracle at [p] (failover
+      loses nothing acked), the fenced old primary must refuse writes,
+      and the promoted directory must scrub clean;
+    - replica crash at [r]: the recovered replica must serve only data
+      the primary had acked (nothing unacked ever leaks into the
+      change-stream), and resuming shipment from the watermark across a
+      fresh faulty link must converge to the primary's final state
+      (monotonic watermark, idempotent redelivery). *)
+
+type pair_result = {
+  pair_seed : int;
+  pair_ops : int;
+  primary_points : int;  (** primary journal prefixes explored *)
+  replica_points : int;  (** replica journal prefixes explored *)
+  pair_violations : (string * string) list;
+      (** (["primary@p"] or ["replica@r"], description) *)
+}
+
+val explore_pair :
+  ?ops:int -> ?keys:int -> ?seed:int -> ?fault_rate_ppm:int -> unit -> pair_result
+(** Defaults: 60 ops (80% put / 20% delete) over 24 keys, seed 1, link
+    fault rate 120000 ppm. *)
+
+val pp_pair_result : Format.formatter -> pair_result -> unit

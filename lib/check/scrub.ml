@@ -45,16 +45,35 @@ type file_class =
   | Checkpoint
   | Recovery_table
   | Mode
+  | Snapshot_complete of string  (* snapshots/<id>/COMPLETE *)
+  | Snapshot_member of string * string  (* snapshot id, bare member name *)
+  | Backup_archive  (* backup_*.evbk *)
+  | Repl_watermark  (* REPL_LSN *)
+  | Follower_marker  (* FOLLOWER *)
+  | Fenced_marker  (* FENCED *)
   | Tmp
   | Unknown
 
-let classify name =
+let rec classify name =
   if Filename.check_suffix name ".tmp" then Tmp
-  else if name = Manifest.file_name then Evendb_manifest
+  else
+    match Env.split_snapshot name with
+    | Some (id, member) ->
+      if member = Snapshot.complete_name then Snapshot_complete id
+      else Snapshot_member (id, member)
+    | None ->
+      classify_flat name
+
+and classify_flat name =
+  if name = Manifest.file_name then Evendb_manifest
   else if name = "LSM_MANIFEST" || name = "FLSM_MANIFEST" then Baseline_manifest
   else if name = Checkpoint_file.file_name then Checkpoint
   else if name = Recovery_table.file_name then Recovery_table
   else if name = "MODE" then Mode
+  else if name = "REPL_LSN" then Repl_watermark
+  else if name = "FOLLOWER" then Follower_marker
+  else if name = "FENCED" then Fenced_marker
+  else if Backup.parse_archive_name name <> None then Backup_archive
   else
     match Scanf.sscanf_opt name "funk_%8d.sst%!" (fun id -> id) with
     | Some id -> Funk_sst id
@@ -146,6 +165,33 @@ let check_mode env name =
       };
     ]
 
+(* A member of a *published* snapshot is checked like its live-store
+   counterpart — same formats, frozen names. The snapshot MANIFEST is
+   only CRC-validated: its funk ids reference the snapshot's own copies,
+   never the live store, so cross-file checks against the live layout
+   would be meaningless. *)
+let check_snapshot_member env name ~member =
+  match classify_flat member with
+  | Funk_sst _ | Baseline_sst -> check_sst env name
+  | Funk_log _ | Baseline_log -> check_log env name
+  | Funk_view _ -> check_view env name
+  | Evendb_manifest | Checkpoint | Recovery_table -> (
+    match check_crc_trailer env name with
+    | None -> []
+    | Some detail ->
+      Env.note_corruption env;
+      [ { f_file = name; f_severity = Error; f_kind = Bad_checksum; f_detail = detail } ])
+  | Mode -> check_mode env name
+  | _ ->
+    [
+      {
+        f_file = name;
+        f_severity = Warning;
+        f_kind = Unknown_file;
+        f_detail = "unexpected member of a published snapshot";
+      };
+    ]
+
 (* Cross-file referential integrity of the EvenDB layout: every
    manifest-live funk id must resolve to its files, and the sentinel
    ""-min-key funk must exist (recovery refuses to start without it). *)
@@ -211,6 +257,38 @@ let scrub_findings env =
             Env.note_corruption env;
             [ { f_file = name; f_severity = Error; f_kind = Bad_checksum; f_detail = detail } ])
         | Mode -> check_mode env name
+        | Snapshot_complete id -> (
+          match Snapshot.load_complete env ~id with
+          | _ -> []
+          | exception Env.Corruption c ->
+            [ { f_file = name; f_severity = Error; f_kind = Bad_checksum; f_detail = c.c_detail } ])
+        | Snapshot_member (id, member) ->
+          if not (Snapshot.exists env ~id) then
+            [
+              {
+                f_file = name;
+                f_severity = Warning;
+                f_kind = Orphan;
+                f_detail = "member of a half-published snapshot (no COMPLETE marker); the \
+                            recovery sweep drops it";
+              };
+            ]
+          else check_snapshot_member env name ~member
+        | Backup_archive -> (
+          match Backup.verify env name with
+          | () -> []
+          | exception Env.Corruption c ->
+            [ { f_file = name; f_severity = Error; f_kind = Bad_checksum; f_detail = c.c_detail } ])
+        | Repl_watermark -> (
+          (* varint LSN + CRC32C trailer — the shared metadata frame. *)
+          match check_crc_trailer env name with
+          | None -> []
+          | Some detail ->
+            Env.note_corruption env;
+            [ { f_file = name; f_severity = Error; f_kind = Bad_checksum; f_detail = detail } ])
+        | Follower_marker | Fenced_marker ->
+          (* Presence alone carries the meaning; content is free-form. *)
+          []
         | Tmp ->
           [
             {
@@ -401,6 +479,20 @@ let repair env =
   let manifest_needs_rebuild = ref false in
   (* One repair per file even when it has several findings. *)
   let seen = Hashtbl.create 16 in
+  (* One drop per snapshot even when several members are damaged. *)
+  let dropped_snapshots = Hashtbl.create 4 in
+  let drop_snapshot id reason =
+    if not (Hashtbl.mem dropped_snapshots id) then begin
+      Hashtbl.replace dropped_snapshots id ();
+      Snapshot.drop env ~id;
+      act
+        (Env.snapshot_member ~id "")
+        (Printf.sprintf
+           "snapshot %s dropped (%s); a snapshot is a derived artifact — re-snapshot the \
+            live store instead of repairing a damaged cut"
+           id reason)
+    end
+  in
   List.iter
     (fun f ->
       if not (Hashtbl.mem seen f.f_file) then begin
@@ -441,6 +533,21 @@ let repair env =
           act name
             "quarantined; visibility of previous epochs' uncheckpointed writes is lost"
         | Mode, _ -> act name (rewrite_mode env)
+        | Snapshot_complete id, _ -> drop_snapshot id "COMPLETE marker unreadable"
+        | Snapshot_member (id, _), _ ->
+          (* Healthy members are never touched (their findings filter out
+             above); a damaged member poisons the whole cut. *)
+          drop_snapshot id "damaged member"
+        | Backup_archive, _ ->
+          quarantine env name;
+          act name
+            "quarantined (damaged archive breaks the restore chain; re-ship from a live \
+             snapshot)"
+        | Repl_watermark, _ ->
+          quarantine env name;
+          act name
+            "quarantined; the follower re-applies from LSN 0 (stream applies are idempotent)"
+        | (Follower_marker | Fenced_marker), _ -> ()
         | Tmp, _ ->
           Env.delete env name;
           act name "deleted leftover temporary file"

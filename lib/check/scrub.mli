@@ -8,6 +8,15 @@
     must resolve to files, some live funk must carry the sentinel ""
     min-key).
 
+    The scrubber also understands the auxiliary namespaces: members of
+    published snapshots under ["snapshots/<id>/"] are verified like
+    their live-store counterparts (a member of a half-published
+    snapshot is a warning — the recovery sweep drops it), backup
+    archives ([backup_*.evbk]) are structurally validated, and the
+    replication files ([REPL_LSN] watermark, [FOLLOWER] / [FENCED]
+    markers) are recognized. A healthy snapshot member is never
+    quarantined by {!repair}.
+
     {!repair} additionally fixes what it can. The rule is: never
     destroy bytes — an untrusted file is {e quarantined} (renamed under
     ["quarantine/"], which recovery sweeps ignore) before anything is

@@ -3,12 +3,12 @@ open Evendb_storage
 
 let file_name = "CHECKPOINT"
 
-let store env ~version =
+let store ?(name = file_name) env ~version =
   let buf = Buffer.create 16 in
   Varint.write buf version;
   let payload = Buffer.contents buf in
   let crc = Crc32c.string payload in
-  let tmp = file_name ^ ".tmp" in
+  let tmp = name ^ ".tmp" in
   let file = Env.create env tmp in
   (* Write-tmp-then-rename: a failure anywhere leaves the previous
      checkpoint untouched; only the tmp file needs sweeping up. *)
@@ -19,20 +19,21 @@ let store env ~version =
             Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff)));
      Env.fsync file;
      Env.close_file file;
-     Env.rename env ~old_name:tmp ~new_name:file_name
+     Env.rename env ~old_name:tmp ~new_name:name
    with exn ->
      Env.close_file file;
      (try Env.delete env tmp with _ -> ());
      raise exn)
 
-let corrupt env detail =
+let corrupt env ~name detail =
   Env.note_corruption env;
-  Io_error.raise_corruption ~file:file_name ~detail
+  Io_error.raise_corruption ~file:name ~detail
 
-let load env =
-  if not (Env.exists env file_name) then None
+let load ?(name = file_name) env =
+  let corrupt env detail = corrupt env ~name detail in
+  if not (Env.exists env name) then None
   else begin
-    let data = Env.read_all env file_name in
+    let data = Env.read_all env name in
     if String.length data < 5 then corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     let stored =

@@ -10,7 +10,8 @@ open Evendb_storage
 
 val file_name : string
 
-val store : Env.t -> version:int -> unit
-val load : Env.t -> int option
+val store : ?name:string -> Env.t -> version:int -> unit
+val load : ?name:string -> Env.t -> int option
 (** [None] if no checkpoint was ever completed. Raises
-    [Invalid_argument] on corruption. *)
+    [Invalid_argument] on corruption. [?name] overrides the location
+    (default {!file_name}) for snapshot-pinned copies. *)

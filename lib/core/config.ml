@@ -29,6 +29,9 @@ type t = {
   group_commit_max_wait_ns : int;
   block_cache_bytes : int;
   sorted_view_enabled : bool;
+  snapshot_max_retained : int;
+  repl_window : int;
+  repl_retry_backoff_ns : int;
 }
 
 let mib = 1024 * 1024
@@ -63,6 +66,9 @@ let default =
     group_commit_max_wait_ns = 400_000;
     block_cache_bytes = 32 * mib;
     sorted_view_enabled = true;
+    snapshot_max_retained = 0;
+    repl_window = 64;
+    repl_retry_backoff_ns = 1_000_000;
   }
 
 (* Reject knob combinations that would silently misbehave — a ring of
@@ -89,7 +95,13 @@ let validate t =
   if t.checkpoint_every_puts < 0 then
     fail "checkpoint_every_puts = %d (must be >= 0; 0 = explicit only)" t.checkpoint_every_puts;
   if t.block_cache_bytes < 0 then
-    fail "block_cache_bytes = %d (must be >= 0; 0 = no block cache)" t.block_cache_bytes
+    fail "block_cache_bytes = %d (must be >= 0; 0 = no block cache)" t.block_cache_bytes;
+  if t.snapshot_max_retained < 0 then
+    fail "snapshot_max_retained = %d (must be >= 0; 0 = unlimited)" t.snapshot_max_retained;
+  if t.repl_window < 1 then
+    fail "repl_window = %d (must be >= 1; 1 = one record in flight)" t.repl_window;
+  if t.repl_retry_backoff_ns < 0 then
+    fail "repl_retry_backoff_ns = %d (must be >= 0; 0 = immediate retry)" t.repl_retry_backoff_ns
 
 let scaled ?(factor = 64) () =
   if factor <= 0 then invalid_arg "Config.scaled: factor <= 0";

@@ -87,6 +87,17 @@ type t = {
           SSTable per scan (default [true]; disable for A/B). Scans
           fall back to the merge path whenever a view is missing or
           stale, so flipping this is always safe. *)
+  snapshot_max_retained : int;
+      (** Retention cap enforced after {!Db.snapshot} publishes: when
+          more than this many snapshots exist, the oldest (lowest
+          version) are dropped (default 0 = unlimited). *)
+  repl_window : int;
+      (** Replication shipping window: max change-stream records the
+          shipper hands the follower between watermark syncs
+          (default 64). *)
+  repl_retry_backoff_ns : int;
+      (** Pause before retrying a failed change-stream send
+          (default 1ms; 0 = immediate retry). *)
 }
 
 val default : t

@@ -44,6 +44,10 @@ type t = {
   logical_written : int Atomic.t;
   put_count : int Atomic.t;
   closed : bool Atomic.t;
+  fenced : bool Atomic.t; (* failover: a fenced primary rejects writes *)
+  commit_hook : (K.entry -> unit) option Atomic.t;
+      (* called once per put/delete after the entry is acked (and, under
+         Sync, durable) — the replication change-stream's tap *)
   maint : maintainer option;
   committer : Group_commit.t option; (* Some iff persistence = Sync *)
   (* Observability: one registry per instance; handles cached here so
@@ -63,6 +67,8 @@ type t = {
   ctr_view_scans : Obs.Counter.t;
   ctr_view_fallbacks : Obs.Counter.t;
 }
+
+exception Fenced
 
 let env t = t.env
 let config t = t.cfg
@@ -873,7 +879,7 @@ let rec put_entry db key value_opt =
             (match db.committer with
             | Some gc -> Group_commit.sync gc funk
             | None -> ());
-            match Chunk.munk c with
+            (match Chunk.munk c with
             | Some munk ->
               let may_discard ~old_version ~new_version =
                 let pf = persist_floor db in
@@ -886,7 +892,13 @@ let rec put_entry db key value_opt =
               Chunk.bloom_note_put c ~key ~log_offset:off;
               (match value_opt with
               | Some v -> Row_cache.update_if_present db.row_cache key v ~version:gv ~counter
-              | None -> Row_cache.invalidate db.row_cache key)));
+              | None -> Row_cache.invalidate db.row_cache key));
+            (* Change-stream tap: by this point the entry is appended
+               and — under Sync — covered by the group-commit fsync, so
+               the stream never carries unacked data. *)
+            match Atomic.get db.commit_hook with
+            | Some hook -> Attr.timed Attr.Repl_ship (fun () -> hook entry)
+            | None -> ()));
     ignore
       (Atomic.fetch_and_add db.logical_written
          (String.length key + match value_opt with Some v -> String.length v | None -> 0));
@@ -963,10 +975,14 @@ let checkpoint db =
       checkpoint_locked db)
 
 let put db key value =
+  if Atomic.get db.fenced then raise Fenced;
   Attr.with_op db.attr Attr.Put db.tm_put (fun () -> put_entry_and_maintain db key (Some value))
 
 let delete db key =
+  if Atomic.get db.fenced then raise Fenced;
   Attr.with_op db.attr Attr.Delete db.tm_delete (fun () -> put_entry_and_maintain db key None)
+
+let set_commit_hook db hook = Atomic.set db.commit_hook hook
 
 (* ------------------------------------------------------------------ *)
 (* Scan (§3.3)                                                         *)
@@ -1131,6 +1147,18 @@ let load_mode env : Config.persistence =
   else if Env.read_all env mode_file = "sync" then Config.Sync
   else Config.Async
 
+(* Failover fencing: the marker survives restarts, so a deposed primary
+   stays read-only until an operator removes it. *)
+let fence_marker = "FENCED"
+
+let write_fence_marker env =
+  let tmp = fence_marker ^ ".tmp" in
+  let f = Env.create env tmp in
+  Env.append f "fenced";
+  Env.fsync f;
+  Env.close_file f;
+  Env.rename env ~old_name:tmp ~new_name:fence_marker
+
 let parse_funk_file name =
   (* funk_NNNNNNNN.sst / .log / .view *)
   if String.length name >= 17 && String.sub name 0 5 = "funk_" then
@@ -1234,6 +1262,8 @@ let make_db env cfg ~obs ~committer ~head ~chunks ~gv ~rt ~epoch ~last_checkpoin
     logical_written = Atomic.make 0;
     put_count = Atomic.make 0;
     closed = Atomic.make false;
+    fenced = Atomic.make (Env.exists env fence_marker);
+    commit_hook = Atomic.make None;
     committer =
       (* A caller-supplied committer lets several stores share one batch
          stream (the sharded front end: one fsync can cover appends to
@@ -1385,17 +1415,21 @@ let open_internal config ~committer env =
     let epoch = prev_epoch + 1 in
     if epoch > Version.max_epoch then failwith "Evendb: epoch space exhausted";
     (* Remove leftovers of interrupted rebuilds. Quarantined files (moved
-       aside by fsck --repair) are evidence, never swept. *)
+       aside by fsck --repair) are evidence, never swept; snapshot
+       members are pinned by their own namespace, where only
+       half-published snapshots (no COMPLETE marker — a crash between
+       pin and publish) are collected. *)
     let live_set = Hashtbl.create 16 in
     List.iter (fun id -> Hashtbl.replace live_set id ()) manifest.Manifest.live;
     List.iter
       (fun name ->
-        if not (Env.is_quarantined name) then
+        if not (Env.is_quarantined name || Env.is_snapshot name) then
           match parse_funk_file name with
           | Some (id, _) when not (Hashtbl.mem live_set id) -> Env.delete env name
           | Some _ -> ()
           | None -> if Filename.check_suffix name ".tmp" then Env.delete env name)
       (Env.list_files env);
+    ignore (Snapshot.sweep_orphans env);
     let funks = List.map (fun id -> Funk.open_existing env ~id) manifest.Manifest.live in
     (* A crash between the two manifest updates of [publish_funks] leaves
        both the replaced funk and its replacement live under the same
@@ -1463,6 +1497,161 @@ let open_dir ?config dir = open_ ?config (Env.disk dir)
 let chunk_count db = Chunk_index.size (Atomic.get db.index)
 
 let all_chunks db = Chunk_index.chunks (Atomic.get db.index)
+
+(* ------------------------------------------------------------------ *)
+(* Fencing and snapshots                                               *)
+
+let fence db =
+  write_fence_marker db.env;
+  Atomic.set db.fenced true
+
+let fenced db = Atomic.get db.fenced
+
+let unfence db =
+  Env.delete db.env fence_marker;
+  Atomic.set db.fenced false
+
+let copy_file env ~src ~dst ~len =
+  let out = Env.create env dst in
+  (try
+     let step = 64 * 1024 in
+     let rec go off =
+       if off < len then begin
+         let n = min step (len - off) in
+         Env.append out (Env.read_at env src ~off ~len:n);
+         go (off + n)
+       end
+     in
+     go 0;
+     Env.fsync out;
+     Env.close_file out
+   with exn ->
+     Env.close_file out;
+     (try Env.delete env dst with _ -> ());
+     raise exn)
+
+(* Pin one funk per chunk so no file in the set can be deleted while it
+   is being copied. A funk that retires mid-walk (rebalance/split racing
+   the pin) restarts the walk against the refreshed index. *)
+let pin_funks db =
+  let rec attempt tries =
+    if tries > 64 then failwith "Db.snapshot: funk set would not stabilize";
+    let chunks = Chunk_index.chunks (Atomic.get db.index) in
+    let rec pin acc = function
+      | [] -> Some (List.rev acc)
+      | c :: rest ->
+        let rec try_pin spins =
+          if spins > 64 then None
+          else begin
+            let f = Chunk.funk c in
+            if Funk.acquire f then Some f
+            else begin
+              (* The funk was retired under us (swap in flight); the
+                 chunk will shortly expose its replacement — or is
+                 itself retired, in which case restart from the index. *)
+              Domain.cpu_relax ();
+              if Chunk.retired c then None else try_pin (spins + 1)
+            end
+          end
+        in
+        (match try_pin 0 with
+        | Some f -> pin (f :: acc) rest
+        | None ->
+          List.iter Funk.release acc;
+          None)
+    in
+    match pin [] chunks with
+    | Some fs -> fs
+    | None ->
+      Domain.cpu_relax ();
+      attempt (tries + 1)
+  in
+  attempt 0
+
+let enforce_snapshot_retention db =
+  let cap = db.cfg.Config.snapshot_max_retained in
+  if cap > 0 then begin
+    let infos = Snapshot.list db.env in
+    let excess = List.length infos - cap in
+    if excess > 0 then
+      List.iteri
+        (fun i (s : Snapshot.info) ->
+          if i < excess then begin
+            Snapshot.drop db.env ~id:s.Snapshot.id;
+            Obs.Counter.incr (Obs.counter db.obs "snapshot.dropped")
+          end)
+        infos
+  end
+
+let snapshot db ~id =
+  Snapshot.validate_id id;
+  if Snapshot.exists db.env ~id then
+    invalid_arg (Printf.sprintf "Db.snapshot: snapshot %S already exists" id);
+  Mutex.lock db.checkpoint_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock db.checkpoint_mutex)
+    (fun () ->
+      (* The same consistent cut as a checkpoint: bump the version and
+         wait for every put below it to finish. Records above the cut
+         may still leak into the copied logs; the snapshot's own
+         checkpoint/recovery-table pair makes them invisible. *)
+      let v = Atomic.fetch_and_add db.gv 1 in
+      Pending_ops.wait_pending_puts db.po ~low:"" ~high:None ~upto:v;
+      let pinned = pin_funks db in
+      Fun.protect
+        ~finally:(fun () -> List.iter Funk.release pinned)
+        (fun () ->
+          (* A split-shared funk backs two chunks: copy it once. *)
+          let seen = Hashtbl.create 16 in
+          let uniq =
+            List.filter
+              (fun f ->
+                if Hashtbl.mem seen (Funk.id f) then false
+                else begin
+                  Hashtbl.replace seen (Funk.id f) ();
+                  true
+                end)
+              pinned
+          in
+          let members =
+            List.map
+              (fun f ->
+                let fid = Funk.id f in
+                let log_len = Funk.log_size f in
+                let sst = Funk.sst_name fid and log = Funk.log_name fid in
+                copy_file db.env ~src:sst ~dst:(Snapshot.member ~id sst)
+                  ~len:(Env.size db.env sst);
+                copy_file db.env ~src:log ~dst:(Snapshot.member ~id log) ~len:log_len;
+                (fid, log_len))
+              uniq
+          in
+          let next_id = Atomic.get db.next_funk_id in
+          Manifest.store ~name:(Snapshot.member ~id Manifest.file_name) db.env
+            { Manifest.next_id; live = List.map fst members };
+          Recovery_table.store ~name:(Snapshot.member ~id Recovery_table.file_name) db.env
+            db.rt;
+          Checkpoint_file.store ~name:(Snapshot.member ~id Checkpoint_file.file_name) db.env
+            ~version:v;
+          (* MODE is pinned to async regardless of the source's mode: a
+             store restored from these files must clip visibility at the
+             snapshot checkpoint, never trust whole logs. *)
+          let mf = Env.create db.env (Snapshot.member ~id mode_file) in
+          Env.append mf "async";
+          Env.fsync mf;
+          Env.close_file mf;
+          let info = { Snapshot.id; version = v; next_id; funks = members } in
+          Snapshot.store_complete db.env info;
+          Obs.Counter.incr (Obs.counter db.obs "snapshot.created");
+          enforce_snapshot_retention db;
+          info))
+
+let list_snapshots db = Snapshot.list db.env
+
+let drop_snapshot db ~id =
+  if Snapshot.exists db.env ~id then begin
+    Snapshot.drop db.env ~id;
+    Obs.Counter.incr (Obs.counter db.obs "snapshot.dropped")
+  end
 
 let munk_count db =
   List.length (List.filter (fun c -> Chunk.munk c <> None) (all_chunks db))

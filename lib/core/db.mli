@@ -61,6 +61,50 @@ val checkpoint : t -> unit
     for overlapping puts, fsync everything, persist the checkpoint
     marker (§3.5). Serialized internally. *)
 
+(** {2 Point-in-time snapshots}
+
+    [snapshot] publishes a read-only view of the store at a consistent
+    version cut under the ["snapshots/<id>/"] namespace of the store's
+    environment: the funk set is pinned and copied together with the
+    manifest, checkpoint and recovery table, and a CRC-trailered
+    [COMPLETE] marker is written last (tmp + fsync + rename) — a crash
+    mid-publish leaves no marker and recovery sweeps the debris. Read
+    a published snapshot with {!Snapshot.open_reader}; back it up with
+    {!Backup}. *)
+
+val snapshot : t -> id:string -> Snapshot.info
+(** Publish snapshot [id]. Raises [Invalid_argument] if [id] is
+    malformed (see {!Snapshot.validate_id}) or already exists. Enforces
+    [Config.snapshot_max_retained] by dropping the oldest snapshots
+    after publishing. *)
+
+val list_snapshots : t -> Snapshot.info list
+(** Published snapshots, oldest first. *)
+
+val drop_snapshot : t -> id:string -> unit
+(** Delete snapshot [id]; no-op when absent. *)
+
+(** {2 Fencing (failover)}
+
+    Promotion fences the deposed primary: a durable [FENCED] marker
+    makes every subsequent [put]/[delete] — in this process and after
+    any restart — raise {!Fenced}, while reads stay available. *)
+
+exception Fenced
+
+val fence : t -> unit
+val fenced : t -> bool
+val unfence : t -> unit
+(** Operator override: delete the marker and accept writes again. *)
+
+val set_commit_hook : t -> (Evendb_util.Kv_iter.entry -> unit) option -> unit
+(** Install (or clear) the post-commit tap: called once per
+    [put]/[delete] with the appended entry, after the write is acked —
+    under [Sync] persistence that is after the group-commit fsync
+    covering it, so a hook never observes unacked data. The hook runs
+    inline on the put path and must be fast and non-blocking; its time
+    is attributed to the [repl_ship] cause. *)
+
 (** {2 Maintenance} *)
 
 val maintain : t -> unit

@@ -18,13 +18,13 @@ let u32_le_of_string s pos =
        (Int32.shift_left (b 1) 8)
        (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
 
-let store env t =
+let store ?(name = file_name) env t =
   let buf = Buffer.create 64 in
   Varint.write buf t.next_id;
   Varint.write buf (List.length t.live);
   List.iter (fun id -> Varint.write buf id) t.live;
   let payload = Buffer.contents buf in
-  let tmp = file_name ^ ".tmp" in
+  let tmp = name ^ ".tmp" in
   let file = Env.create env tmp in
   (* Write-tmp-then-rename: a failure anywhere leaves the previous
      manifest untouched; only the tmp file needs sweeping up. *)
@@ -33,20 +33,21 @@ let store env t =
      Env.append file (u32_le_string (Crc32c.string payload));
      Env.fsync file;
      Env.close_file file;
-     Env.rename env ~old_name:tmp ~new_name:file_name
+     Env.rename env ~old_name:tmp ~new_name:name
    with exn ->
      Env.close_file file;
      (try Env.delete env tmp with _ -> ());
      raise exn)
 
-let corrupt env detail =
+let corrupt env ~name detail =
   Env.note_corruption env;
-  Io_error.raise_corruption ~file:file_name ~detail
+  Io_error.raise_corruption ~file:name ~detail
 
-let load env =
-  if not (Env.exists env file_name) then None
+let load ?(name = file_name) env =
+  let corrupt env detail = corrupt env ~name detail in
+  if not (Env.exists env name) then None
   else begin
-    let data = Env.read_all env file_name in
+    let data = Env.read_all env name in
     if String.length data < 4 then corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     if Crc32c.string payload <> u32_le_of_string data (String.length data - 4) then

@@ -24,7 +24,7 @@ let max_epoch t = List.fold_left (fun acc (e, _) -> max acc e) (-1) t
 
 (* On-disk: [n] rows of [epoch] [seq+1] (shifted so -1 encodes as 0),
    varints, with a trailing CRC over the payload. *)
-let store env t =
+let store ?(name = file_name) env t =
   let buf = Buffer.create 64 in
   Varint.write buf (List.length t);
   List.iter
@@ -34,7 +34,7 @@ let store env t =
     t;
   let payload = Buffer.contents buf in
   let crc = Crc32c.string payload in
-  let tmp = file_name ^ ".tmp" in
+  let tmp = name ^ ".tmp" in
   let file = Env.create env tmp in
   Env.append file payload;
   let crc_buf = Buffer.create 4 in
@@ -45,16 +45,17 @@ let store env t =
   Env.append file (Buffer.contents crc_buf);
   Env.fsync file;
   Env.close_file file;
-  Env.rename env ~old_name:tmp ~new_name:file_name
+  Env.rename env ~old_name:tmp ~new_name:name
 
-let corrupt env detail =
+let corrupt env ~name detail =
   Env.note_corruption env;
-  Io_error.raise_corruption ~file:file_name ~detail
+  Io_error.raise_corruption ~file:name ~detail
 
-let load env =
-  if not (Env.exists env file_name) then empty
+let load ?(name = file_name) env =
+  let corrupt env detail = corrupt env ~name detail in
+  if not (Env.exists env name) then empty
   else begin
-    let data = Env.read_all env file_name in
+    let data = Env.read_all env name in
     if String.length data < 4 then corrupt env "truncated";
     let payload = String.sub data 0 (String.length data - 4) in
     let crc_bytes = String.sub data (String.length data - 4) 4 in

@@ -28,10 +28,12 @@ val is_visible : t -> current_epoch:int -> int -> bool
 val max_epoch : t -> int
 (** Largest epoch present; -1 when empty. *)
 
-val store : Env.t -> t -> unit
-(** Atomically persist (write temp + fsync + rename). *)
+val store : ?name:string -> Env.t -> t -> unit
+(** Atomically persist (write temp + fsync + rename). [?name]
+    overrides the location (default {!file_name}) for snapshot-pinned
+    copies. *)
 
-val load : Env.t -> t
+val load : ?name:string -> Env.t -> t
 (** The empty table when the file does not exist. Raises
     [Invalid_argument] on corruption. *)
 

@@ -1,0 +1,73 @@
+(** Published point-in-time snapshots (ROADMAP item 5).
+
+    {!Db.snapshot} pins the store's manifest, checkpoint, recovery
+    table and funk set at a consistent version cut and copies them
+    under the ["snapshots/<id>/"] namespace of the same environment
+    (see {!Evendb_storage.Env.snapshots_prefix}). This module owns the
+    on-disk layout: the [COMPLETE] publish marker (written last, via
+    tmp + fsync + rename, CRC-trailered), namespace enumeration and
+    garbage collection, and a read-only point-in-time {!reader}.
+
+    Records newer than the cut may physically appear in the copied
+    logs (writers race the publish); they are invisible both to the
+    {!reader} and to a store restored from the snapshot, because the
+    snapshot's checkpoint/recovery-table pair bounds visibility at the
+    cut version. *)
+
+open Evendb_storage
+
+val validate_id : string -> unit
+(** Ids name directories: alphanumerics plus [-_.], non-empty, not
+    ["."]/[".."]. Raises [Invalid_argument] otherwise. *)
+
+val member : id:string -> string -> string
+(** Re-export of {!Env.snapshot_member}. *)
+
+val complete_name : string
+(** The publish marker's member name, ["COMPLETE"]. *)
+
+type info = {
+  id : string;
+  version : int;  (** The cut: records above this are not in the view. *)
+  next_id : int;  (** The source's next funk id at publish time. *)
+  funks : (int * int) list;  (** Funk id and clipped log length. *)
+}
+
+val store_complete : Env.t -> info -> unit
+val load_complete : Env.t -> id:string -> info option
+(** [None] when the marker is absent; raises [Corruption] when present
+    but damaged (a half-published snapshot that {!sweep_orphans} will
+    collect). *)
+
+val exists : Env.t -> id:string -> bool
+(** Whether a published (COMPLETE) snapshot [id] exists. *)
+
+val all_ids : Env.t -> string list
+(** Every id with any member file on disk, published or not. *)
+
+val list : Env.t -> info list
+(** Published snapshots, oldest cut first. Unpublished or corrupt
+    directories are skipped. *)
+
+val member_names : Env.t -> id:string -> string list
+
+val drop : Env.t -> id:string -> unit
+(** Delete every member file of [id]; no-op when absent. *)
+
+val sweep_orphans : Env.t -> int
+(** Delete every snapshot directory without a valid [COMPLETE] marker
+    (a crash between pin and publish) plus leftover member [*.tmp]
+    files; returns the number of snapshots swept. Called by recovery. *)
+
+(** {2 Point-in-time reads} *)
+
+type reader
+
+val open_reader : Env.t -> id:string -> reader
+(** Raises [Invalid_argument] when [id] is not published. *)
+
+val reader_info : reader -> info
+val get : reader -> string -> string option
+val scan : reader -> low:string -> high:string -> (string * string) list
+(** Inclusive range, newest visible version per key, tombstones
+    elided — the same contract as {!Db.scan}. *)

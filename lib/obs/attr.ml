@@ -18,14 +18,15 @@ type cause =
   | Commit_wait
   | Cache_read
   | View_build
+  | Repl_ship
 
 let all_causes =
   [
     Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait; Cache_read;
-    View_build;
+    View_build; Repl_ship;
   ]
 
-let n_causes = 9
+let n_causes = 10
 
 let cause_index = function
   | Lock_wait -> 0
@@ -37,6 +38,7 @@ let cause_index = function
   | Commit_wait -> 6
   | Cache_read -> 7
   | View_build -> 8
+  | Repl_ship -> 9
 
 let cause_name = function
   | Lock_wait -> "lock_wait"
@@ -48,11 +50,12 @@ let cause_name = function
   | Commit_wait -> "commit_wait"
   | Cache_read -> "cache_read"
   | View_build -> "view_build"
+  | Repl_ship -> "repl_ship"
 
 let cause_of_index =
   [|
     Lock_wait; Log_append; Fsync; Disk_read; Rebalance; Compaction; Commit_wait; Cache_read;
-    View_build;
+    View_build; Repl_ship;
   |]
 
 type kind = Put | Get | Delete | Scan

@@ -51,6 +51,8 @@ type cause =
                     shared block cache (the unified read path) *)
   | View_build  (** sorted-view rebuild paid inline by the op that
                     triggered the eviction/flush *)
+  | Repl_ship  (** replication change-stream publish paid inline by the
+                   put (enqueue into the shipping stream) *)
 
 val all_causes : cause list
 val cause_name : cause -> string

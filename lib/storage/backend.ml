@@ -498,14 +498,23 @@ let disk dir : packed =
             Unix.rename (path old_name) (path new_name))
 
       let list_files () =
-        (* Top-level files plus quarantined ones (as "quarantine/x"),
-           matching the memory backend's flat view of that prefix. *)
+        (* Top-level files plus quarantined ones (as "quarantine/x")
+           and snapshot members (as "snapshots/<id>/x"), matching the
+           memory backend's flat view of those prefixes. *)
         Array.to_list (Sys.readdir dir)
         |> List.concat_map (fun name ->
                if Sys.is_directory (path name) then
                  if name = "quarantine" then
                    Array.to_list (Sys.readdir (path name))
                    |> List.map (fun f -> Filename.concat name f)
+                 else if name = "snapshots" then
+                   Array.to_list (Sys.readdir (path name))
+                   |> List.concat_map (fun id ->
+                          let sdir = Filename.concat name id in
+                          if Sys.is_directory (path sdir) then
+                            Array.to_list (Sys.readdir (path sdir))
+                            |> List.map (fun f -> Filename.concat sdir f)
+                          else [ sdir ])
                  else []
                else [ name ])
       let sync_namespace () = false
@@ -518,37 +527,37 @@ let disk dir : packed =
    backend. The prefix stays inside the file NAME (no directories) so
    the disk backend's top-level-only [list_files] still sees every
    prefixed file, and suffix-based classification (".log"/".sst") is
-   unaffected. The one structured name — "quarantine/x", fsck's
-   quarantine area — keeps its directory component outermost, so
-   quarantined files stay inside the directory every backend already
-   lists. *)
+   unaffected. The structured names — "quarantine/x" (fsck's
+   quarantine area) and "snapshots/<id>/x" (published snapshots) —
+   keep their directory component outermost, so their files stay
+   inside the directories every backend already lists; the prefix
+   scopes the inner component ("quarantine/<prefix>x",
+   "snapshots/<prefix><id>/x"). *)
 
 let quarantine_dir = "quarantine/"
+let snapshots_dir = "snapshots/"
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let strip ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix)
 
 let prefixed ~prefix (B (module Inner) : packed) : packed =
   if prefix = "" || String.contains prefix '/' then
     invalid_arg "Backend.prefixed: prefix must be non-empty and contain no '/'";
   let map name =
     if has_prefix ~prefix:quarantine_dir name then
-      quarantine_dir ^ prefix
-      ^ String.sub name (String.length quarantine_dir)
-          (String.length name - String.length quarantine_dir)
+      quarantine_dir ^ prefix ^ strip ~prefix:quarantine_dir name
+    else if has_prefix ~prefix:snapshots_dir name then
+      snapshots_dir ^ prefix ^ strip ~prefix:snapshots_dir name
     else prefix ^ name
   in
   let unmap name =
-    if has_prefix ~prefix name then
-      Some (String.sub name (String.length prefix) (String.length name - String.length prefix))
-    else if
-      has_prefix ~prefix:(quarantine_dir ^ prefix) name
-    then
-      Some
-        (quarantine_dir
-        ^ String.sub name
-            (String.length quarantine_dir + String.length prefix)
-            (String.length name - String.length quarantine_dir - String.length prefix))
+    if has_prefix ~prefix name then Some (strip ~prefix name)
+    else if has_prefix ~prefix:(quarantine_dir ^ prefix) name then
+      Some (quarantine_dir ^ strip ~prefix:(quarantine_dir ^ prefix) name)
+    else if has_prefix ~prefix:(snapshots_dir ^ prefix) name then
+      Some (snapshots_dir ^ strip ~prefix:(snapshots_dir ^ prefix) name)
     else None
   in
   B

@@ -15,6 +15,30 @@ let is_quarantined name =
   || String.length name >= String.length quarantine_prefix
      && String.sub name 0 (String.length quarantine_prefix) = quarantine_prefix
 
+(* Published point-in-time snapshots live under [snapshots/<id>/...];
+   recovery sweeps and the scrubber treat the prefix as a separate
+   namespace (a snapshot member is never an orphan of the live store). *)
+let snapshots_prefix = "snapshots/"
+
+let snapshot_member ~id name = snapshots_prefix ^ id ^ "/" ^ name
+
+let is_snapshot name =
+  name = "snapshots"
+  || String.length name >= String.length snapshots_prefix
+     && String.sub name 0 (String.length snapshots_prefix) = snapshots_prefix
+
+let split_snapshot name =
+  if not (is_snapshot name) || name = "snapshots" then None
+  else
+    let rest =
+      String.sub name (String.length snapshots_prefix)
+        (String.length name - String.length snapshots_prefix)
+    in
+    match String.index_opt rest '/' with
+    | None -> None (* the bare per-snapshot directory *)
+    | Some i ->
+      Some (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+
 (* An open file: the backend stack's handle packed with its module, so
    one [file] type covers every backend composition. *)
 type fhandle = FH : (module Backend.BACKEND with type handle = 'h) * 'h -> fhandle

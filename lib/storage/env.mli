@@ -53,6 +53,24 @@ val quarantined : string -> string
 
 val is_quarantined : string -> bool
 
+(** {2 Snapshots namespace}
+
+    Published point-in-time snapshots pin copies of the manifest,
+    checkpoint and funk set under ["snapshots/<id>/"]. Like quarantine,
+    the prefix is invisible to the live store's recovery sweep. *)
+
+val snapshots_prefix : string
+
+val snapshot_member : id:string -> string -> string
+(** [snapshot_member ~id name] is [name]'s location inside snapshot
+    [id]: ["snapshots/<id>/<name>"]. *)
+
+val is_snapshot : string -> bool
+
+val split_snapshot : string -> (string * string) option
+(** [split_snapshot "snapshots/<id>/<name>"] is [Some (id, name)];
+    [None] for anything else (including the bare directory entries). *)
+
 type t
 type file
 

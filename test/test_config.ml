@@ -55,5 +55,10 @@ let suite =
         rejects "zero munk cache" { Config.default with munk_cache_capacity = 0 };
         rejects "negative checkpoint interval"
           { Config.default with checkpoint_every_puts = -1 };
+        rejects "negative snapshot retention"
+          { Config.default with snapshot_max_retained = -1 };
+        rejects "zero replication window" { Config.default with repl_window = 0 };
+        rejects "negative replication backoff"
+          { Config.default with repl_retry_backoff_ns = -1 };
       ] );
   ]

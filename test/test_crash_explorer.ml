@@ -7,7 +7,14 @@
    size and the reorder-seed matrix widen via environment variables:
 
      CRASH_EXPLORER_OPS            ops per run (default 200)
-     CRASH_EXPLORER_REORDER_SEEDS  comma-separated seeds (default "7") *)
+     CRASH_EXPLORER_REORDER_SEEDS  comma-separated seeds (default "7")
+
+   The replication pair harness (primary + follower, crash either side
+   at every crash point, promote / resume and re-verify) scales the
+   same way:
+
+     REPL_SOAK_OPS    ops per pair run (default 60)
+     REPL_SOAK_SEEDS  comma-separated seeds (default "1") *)
 
 open Evendb_storage
 open Evendb_check
@@ -25,6 +32,16 @@ let reorder_seeds =
 let modes =
   Backend.Drop_unsynced :: List.map (fun s -> Backend.Reorder_unsynced s) reorder_seeds
 
+let pair_ops =
+  match Sys.getenv_opt "REPL_SOAK_OPS" with
+  | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> 60)
+  | None -> 60
+
+let pair_seeds =
+  match Sys.getenv_opt "REPL_SOAK_SEEDS" with
+  | None | Some "" -> [ 1 ]
+  | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+
 let check_contract engine mode () =
   let r = Crash_explorer.explore engine ~ops ~mode () in
   if r.Crash_explorer.violations <> [] then begin
@@ -35,6 +52,19 @@ let check_contract engine mode () =
       k msg
   end;
   Alcotest.(check bool) "explored more prefixes than ops" true (r.Crash_explorer.crash_points > ops)
+
+let check_pair seed () =
+  let r = Crash_explorer.explore_pair ~ops:pair_ops ~seed () in
+  if r.Crash_explorer.pair_violations <> [] then begin
+    Format.eprintf "%a" Crash_explorer.pp_pair_result r;
+    let at, msg = List.hd r.Crash_explorer.pair_violations in
+    Alcotest.failf "%d violations; first %s: %s"
+      (List.length r.Crash_explorer.pair_violations)
+      at msg
+  end;
+  Alcotest.(check bool)
+    "explored both journals" true
+    (r.Crash_explorer.primary_points > 0 && r.Crash_explorer.replica_points > 0)
 
 (* The harness must have teeth: an async store whose adapter claims
    sync-mode durability (and never checkpoints) has to produce lost
@@ -138,6 +168,12 @@ let suite =
   [
     ( "crash-explorer",
       engine_cases
+      @ List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "replication pair/drop seed:%d" seed)
+              `Slow (check_pair seed))
+          pair_seeds
       @ [
           Alcotest.test_case "harness detects lost durability" `Quick
             harness_detects_lost_durability;

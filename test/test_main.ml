@@ -26,6 +26,9 @@ let () =
          Test_flsm.suite;
          Test_faults.suite;
          Test_scrub.suite;
+         Test_snapshot.suite;
+         Test_backup.suite;
+         Test_repl.suite;
          Test_crash_explorer.suite;
          Test_ycsb.suite;
          Test_attr.suite;

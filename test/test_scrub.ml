@@ -267,6 +267,107 @@ let quarantine_survives_recovery () =
   Evendb_flsm.Flsm.close (Evendb_flsm.Flsm.open_ env);
   still_there env "flsm"
 
+(* The auxiliary namespaces added with snapshots/backup/replication
+   (snapshots/<id>/ members, backup_*.evbk archives, REPL_LSN,
+   FOLLOWER, FENCED) must scrub without a single finding — in
+   particular no Unknown_file warning. *)
+let aux_namespaces_scrub_clean () =
+  let src = build_evendb_store ~items:60 () in
+  let db = Evendb_core.Db.open_ ~config:evendb_config src in
+  ignore (Evendb_core.Db.snapshot db ~id:"s1");
+  Evendb_core.Db.fence db;
+  Evendb_core.Db.close db;
+  let dest = Env.memory () in
+  ignore (Evendb_core.Backup.ship ~src ~dest ~snapshot_id:"s1" ());
+  let follower_env = Env.memory () in
+  let follower = Evendb_repl.Repl.Follower.open_ ~config:evendb_config follower_env in
+  Evendb_repl.Repl.Follower.apply follower
+    { Evendb_repl.Repl.lsn = 1; key = "k"; value = Some "v"; version = 1; counter = 0 };
+  Evendb_repl.Repl.Follower.close follower;
+  List.iter
+    (fun (label, env) ->
+      let report = Scrub.scrub env in
+      if report.Scrub.findings <> [] then
+        Alcotest.failf "%s: %d findings on a healthy store (first: %s)" label
+          (List.length report.Scrub.findings)
+          (match report.Scrub.findings with f :: _ -> f.Scrub.f_file | [] -> ""))
+    [
+      ("snapshot + FENCED", src);
+      ("backup archives", dest);
+      ("FOLLOWER + REPL_LSN", follower_env);
+    ]
+
+(* A member without a COMPLETE marker is crash debris the recovery
+   sweep will drop: a Warning, never an Error. *)
+let half_published_member_is_warning () =
+  let env = build_evendb_store ~items:20 () in
+  rewrite env (Env.snapshot_member ~id:"half" "funk_00000000.sst") "partial";
+  let report = Scrub.scrub env in
+  (match report.Scrub.findings with
+  | [ f ] ->
+    Alcotest.(check bool) "warning severity" true (f.Scrub.f_severity = Scrub.Warning);
+    Alcotest.(check bool) "orphan kind" true (f.Scrub.f_kind = Scrub.Orphan)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  Alcotest.(check bool) "no errors" true (Scrub.is_clean report)
+
+(* Repairing a store whose LIVE manifest is corrupt must not touch the
+   healthy published snapshot: its members are private copies, not
+   orphans of the rebuilt manifest. *)
+let healthy_snapshot_survives_repair () =
+  let items = 60 in
+  let env = build_evendb_store ~items () in
+  let db = Evendb_core.Db.open_ ~config:evendb_config env in
+  ignore (Evendb_core.Db.snapshot db ~id:"keep");
+  Evendb_core.Db.close db;
+  flip_byte env "MANIFEST" 3;
+  let report = Scrub.repair env in
+  Alcotest.(check bool) "repair left no errors" true (Scrub.is_clean report);
+  Alcotest.(check bool) "snapshot still published" true
+    (Evendb_core.Snapshot.exists env ~id:"keep");
+  let plen = String.length Env.quarantine_prefix in
+  List.iter
+    (fun n ->
+      if
+        Env.is_quarantined n
+        && Env.split_snapshot (String.sub n plen (String.length n - plen)) <> None
+      then Alcotest.failf "healthy snapshot member quarantined: %s" n)
+    (Env.list_files env);
+  read_back env ~items
+
+(* A corrupt member invalidates the whole point-in-time copy: repair
+   drops the snapshot rather than quarantining one member of it. *)
+let corrupt_snapshot_member_drops_snapshot () =
+  let env = build_evendb_store ~items:60 () in
+  let db = Evendb_core.Db.open_ ~config:evendb_config env in
+  ignore (Evendb_core.Db.snapshot db ~id:"bad");
+  Evendb_core.Db.close db;
+  flip_byte env (Env.snapshot_member ~id:"bad" "MANIFEST") 3;
+  let report = Scrub.repair env in
+  Alcotest.(check bool) "repair acted" true (report.Scrub.actions <> []);
+  Alcotest.(check bool) "snapshot dropped" false (Evendb_core.Snapshot.exists env ~id:"bad");
+  Alcotest.(check bool) "no member left behind" true
+    (List.for_all (fun n -> Env.split_snapshot n = None) (Env.list_files env))
+
+(* A flipped backup archive is untrusted evidence: quarantined, not
+   deleted. *)
+let corrupt_archive_quarantined () =
+  let src = build_evendb_store ~items:60 () in
+  let db = Evendb_core.Db.open_ ~config:evendb_config src in
+  ignore (Evendb_core.Db.snapshot db ~id:"s1");
+  Evendb_core.Db.close db;
+  let dest = Env.memory () in
+  ignore (Evendb_core.Backup.ship ~src ~dest ~snapshot_id:"s1" ());
+  let name =
+    match Evendb_core.Backup.list_archives dest with
+    | (_, n) :: _ -> n
+    | [] -> Alcotest.fail "no archive"
+  in
+  flip_byte dest name (Env.size dest name / 2);
+  let report = Scrub.repair dest in
+  Alcotest.(check bool) "quarantined" true (Env.exists dest (Env.quarantined name));
+  Alcotest.(check bool) "gone from the live namespace" false (Env.exists dest name);
+  Alcotest.(check bool) "post-repair clean" true (Scrub.is_clean report)
+
 let suite_cases =
   [
     Alcotest.test_case "single-byte flips detected: evendb" `Slow
@@ -282,6 +383,13 @@ let suite_cases =
       degraded_reads_survive_corrupt_block;
     Alcotest.test_case "log resyncs are counted" `Quick log_resyncs_counted;
     Alcotest.test_case "recovery never sweeps quarantine/" `Quick quarantine_survives_recovery;
+    Alcotest.test_case "aux namespaces scrub clean" `Quick aux_namespaces_scrub_clean;
+    Alcotest.test_case "half-published member is a warning" `Quick
+      half_published_member_is_warning;
+    Alcotest.test_case "healthy snapshot survives repair" `Quick healthy_snapshot_survives_repair;
+    Alcotest.test_case "corrupt snapshot member drops the snapshot" `Quick
+      corrupt_snapshot_member_drops_snapshot;
+    Alcotest.test_case "corrupt archive quarantined" `Quick corrupt_archive_quarantined;
   ]
 
 let suite = [ ("scrub", suite_cases) ]
