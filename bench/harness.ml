@@ -120,6 +120,11 @@ let art_samples : sample list ref = ref [] (* newest first *)
 let art_metrics : (string * string * string) list ref = ref []
 let art_slow : string list ref = ref [] (* JSONL fragments, newest first *)
 
+let art_series : (string * string * string) list ref = ref []
+(* (engine, phase, series-JSON array) — windowed telemetry samples an
+   experiment captured from a live sampler (Db.serve_telemetry's
+   /series endpoint or Sampler.to_json), newest first. *)
+
 let artifacts_on () = !artifact_dir <> None
 
 let note_result ?(phase = "run") (e : Engine.t) (r : Runner.result) =
@@ -133,6 +138,11 @@ let note_result ?(phase = "run") (e : Engine.t) (r : Runner.result) =
         sm_attr = (try Evendb_obs.Attr.to_json (e.Engine.attr ()) with _ -> "{}");
       }
       :: !art_samples
+
+(* Attach a windowed-telemetry series (a JSON array of sampler
+   samples) to the artifact under the "series" key. *)
+let note_series ?(phase = "run") ~engine json =
+  if artifacts_on () then art_series := (engine, phase, json) :: !art_series
 
 (* Harvest the engine's slow-op ring into the experiment's
    SLOW_<exp>.jsonl, labelling every record with engine and phase. *)
@@ -233,7 +243,7 @@ let flush_artifact (h : t) =
     let buf = Buffer.create 8192 in
     let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     bpf "{\n";
-    bpf "  \"schema_version\": 2,\n";
+    bpf "  \"schema_version\": 3,\n";
     bpf "  \"experiment\": %s,\n" (art_jstr !current_experiment);
     bpf
       "  \"config\": {\"scale\": %d, \"threads\": %d, \"value_bytes\": %d, \"ram_budget\": \
@@ -281,11 +291,19 @@ let flush_artifact (h : t) =
         bpf "\n    {\"engine\": %s, \"phase\": %s, \"metrics\": %s}" (art_jstr engine)
           (art_jstr phase) metrics)
       (List.rev !art_metrics);
+    bpf "\n  ],\n  \"series\": [";
+    List.iteri
+      (fun i (engine, phase, series) ->
+        if i > 0 then bpf ",";
+        bpf "\n    {\"engine\": %s, \"phase\": %s, \"samples\": %s}" (art_jstr engine)
+          (art_jstr phase) series)
+      (List.rev !art_series);
     bpf "\n  ]\n}\n";
     let slow = String.concat "" (List.rev !art_slow) in
     art_samples := [];
     art_metrics := [];
     art_slow := [];
+    art_series := [];
     try
       ignore (mkdir_p dir);
       let file = Printf.sprintf "%s/BENCH_%s.json" dir (sanitize !current_experiment) in

@@ -28,6 +28,7 @@ let experiments =
     ("scaling", "sync-durable throughput vs domains (group commit + shards; forces --disk)", Exp_scaling.run);
     ("micro", "bechamel micro-benchmarks", Exp_micro.run);
     ("attrab", "attribution overhead A/B (attr on vs off)", Exp_attr_ab.run);
+    ("telemab", "telemetry sampler+endpoint overhead A/B (telemetry on vs off)", Exp_telem_ab.run);
     ("scanview", "unified read path A/B (block cache + sorted views on vs off)", Exp_scanview.run);
   ]
 

@@ -5,7 +5,9 @@
      evendb del  <dir> <key>
      evendb scan <dir> <low> <high> [--limit N]
      evendb load <dir> [--items N] [--dist zipf|composite|uniform]
-     evendb stat <dir> [--json | --prometheus] [--reset-check]
+     evendb stat <dir> [--json | --prometheus] [--reset-check] [--url URL]
+     evendb serve-telemetry <dir> [--port P] [--host H] [--duration-s S] [--drive OPS_PER_S]
+     evendb top  <dir> [--url URL] [--interval-s S] [--iterations N] [--no-clear]
      evendb heat <dir> [--items N] [--ops N] [--dist zipf|composite] [--top K] [--json]
      evendb trace <dir> --out FILE [--ops N]
      evendb slow  <dir> [--out FILE] [--json] [--ops N] [--threshold-us US]
@@ -35,6 +37,7 @@ module Env = Evendb_storage.Env
 module Fault = Evendb_storage.Fault
 module Repl = Evendb_repl.Repl
 module W = Evendb_ycsb.Workload
+module Tel = Evendb_telemetry
 
 module Shard = Evendb_shard
 
@@ -158,6 +161,38 @@ let fault_arg =
 
 let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
 let key_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY")
+
+(* "host:port", "http://host:port[/path]" or a bare port, for commands
+   that can talk to a live store's telemetry endpoint instead of
+   opening the directory themselves. *)
+let parse_endpoint url =
+  let u =
+    if String.length url >= 7 && String.sub url 0 7 = "http://" then
+      String.sub url 7 (String.length url - 7)
+    else url
+  in
+  let u = match String.index_opt u '/' with Some i -> String.sub u 0 i | None -> u in
+  let fail () =
+    Printf.eprintf "evendb: cannot parse endpoint %S (expected host:port)\n" url;
+    exit 2
+  in
+  match String.rindex_opt u ':' with
+  | Some i -> (
+    let host = String.sub u 0 i in
+    let host = if host = "" || host = "localhost" then "127.0.0.1" else host in
+    match int_of_string_opt (String.sub u (i + 1) (String.length u - i - 1)) with
+    | Some port -> (host, port)
+    | None -> fail ())
+  | None -> ( match int_of_string_opt u with Some port -> ("127.0.0.1", port) | None -> fail ())
+
+let url_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "url" ] ~docv:"URL"
+        ~doc:
+          "Talk to a live store's telemetry endpoint (started with serve-telemetry) instead \
+           of opening DIR — e.g. --url 127.0.0.1:9898.")
 let value_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE")
 
 let put_cmd =
@@ -317,6 +352,67 @@ let stat_cmd =
         timers
     end
   in
+  (* Uptime plus lifetime op counts with derived rates. Counts come
+     from the op timers, so they cover exactly what the latency table
+     below reports. *)
+  let ops_rates ~uptime_ns snaps =
+    let up_s = float_of_int uptime_ns /. 1e9 in
+    Printf.printf "uptime:              %.1fs\n" up_s;
+    let count name =
+      List.fold_left
+        (fun acc snap ->
+          List.fold_left
+            (fun acc (n, v) ->
+              match v with
+              | Evendb_obs.Obs.Timer tm when n = name -> acc + tm.Evendb_obs.Obs.t_count
+              | _ -> acc)
+            acc snap.Evendb_obs.Obs.metrics)
+        0 snaps
+    in
+    let parts =
+      List.filter_map
+        (fun (label, name) ->
+          let c = count name in
+          if c > 0 then
+            Some (Printf.sprintf "%s %d (%.1f/s)" label c (float_of_int c /. Float.max up_s 1e-9))
+          else None)
+        [ ("put", "db.put"); ("get", "db.get"); ("del", "db.delete"); ("scan", "db.scan") ]
+    in
+    if parts <> [] then Printf.printf "ops:                 %s\n" (String.concat "  " parts)
+  in
+  (* --url: print the same uptime/rates section from a live store's
+     /stat.json (where uptime and counts are the server's, not this
+     short-lived CLI process's). *)
+  let stat_from_url url =
+    let host, port = parse_endpoint url in
+    match Tel.Http.get ~host ~port "/stat.json" with
+    | exception _ ->
+      Printf.eprintf "evendb stat: cannot reach http://%s:%d/stat.json\n" host port;
+      exit 1
+    | status, _ when status <> 200 ->
+      Printf.eprintf "evendb stat: http://%s:%d/stat.json returned %d\n" host port status;
+      exit 1
+    | _, body ->
+      let j = Tel.Tiny_json.parse body in
+      (match Option.bind (Tel.Tiny_json.member "uptime_ns" j) Tel.Tiny_json.to_int with
+      | Some up -> Printf.printf "uptime:              %.1fs\n" (float_of_int up /. 1e9)
+      | None -> ());
+      let ops =
+        match Option.bind (Tel.Tiny_json.member "ops" j) Tel.Tiny_json.to_obj with
+        | Some fields ->
+          List.filter_map
+            (fun (name, v) ->
+              match
+                ( Option.bind (Tel.Tiny_json.member "count" v) Tel.Tiny_json.to_int,
+                  Option.bind (Tel.Tiny_json.member "per_s" v) Tel.Tiny_json.to_float )
+              with
+              | Some c, Some r when c > 0 -> Some (Printf.sprintf "%s %d (%.1f/s)" name c r)
+              | _ -> None)
+            fields
+        | None -> []
+      in
+      if ops <> [] then Printf.printf "ops:                 %s\n" (String.concat "  " ops)
+  in
   let reset_check_dbs dbs =
     List.iter Db.reset_metrics dbs;
     match List.concat_map Db.metrics_residue dbs with
@@ -327,7 +423,13 @@ let stat_cmd =
       List.iter (Printf.eprintf "  %s\n") residue;
       exit 4
   in
-  let run fault_profile dir json prometheus reset_check =
+  let run fault_profile dir json prometheus reset_check url =
+    match (url, dir) with
+    | Some url, _ -> stat_from_url url
+    | None, None ->
+      prerr_endline "evendb stat: a store DIR or --url is required";
+      exit 2
+    | None, Some dir ->
     with_store ?fault_profile dir (fun st ->
         (match st with
         | Plain db ->
@@ -349,6 +451,7 @@ let stat_cmd =
                 (Repl.Follower.load_watermark env)
             else if Db.fenced db then Printf.printf "replication:         fenced (deposed primary)\n";
             let snap = Evendb_obs.Obs.snapshot (Db.obs db) in
+            ops_rates ~uptime_ns:(Db.uptime_ns db) [ snap ];
             commit_summary [ snap ];
             timer_table [ ("", snap) ]
           end
@@ -367,6 +470,7 @@ let stat_cmd =
             let snaps =
               List.init n (fun i -> Evendb_obs.Obs.snapshot (Db.obs (Shard.shard s i)))
             in
+            ops_rates ~uptime_ns:(Db.uptime_ns (Shard.shard s 0)) snaps;
             commit_summary snaps;
             timer_table
               (List.mapi (fun i snap -> (Printf.sprintf "s%02d/" i, snap)) snaps)
@@ -376,9 +480,14 @@ let stat_cmd =
           | Plain db -> reset_check_dbs [ db ]
           | Sharded s -> reset_check_dbs (List.init (Shard.shard_count s) (Shard.shard s)))
   in
+  let dir_opt = Arg.(value & pos 0 (some string) None & info [] ~docv:"DIR") in
   Cmd.v
-    (Cmd.info "stat" ~doc:"Store statistics (--json/--prometheus for the metrics registry)")
-    Term.(const run $ fault_arg $ dir_arg $ json $ prometheus $ reset_check)
+    (Cmd.info "stat"
+       ~doc:
+         "Store statistics: uptime, op counts with derived ops/s rates, group-commit and \
+          latency tables (--json/--prometheus for the metrics registry; --url to query a \
+          live store's telemetry endpoint)")
+    Term.(const run $ fault_arg $ dir_opt $ json $ prometheus $ reset_check $ url_arg)
 
 (* Minimal JSON string rendering for CLI reports (keys are ASCII but a
    user-chosen DIR or key may not be). *)
@@ -887,6 +996,135 @@ let promote_cmd =
           watermark, and checkpoint. The store then accepts direct writes.")
     Term.(const run $ dir_arg $ from_arg)
 
+let serve_telemetry_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to bind (default 0 = ephemeral; the bound port is printed).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "duration-s" ] ~docv:"S"
+          ~doc:"Serve for S seconds, then close the store and exit (default 0 = until killed).")
+  in
+  let drive_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "drive" ] ~docv:"OPS_PER_S"
+          ~doc:
+            "Apply a paced synthetic load (~70% gets, 30% puts over the loaded key space) \
+             while serving, so the endpoint and evendb top have live traffic to show.")
+  in
+  let run fault_profile dir port host duration_s drive =
+    with_db ?fault_profile dir (fun db ->
+        let port = Db.serve_telemetry ~host ~port db in
+        Printf.printf "serving telemetry on http://%s:%d/\n" host port;
+        print_string "endpoints: /metrics /stat.json /series?last=N /trace /slow\n";
+        flush stdout;
+        let deadline =
+          if duration_s > 0. then Some (Unix.gettimeofday () +. duration_s) else None
+        in
+        let continue () =
+          match deadline with None -> true | Some d -> Unix.gettimeofday () < d
+        in
+        if drive > 0 then begin
+          let state = ref 123456789 in
+          let next () =
+            state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+            !state
+          in
+          let value = String.make 64 'v' in
+          (* Pace in 50ms batches so the load tracks OPS_PER_S without
+             a clock read per op. *)
+          let batch = max 1 (drive / 20) in
+          while continue () do
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to batch do
+              let k = Evendb_ycsb.Keys.encode (next () mod 100_000) in
+              if next () mod 10 < 3 then Db.put db k value else ignore (Db.get db k)
+            done;
+            let budget = float_of_int batch /. float_of_int drive in
+            let elapsed = Unix.gettimeofday () -. t0 in
+            if budget > elapsed then Unix.sleepf (budget -. elapsed)
+          done
+        end
+        else while continue () do Unix.sleepf 0.2 done)
+  in
+  Cmd.v
+    (Cmd.info "serve-telemetry"
+       ~doc:
+         "Open the store and serve its continuous telemetry over loopback HTTP: the windowed \
+          sampler starts (journaling under telemetry/ in the store directory) and /metrics, \
+          /stat.json, /series, /trace and /slow become scrapeable until the process exits.")
+    Term.(const run $ fault_arg $ dir_arg $ port_arg $ host_arg $ duration_arg $ drive_arg)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval-s" ] ~docv:"S" ~doc:"Refresh interval between frames (default 2).")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Render N frames then exit (default 0 = run until interrupted).")
+  in
+  let no_clear_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:"Append frames instead of clearing the screen (for logs and CI).")
+  in
+  let run fault_profile dir url interval_s iterations no_clear =
+    let render samples =
+      if not no_clear then print_string Tel.Top.clear_screen;
+      print_string (Tel.Top.render samples);
+      flush stdout
+    in
+    let frames = if iterations > 0 then iterations else max_int in
+    match url with
+    | Some url ->
+      let host, port = parse_endpoint url in
+      for i = 1 to frames do
+        (match Tel.Http.get ~host ~port "/series?last=8" with
+        | 200, body -> render (Tel.Sampler.samples_of_json body)
+        | status, _ ->
+          Printf.eprintf "evendb top: /series returned HTTP %d\n" status;
+          exit 1
+        | exception _ ->
+          Printf.eprintf "evendb top: cannot reach http://%s:%d/series\n" host port;
+          exit 1);
+        if i < frames then Unix.sleepf interval_s
+      done
+    | None -> (
+      match dir with
+      | None ->
+        prerr_endline "evendb top: a store DIR or --url URL is required";
+        exit 2
+      | Some dir ->
+        with_db ?fault_profile dir (fun db ->
+            let sampler = Db.start_sampler db in
+            for _ = 1 to frames do
+              Unix.sleepf interval_s;
+              render (Tel.Sampler.samples ~last:8 sampler)
+            done))
+  in
+  let dir_opt = Arg.(value & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a store: ops/s and windowed p50/p95/p99 per op kind, top \
+          stall causes, cache hit rates, hottest key prefixes, replication lag. Reads a \
+          live endpoint with --url, or opens DIR and samples in-process.")
+    Term.(
+      const run $ fault_arg $ dir_opt $ url_arg $ interval_arg $ iterations_arg $ no_clear_arg)
+
 let () =
   let doc = "EvenDB: a key-value store optimized for spatial locality" in
   exit
@@ -899,6 +1137,8 @@ let () =
             scan_cmd;
             load_cmd;
             stat_cmd;
+            serve_telemetry_cmd;
+            top_cmd;
             heat_cmd;
             trace_cmd;
             slow_cmd;

@@ -51,11 +51,16 @@ type file_class =
   | Repl_watermark  (* REPL_LSN *)
   | Follower_marker  (* FOLLOWER *)
   | Fenced_marker  (* FENCED *)
+  | Telemetry_journal of int  (* telemetry/metrics_*.mj *)
   | Tmp
   | Unknown
 
 let rec classify name =
   if Filename.check_suffix name ".tmp" then Tmp
+  else if Env.is_telemetry name then
+    match Evendb_telemetry.Journal.parse_segment_name name with
+    | Some i -> Telemetry_journal i
+    | None -> Unknown
   else
     match Env.split_snapshot name with
     | Some (id, member) ->
@@ -237,6 +242,14 @@ let scrub_findings env =
   let files = List.filter (fun n -> not (Env.is_quarantined n)) (Env.list_files env) in
   let funk_ssts = List.filter_map (fun n -> match classify n with Funk_sst id -> Some id | _ -> None) files in
   let funk_logs = List.filter_map (fun n -> match classify n with Funk_log id -> Some id | _ -> None) files in
+  (* The newest journal segment may legitimately end mid-frame (crash
+     between append and fsync) — a torn tail there is a warning, the
+     same damage in an older segment is real corruption. *)
+  let telem_max =
+    List.fold_left
+      (fun acc n -> match classify n with Telemetry_journal i -> max acc i | _ -> acc)
+      (-1) files
+  in
   let per_file =
     List.concat_map
       (fun name ->
@@ -289,6 +302,22 @@ let scrub_findings env =
         | Follower_marker | Fenced_marker ->
           (* Presence alone carries the meaning; content is free-form. *)
           []
+        | Telemetry_journal i -> (
+          match (Evendb_telemetry.Journal.check env name).ck_error with
+          | None -> []
+          | Some detail when i = telem_max ->
+            [
+              {
+                f_file = name;
+                f_severity = Warning;
+                f_kind = Log_garbage;
+                f_detail =
+                  detail ^ " (torn journal tail — expected after a crash; replay stops here)";
+              };
+            ]
+          | Some detail ->
+            Env.note_corruption env;
+            [ { f_file = name; f_severity = Error; f_kind = Bad_checksum; f_detail = detail } ])
         | Tmp ->
           [
             {
@@ -548,6 +577,11 @@ let repair env =
           act name
             "quarantined; the follower re-applies from LSN 0 (stream applies are idempotent)"
         | (Follower_marker | Fenced_marker), _ -> ()
+        | Telemetry_journal _, _ ->
+          quarantine env name;
+          act name
+            "quarantined (observational history only; the live sampler starts a fresh \
+             segment)"
         | Tmp, _ ->
           Env.delete env name;
           act name "deleted leftover temporary file"

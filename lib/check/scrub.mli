@@ -15,7 +15,12 @@
     archives ([backup_*.evbk]) are structurally validated, and the
     replication files ([REPL_LSN] watermark, [FOLLOWER] / [FENCED]
     markers) are recognized. A healthy snapshot member is never
-    quarantined by {!repair}.
+    quarantined by {!repair}. Telemetry journal segments under
+    ["telemetry/"] are frame-checked: a torn tail on the {e newest}
+    segment is only a warning (a crashed sampler legitimately leaves
+    one; replay stops there), while damage to an older segment is an
+    error and {!repair} quarantines the segment — a corrupt journal
+    never breaks [Db.open_], which skips the namespace entirely.
 
     {!repair} additionally fixes what it can. The rule is: never
     destroy bytes — an untrusted file is {e quarantined} (renamed under

@@ -32,6 +32,10 @@ type t = {
   snapshot_max_retained : int;
   repl_window : int;
   repl_retry_backoff_ns : int;
+  telemetry_interval_ns : int;
+  telemetry_ring : int;
+  telemetry_journal_segment_bytes : int;
+  telemetry_journal_segments : int;
 }
 
 let mib = 1024 * 1024
@@ -69,6 +73,10 @@ let default =
     snapshot_max_retained = 0;
     repl_window = 64;
     repl_retry_backoff_ns = 1_000_000;
+    telemetry_interval_ns = 1_000_000_000;
+    telemetry_ring = 512;
+    telemetry_journal_segment_bytes = 256 * 1024;
+    telemetry_journal_segments = 4;
   }
 
 (* Reject knob combinations that would silently misbehave — a ring of
@@ -101,7 +109,15 @@ let validate t =
   if t.repl_window < 1 then
     fail "repl_window = %d (must be >= 1; 1 = one record in flight)" t.repl_window;
   if t.repl_retry_backoff_ns < 0 then
-    fail "repl_retry_backoff_ns = %d (must be >= 0; 0 = immediate retry)" t.repl_retry_backoff_ns
+    fail "repl_retry_backoff_ns = %d (must be >= 0; 0 = immediate retry)" t.repl_retry_backoff_ns;
+  if t.telemetry_interval_ns < 1 then
+    fail "telemetry_interval_ns = %d (must be >= 1ns)" t.telemetry_interval_ns;
+  if t.telemetry_ring < 1 then fail "telemetry_ring = %d (must be >= 1)" t.telemetry_ring;
+  if t.telemetry_journal_segment_bytes < 64 then
+    fail "telemetry_journal_segment_bytes = %d (must be >= 64)" t.telemetry_journal_segment_bytes;
+  if t.telemetry_journal_segments < 0 then
+    fail "telemetry_journal_segments = %d (must be >= 0; 0 = in-memory ring only)"
+      t.telemetry_journal_segments
 
 let scaled ?(factor = 64) () =
   if factor <= 0 then invalid_arg "Config.scaled: factor <= 0";

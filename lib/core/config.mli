@@ -98,6 +98,22 @@ type t = {
   repl_retry_backoff_ns : int;
       (** Pause before retrying a failed change-stream send
           (default 1ms; 0 = immediate retry). *)
+  telemetry_interval_ns : int;
+      (** Tick period of the continuous-telemetry sampler started by
+          {!Db.serve_telemetry}/{!Db.start_sampler} (default 1s). Each
+          tick cuts one windowed sample: counter deltas, gauge values
+          and per-timer windowed p50/p95/p99 from histogram-bucket
+          deltas. *)
+  telemetry_ring : int;
+      (** In-memory sample ring capacity (default 512 — ~8.5 minutes of
+          history at the default interval), served by [/series]. *)
+  telemetry_journal_segment_bytes : int;
+      (** Rotation threshold of one on-disk metrics-journal segment
+          under [telemetry/] (default 256KiB). *)
+  telemetry_journal_segments : int;
+      (** Segments retained on disk; the oldest is deleted when a
+          rotation would exceed this (default 4). 0 disables the
+          journal entirely (the in-memory ring still runs). *)
 }
 
 val default : t

@@ -20,6 +20,18 @@ type maintainer = {
   mutable m_domain : unit Domain.t option;
 }
 
+module Tel = Evendb_telemetry
+
+(* Continuous telemetry attached to a live instance: the windowed
+   sampler, its optional on-disk journal, and the HTTP endpoint. All
+   opt-in ([start_sampler]/[serve_telemetry]) — tests open hundreds of
+   stores and must not pay a domain each. *)
+type telemetry = {
+  tel_sampler : Tel.Sampler.t;
+  tel_journal : Tel.Journal.t option;
+  mutable tel_http : Tel.Http.t option;
+}
+
 type t = {
   env : Env.t;
   cfg : Config.t;
@@ -66,6 +78,9 @@ type t = {
   ctr_view_loads : Obs.Counter.t;
   ctr_view_scans : Obs.Counter.t;
   ctr_view_fallbacks : Obs.Counter.t;
+  opened_at_ns : int;
+  tel_mutex : Mutex.t; (* guards [telemetry]; leaf lock *)
+  mutable telemetry : telemetry option;
 }
 
 exception Fenced
@@ -1306,8 +1321,17 @@ let make_db env cfg ~obs ~committer ~head ~chunks ~gv ~rt ~epoch ~last_checkpoin
     ctr_view_loads = Obs.counter obs "sorted_view.loads";
     ctr_view_scans = Obs.counter obs "sorted_view.scans";
     ctr_view_fallbacks = Obs.counter obs "sorted_view.stale_fallbacks";
+    opened_at_ns = Obs.now_ns ();
+    tel_mutex = Mutex.create ();
+    telemetry = None;
   }
   in
+  (* Eager-register the snapshot/backup counter families so a full
+     exposition always carries them (with HELP/TYPE), not only after
+     the first snapshot or backup. *)
+  List.iter
+    (fun n -> ignore (Obs.counter obs n))
+    [ "snapshot.created"; "snapshot.dropped"; "backup.funks_shipped"; "backup.bytes" ];
   register_probes db;
   (* A watchdog trip cuts a flight-recorder frame, so the stall's
      counter deltas are pinned in the ring even if nobody is polling. *)
@@ -1418,12 +1442,14 @@ let open_internal config ~committer env =
        aside by fsck --repair) are evidence, never swept; snapshot
        members are pinned by their own namespace, where only
        half-published snapshots (no COMPLETE marker — a crash between
-       pin and publish) are collected. *)
+       pin and publish) are collected; telemetry journal segments are
+       observational history a future sampler resumes over. *)
     let live_set = Hashtbl.create 16 in
     List.iter (fun id -> Hashtbl.replace live_set id ()) manifest.Manifest.live;
     List.iter
       (fun name ->
-        if not (Env.is_quarantined name || Env.is_snapshot name) then
+        if not (Env.is_quarantined name || Env.is_snapshot name || Env.is_telemetry name)
+        then
           match parse_funk_file name with
           | Some (id, _) when not (Hashtbl.mem live_set id) -> Env.delete env name
           | Some _ -> ()
@@ -1703,6 +1729,117 @@ let hot_prefixes db = (Topk.entries db.topk, Topk.total db.topk)
 let dump_trace db = Obs.to_chrome_trace ~extra:(Attr.chrome_events db.attr) db.obs
 let recorder db = db.recorder
 
+(* {2 Continuous telemetry} *)
+
+let uptime_ns db = now_ns () - db.opened_at_ns
+
+(* Extra per-tick gauges the registry doesn't carry: uptime and the
+   hottest key prefixes from the Space-Saving sketch (lower-bound
+   counts, hottest first). *)
+let sampler_extra db () =
+  let entries, _total = hot_prefixes db in
+  let hot =
+    entries
+    |> List.filteri (fun i _ -> i < 16)
+    |> List.map (fun (prefix, lo, _hi) -> ("hot." ^ prefix, lo))
+  in
+  ("db.uptime_ns", uptime_ns db) :: hot
+
+let start_sampler db =
+  Mutex.protect db.tel_mutex (fun () ->
+      match db.telemetry with
+      | Some tel -> tel.tel_sampler
+      | None ->
+        let journal =
+          if db.cfg.Config.telemetry_journal_segments > 0 then
+            Some
+              (Tel.Journal.create db.env
+                 ~segment_bytes:db.cfg.Config.telemetry_journal_segment_bytes
+                 ~max_segments:db.cfg.Config.telemetry_journal_segments)
+          else None
+        in
+        let sampler =
+          Tel.Sampler.create ~ring:db.cfg.Config.telemetry_ring ?journal
+            ~extra:(sampler_extra db)
+            ~sources:[ ("", db.obs) ]
+            ()
+        in
+        Tel.Sampler.start sampler ~interval_ns:db.cfg.Config.telemetry_interval_ns;
+        db.telemetry <- Some { tel_sampler = sampler; tel_journal = journal; tel_http = None };
+        sampler)
+
+let telemetry_sampler db =
+  Mutex.protect db.tel_mutex (fun () ->
+      Option.map (fun tel -> tel.tel_sampler) db.telemetry)
+
+let stat_json db =
+  let b = Buffer.create 4096 in
+  let up = uptime_ns db in
+  Printf.bprintf b "{\"uptime_ns\":%d,\"ops\":{" up;
+  let up_s = float_of_int up /. 1e9 in
+  List.iteri
+    (fun i (name, tm) ->
+      if i > 0 then Buffer.add_char b ',';
+      let count = Obs.Timer.count tm in
+      let per_s = if up_s > 0. then float_of_int count /. up_s else 0. in
+      Printf.bprintf b "\"%s\":{\"count\":%d,\"per_s\":%.2f}" name count per_s)
+    [ ("put", db.tm_put); ("get", db.tm_get); ("delete", db.tm_delete); ("scan", db.tm_scan) ];
+  Buffer.add_string b "},\"metrics\":";
+  Buffer.add_string b (Obs.to_json db.obs);
+  Buffer.add_string b ",\"attr\":";
+  Buffer.add_string b (Attr.to_json db.attr);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let telemetry_index =
+  "evendb telemetry\n\
+   /metrics    Prometheus text exposition\n\
+   /stat.json  uptime, op rates, full metrics + attribution JSON\n\
+   /series     windowed samples (ring), ?last=N for the newest N\n\
+   /trace      Chrome trace-event JSON (chrome://tracing, Perfetto)\n\
+   /slow       slow-op ring as JSONL\n"
+
+let serve_telemetry ?host ?(port = 0) db =
+  let sampler = start_sampler db in
+  Mutex.protect db.tel_mutex (fun () ->
+      let tel = Option.get db.telemetry in
+      match tel.tel_http with
+      | Some h -> Tel.Http.port h
+      | None ->
+        let handler ~path ~query =
+          match path with
+          | "/" | "/index" -> Some (Tel.Http.text telemetry_index)
+          | "/metrics" -> Some (Tel.Http.text (Obs.to_prometheus db.obs))
+          | "/stat.json" -> Some (Tel.Http.json (stat_json db))
+          | "/series" ->
+            let last =
+              match List.assoc_opt "last" query with
+              | Some v -> int_of_string_opt v
+              | None -> None
+            in
+            Some (Tel.Http.json (Tel.Sampler.to_json ?last sampler))
+          | "/trace" -> Some (Tel.Http.json (dump_trace db))
+          | "/slow" -> Some (Tel.Http.text (Attr.slow_ops_jsonl db.attr))
+          | _ -> None
+        in
+        let h = Tel.Http.start ?host ~port handler in
+        tel.tel_http <- Some h;
+        Tel.Http.port h)
+
+let stop_telemetry db =
+  let tel =
+    Mutex.protect db.tel_mutex (fun () ->
+        let tel = db.telemetry in
+        db.telemetry <- None;
+        tel)
+  in
+  match tel with
+  | None -> ()
+  | Some tel ->
+    (match tel.tel_http with Some h -> Tel.Http.stop h | None -> ());
+    Tel.Sampler.stop tel.tel_sampler;
+    (match tel.tel_journal with Some j -> Tel.Journal.close j | None -> ())
+
 let reset_metrics db =
   Obs.reset db.obs;
   Attr.reset db.attr;
@@ -1786,6 +1923,7 @@ let evict_munk db key =
 
 let close db =
   if Atomic.compare_and_set db.closed false true then begin
+    stop_telemetry db;
     stop_maintainer db;
     (* An I/O failure in the final checkpoint/fsync propagates (the
        caller learns the shutdown was not clean), but the log writers

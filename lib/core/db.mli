@@ -206,6 +206,45 @@ val recorder : t -> Evendb_obs.Obs.Recorder.t
     automatically every 4096 puts; tick it explicitly for finer
     resolution. *)
 
+(** {2 Continuous telemetry}
+
+    Opt-in (nothing is spawned by {!open_}): {!start_sampler} runs the
+    windowed {!Evendb_telemetry.Sampler} on a background domain at
+    [Config.telemetry_interval_ns], journaling each sample under the
+    environment's [telemetry/] namespace (unless
+    [Config.telemetry_journal_segments = 0]); {!serve_telemetry}
+    additionally serves the live store over loopback HTTP. {!close}
+    tears both down. *)
+
+val uptime_ns : t -> int
+(** Monotonic nanoseconds since this handle was opened. *)
+
+val start_sampler : t -> Evendb_telemetry.Sampler.t
+(** Start (or return the already-running) continuous sampler for this
+    instance. Its per-tick gauges include [db.uptime_ns] and the
+    hottest key prefixes as [hot.<prefix>]. *)
+
+val telemetry_sampler : t -> Evendb_telemetry.Sampler.t option
+(** The running sampler, if {!start_sampler}/{!serve_telemetry} was
+    called. *)
+
+val serve_telemetry : ?host:string -> ?port:int -> t -> int
+(** Start the sampler and an HTTP endpoint (default: ephemeral port on
+    [127.0.0.1]; returns the bound port) serving [/metrics]
+    (Prometheus), [/stat.json], [/series?last=N] (windowed samples),
+    [/trace] (Chrome trace events) and [/slow] (slow-op JSONL).
+    Idempotent: a second call returns the existing port. *)
+
+val stop_telemetry : t -> unit
+(** Stop the endpoint and sampler and close the journal. Idempotent;
+    also run by {!close}. *)
+
+val stat_json : t -> string
+(** One JSON document for [evendb stat]/[/stat.json]: [uptime_ns],
+    per-op lifetime [count] and derived [per_s] rates, the full
+    metrics registry ({!Evendb_obs.Obs.to_json}) and the attribution
+    state ({!Evendb_obs.Attr.to_json}). *)
+
 val reset_metrics : t -> unit
 (** Zero every resettable statistic in one shot: the {!obs} registry
     (counters/timers/trace — probes stay registered), read stats, the

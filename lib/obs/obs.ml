@@ -505,35 +505,49 @@ let to_prometheus_parts ~label (parts : (string option * snapshot) list) =
             names := name :: !names))
         s.metrics)
     parts;
+  (* Exposition-format discipline: every sample belongs to a family
+     declared by HELP/TYPE, a summary family carries only its quantile
+     samples plus [_sum]/[_count], and all samples of a family form one
+     contiguous group. A timer therefore exports as three families —
+     the summary, and [_min]/[_max] gauges (true observed extrema,
+     which Prometheus summaries have no slot for). *)
   List.iter
     (fun name ->
       let samples = List.rev !(Hashtbl.find tbl name) in
       let m = "evendb_" ^ sanitize name in
-      (match samples with
+      let each f = List.iter (fun (who, v) -> f who v) samples in
+      match samples with
       | (_, Counter _) :: _ ->
         line "# HELP %s evendb counter %s" m (prom_label_escape name);
-        line "# TYPE %s counter" m
+        line "# TYPE %s counter" m;
+        each (fun who v -> match v with Counter c -> line "%s%s %d" m (lbl who []) c | _ -> ())
       | (_, Gauge _) :: _ ->
         line "# HELP %s evendb gauge %s" m (prom_label_escape name);
-        line "# TYPE %s gauge" m
+        line "# TYPE %s gauge" m;
+        each (fun who v -> match v with Gauge g -> line "%s%s %d" m (lbl who []) g | _ -> ())
       | (_, Timer _) :: _ ->
         line "# HELP %s_ns evendb latency summary %s (nanoseconds)" m (prom_label_escape name);
-        line "# TYPE %s_ns summary" m
-      | [] -> ());
-      List.iter
-        (fun (who, v) ->
-          match v with
-          | Counter c -> line "%s%s %d" m (lbl who []) c
-          | Gauge g -> line "%s%s %d" m (lbl who []) g
-          | Timer tm ->
-            line "%s_ns%s %d" m (lbl who [ "quantile=\"0.5\"" ]) tm.t_p50_ns;
-            line "%s_ns%s %d" m (lbl who [ "quantile=\"0.95\"" ]) tm.t_p95_ns;
-            line "%s_ns%s %d" m (lbl who [ "quantile=\"0.99\"" ]) tm.t_p99_ns;
-            line "%s_ns_count%s %d" m (lbl who []) tm.t_count;
-            line "%s_ns_mean%s %.1f" m (lbl who []) tm.t_mean_ns;
-            line "%s_ns_min%s %d" m (lbl who []) tm.t_min_ns;
-            line "%s_ns_max%s %d" m (lbl who []) tm.t_max_ns)
-        samples)
+        line "# TYPE %s_ns summary" m;
+        each (fun who v ->
+            match v with
+            | Timer tm ->
+              line "%s_ns%s %d" m (lbl who [ "quantile=\"0.5\"" ]) tm.t_p50_ns;
+              line "%s_ns%s %d" m (lbl who [ "quantile=\"0.95\"" ]) tm.t_p95_ns;
+              line "%s_ns%s %d" m (lbl who [ "quantile=\"0.99\"" ]) tm.t_p99_ns;
+              line "%s_ns_sum%s %.1f" m (lbl who []) (tm.t_mean_ns *. float_of_int tm.t_count);
+              line "%s_ns_count%s %d" m (lbl who []) tm.t_count
+            | _ -> ());
+        line "# HELP %s_ns_min evendb minimum observed latency %s (nanoseconds)" m
+          (prom_label_escape name);
+        line "# TYPE %s_ns_min gauge" m;
+        each (fun who v ->
+            match v with Timer tm -> line "%s_ns_min%s %d" m (lbl who []) tm.t_min_ns | _ -> ());
+        line "# HELP %s_ns_max evendb maximum observed latency %s (nanoseconds)" m
+          (prom_label_escape name);
+        line "# TYPE %s_ns_max gauge" m;
+        each (fun who v ->
+            match v with Timer tm -> line "%s_ns_max%s %d" m (lbl who []) tm.t_max_ns | _ -> ())
+      | [] -> ())
     (List.sort compare (List.rev !names));
   if List.exists (fun (_, s) -> s.spans <> []) parts then begin
     line "# HELP evendb_span_count closed spans per span name";
@@ -555,19 +569,34 @@ let to_prometheus_parts ~label (parts : (string option * snapshot) list) =
           (fun (st : Trace.span_stat) ->
             line "evendb_span_total_ns%s %d"
               (lbl who [ Printf.sprintf "name=\"%s\"" (prom_label_escape st.Trace.span_name) ])
-              st.Trace.span_total_ns;
-            List.iter
-              (fun (k, v) ->
-                line "evendb_span_attr_total%s %d"
-                  (lbl who
-                     [
-                       Printf.sprintf "name=\"%s\"" (prom_label_escape st.Trace.span_name);
-                       Printf.sprintf "attr=\"%s\"" (prom_label_escape k);
-                     ])
-                  v)
-              st.Trace.span_attr_totals)
+              st.Trace.span_total_ns)
           s.spans)
-      parts
+      parts;
+    if
+      List.exists
+        (fun (_, s) ->
+          List.exists (fun (st : Trace.span_stat) -> st.Trace.span_attr_totals <> []) s.spans)
+        parts
+    then begin
+      line "# HELP evendb_span_attr_total summed span attributes per span name";
+      line "# TYPE evendb_span_attr_total counter";
+      List.iter
+        (fun (who, s) ->
+          List.iter
+            (fun (st : Trace.span_stat) ->
+              List.iter
+                (fun (k, v) ->
+                  line "evendb_span_attr_total%s %d"
+                    (lbl who
+                       [
+                         Printf.sprintf "name=\"%s\"" (prom_label_escape st.Trace.span_name);
+                         Printf.sprintf "attr=\"%s\"" (prom_label_escape k);
+                       ])
+                    v)
+                st.Trace.span_attr_totals)
+            s.spans)
+        parts
+    end
   end;
   Buffer.contents buf
 

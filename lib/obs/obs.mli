@@ -172,11 +172,15 @@ val to_chrome_trace : ?process_name:string -> ?extra:Trace.event list -> t -> st
 
 val to_prometheus : t -> string
 (** Prometheus text exposition with [# HELP]/[# TYPE] lines: metric
-    names are sanitized to [evendb_<name>]; timers expose [_count],
-    [_mean_ns], [_min]/[_max] and quantile samples; spans expose
-    [evendb_span_count]/[evendb_span_total_ns] keyed by a [name] label
-    whose value is escaped per the exposition format (backslash,
-    double-quote, newline). *)
+    names are sanitized to [evendb_<name>]; a timer exports a
+    [<m>_ns] summary family (quantile samples plus [_sum]/[_count])
+    and separate [<m>_ns_min]/[<m>_ns_max] gauge families (true
+    observed extrema); spans expose [evendb_span_count],
+    [evendb_span_total_ns] and [evendb_span_attr_total], keyed by a
+    [name] label whose value is escaped per the exposition format
+    (backslash, double-quote, newline). Every sample belongs to a
+    declared family and each family's samples form one contiguous
+    group, so strict exposition parsers accept the document whole. *)
 
 val to_prometheus_many : ?label:string -> (string * t) list -> string
 (** One exposition over several registries (e.g. a sharded store's

@@ -162,6 +162,9 @@ module Follower = struct
     let applied = load_watermark env in
     let applied_gauge = Obs.gauge (Db.obs db) "repl.applied_lsn" in
     Obs.Gauge.set applied_gauge applied;
+    (* Eager-register so the family appears (zeroed, with HELP/TYPE) in
+       every follower exposition, not only after the first promote. *)
+    ignore (Obs.counter (Db.obs db) "repl.failovers");
     { db; env; applied; applied_gauge }
 
   let db t = t.db

@@ -515,6 +515,9 @@ let disk dir : packed =
                             Array.to_list (Sys.readdir (path sdir))
                             |> List.map (fun f -> Filename.concat sdir f)
                           else [ sdir ])
+                 else if name = "telemetry" then
+                   Array.to_list (Sys.readdir (path name))
+                   |> List.map (fun f -> Filename.concat name f)
                  else []
                else [ name ])
       let sync_namespace () = false
@@ -532,10 +535,11 @@ let disk dir : packed =
    keep their directory component outermost, so their files stay
    inside the directories every backend already lists; the prefix
    scopes the inner component ("quarantine/<prefix>x",
-   "snapshots/<prefix><id>/x"). *)
+   "snapshots/<prefix><id>/x", "telemetry/<prefix>x"). *)
 
 let quarantine_dir = "quarantine/"
 let snapshots_dir = "snapshots/"
+let telemetry_dir = "telemetry/"
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
@@ -550,6 +554,8 @@ let prefixed ~prefix (B (module Inner) : packed) : packed =
       quarantine_dir ^ prefix ^ strip ~prefix:quarantine_dir name
     else if has_prefix ~prefix:snapshots_dir name then
       snapshots_dir ^ prefix ^ strip ~prefix:snapshots_dir name
+    else if has_prefix ~prefix:telemetry_dir name then
+      telemetry_dir ^ prefix ^ strip ~prefix:telemetry_dir name
     else prefix ^ name
   in
   let unmap name =
@@ -558,6 +564,8 @@ let prefixed ~prefix (B (module Inner) : packed) : packed =
       Some (quarantine_dir ^ strip ~prefix:(quarantine_dir ^ prefix) name)
     else if has_prefix ~prefix:(snapshots_dir ^ prefix) name then
       Some (snapshots_dir ^ strip ~prefix:(snapshots_dir ^ prefix) name)
+    else if has_prefix ~prefix:(telemetry_dir ^ prefix) name then
+      Some (telemetry_dir ^ strip ~prefix:(telemetry_dir ^ prefix) name)
     else None
   in
   B

@@ -27,6 +27,19 @@ let is_snapshot name =
   || String.length name >= String.length snapshots_prefix
      && String.sub name 0 (String.length snapshots_prefix) = snapshots_prefix
 
+(* Continuous-telemetry artifacts (the windowed metrics journal) live
+   under [telemetry/]: observational history, not data — recovery
+   sweeps and the live store's orphan logic leave the prefix alone, and
+   losing it can never lose user data. *)
+let telemetry_prefix = "telemetry/"
+
+let telemetry_member name = telemetry_prefix ^ name
+
+let is_telemetry name =
+  name = "telemetry"
+  || String.length name >= String.length telemetry_prefix
+     && String.sub name 0 (String.length telemetry_prefix) = telemetry_prefix
+
 let split_snapshot name =
   if not (is_snapshot name) || name = "snapshots" then None
   else

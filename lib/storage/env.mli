@@ -71,6 +71,20 @@ val split_snapshot : string -> (string * string) option
 (** [split_snapshot "snapshots/<id>/<name>"] is [Some (id, name)];
     [None] for anything else (including the bare directory entries). *)
 
+(** {2 Telemetry namespace}
+
+    The continuous-telemetry sampler journals its windowed metric
+    samples under ["telemetry/"]. The prefix is observational history —
+    recovery sweeps skip it, and the scrubber checks (and quarantines)
+    its segments without ever blocking a store open. *)
+
+val telemetry_prefix : string
+
+val telemetry_member : string -> string
+(** [telemetry_member name] is ["telemetry/<name>"]. *)
+
+val is_telemetry : string -> bool
+
 type t
 type file
 

@@ -1,0 +1,218 @@
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body = { status; content_type = "text/plain; charset=utf-8"; body }
+let json ?(status = 200) body = { status; content_type = "application/json"; body }
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  host : string;
+  stop_flag : bool Atomic.t;
+  domain : unit Domain.t;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let percent_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+      | Some c ->
+        Buffer.add_char b (Char.chr c);
+        i := !i + 2
+      | None -> Buffer.add_char b '%')
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun pair ->
+         if pair = "" then None
+         else
+           match String.index_opt pair '=' with
+           | Some i ->
+             Some
+               ( percent_decode (String.sub pair 0 i),
+                 percent_decode (String.sub pair (i + 1) (String.length pair - i - 1)) )
+           | None -> Some (percent_decode pair, ""))
+
+(* Read until the end of the request head (blank line); we only need
+   the request line. *)
+let read_request_line fd =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length acc > 65536 then None
+    else
+      let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
+      if n = 0 then
+        if Buffer.length acc > 0 then Some (Buffer.contents acc) else None
+      else begin
+        Buffer.add_subbytes acc buf 0 n;
+        let s = Buffer.contents acc in
+        (* Head complete once we have the first CRLF — the request line
+           is all we route on. *)
+        if String.contains s '\n' then Some s else go ()
+      end
+  in
+  match go () with
+  | None -> None
+  | Some s -> (
+    match String.index_opt s '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | None -> Some s)
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       let w = Unix.write_substring fd s !pos (n - !pos) in
+       if w <= 0 then raise Exit;
+       pos := !pos + w
+     done
+   with _ -> ())
+
+let respond fd (r : response) =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      r.status (status_text r.status) r.content_type (String.length r.body)
+  in
+  write_all fd (head ^ r.body)
+
+let handle_connection handler fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  let resp =
+    match read_request_line fd with
+    | None -> text ~status:400 "bad request\n"
+    | Some line -> (
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ when String.uppercase_ascii meth = "GET" ->
+        let path, query =
+          match String.index_opt target '?' with
+          | Some i ->
+            ( String.sub target 0 i,
+              parse_query (String.sub target (i + 1) (String.length target - i - 1))
+            )
+          | None -> (target, [])
+        in
+        (try
+           match handler ~path ~query with
+           | Some r -> r
+           | None -> text ~status:404 "not found\n"
+         with _ -> text ~status:500 "internal error\n")
+      | _ -> text ~status:400 "bad request\n")
+  in
+  respond fd resp
+
+let start ?(host = "127.0.0.1") ~port handler =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock addr;
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_flag = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          if not (Atomic.get stop_flag) then begin
+            (match Unix.accept sock with
+            | fd, _ ->
+              if Atomic.get stop_flag then ( try Unix.close fd with _ -> ())
+              else begin
+                (try handle_connection handler fd with _ -> ());
+                (try Unix.close fd with _ -> ())
+              end
+            | exception _ -> ());
+            loop ()
+          end
+        in
+        loop ())
+  in
+  { sock; bound_port; host; stop_flag; domain }
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (* Unblock the accept(2) the server domain is parked in. *)
+    (try
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close s with _ -> ())
+         (fun () ->
+           Unix.connect s
+             (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.bound_port)))
+     with _ -> ());
+    Domain.join t.domain;
+    try Unix.close t.sock with _ -> ()
+  end
+
+let get ?(host = "127.0.0.1") ~port path =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close s with _ -> ())
+    (fun () ->
+      Unix.setsockopt_float s Unix.SO_RCVTIMEO 10.0;
+      Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      write_all s
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+           path host port);
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create 4096 in
+      let rec drain () =
+        let n = try Unix.read s buf 0 (Bytes.length buf) with _ -> 0 in
+        if n > 0 then begin
+          Buffer.add_subbytes acc buf 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents acc in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> ( match int_of_string_opt code with Some c -> c | None -> 0)
+        | _ -> 0
+      in
+      let body =
+        (* Split the head off at the first blank line. *)
+        let rec find i =
+          if i + 3 >= String.length raw then None
+          else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> String.sub raw i (String.length raw - i)
+        | None -> ""
+      in
+      (status, body))

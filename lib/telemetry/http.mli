@@ -1,0 +1,33 @@
+(** A deliberately minimal HTTP/1.0-style server for the telemetry
+    endpoint: one accept-loop domain, one request per connection
+    ([Connection: close]), GET only, no external dependencies. Not a
+    general web server — it exists so an operator (or Prometheus, or
+    [evendb top --url]) can scrape a live store over loopback. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+val json : ?status:int -> string -> response
+
+type t
+
+val start :
+  ?host:string ->
+  port:int ->
+  (path:string -> query:(string * string) list -> response option) ->
+  t
+(** Bind [host] (default ["127.0.0.1"]) and serve requests on a
+    background domain. [port = 0] binds an ephemeral port — read it
+    back with {!port}. The handler runs on the server domain; [None]
+    renders as 404, an exception as 500 (the loop never dies on a bad
+    request). [query] is the percent-decoded query string. Raises
+    [Unix.Unix_error] if the bind fails (e.g. port in use). *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listener and join the server domain. Idempotent. *)
+
+val get : ?host:string -> port:int -> string -> int * string
+(** Blocking one-shot client: [get ~port "/series?last=4"] returns
+    [(status, body)]. Used by [evendb top --url] and the tests. *)

@@ -1,0 +1,192 @@
+open Evendb_storage
+open Evendb_util
+
+let magic = "EVTJ1\n"
+
+let segment_name i = Printf.sprintf "%smetrics_%06d.mj" Env.telemetry_prefix i
+
+let parse_segment_name name =
+  match Scanf.sscanf_opt name "telemetry/metrics_%6d.mj%!" (fun i -> i) with
+  | Some i when i >= 0 -> Some i
+  | _ -> None
+
+let list_segments env =
+  Env.list_files env
+  |> List.filter_map (fun name ->
+         match parse_segment_name name with
+         | Some i -> Some (i, name)
+         | None -> None)
+  |> List.sort compare
+
+type t = {
+  env : Env.t;
+  segment_bytes : int;
+  max_segments : int;
+  mutex : Mutex.t;
+  mutable file : Env.file option;
+  mutable index : int;
+  mutable size : int;  (** bytes written to the current segment *)
+}
+
+let prune_locked t =
+  (* Keep the newest [max_segments] segments, current one included. *)
+  let segs = list_segments t.env in
+  let excess = List.length segs - t.max_segments in
+  if excess > 0 then
+    List.iteri
+      (fun i (_, name) -> if i < excess then Env.delete t.env name)
+      segs
+
+let open_segment_locked t index =
+  let f = Env.create t.env (segment_name index) in
+  Env.append f magic;
+  Env.fsync f;
+  t.file <- Some f;
+  t.index <- index;
+  t.size <- String.length magic
+
+let create env ~segment_bytes ~max_segments =
+  if segment_bytes < 64 then
+    invalid_arg "Journal.create: segment_bytes must be >= 64";
+  if max_segments < 1 then
+    invalid_arg "Journal.create: max_segments must be >= 1";
+  let t =
+    {
+      env;
+      segment_bytes;
+      max_segments;
+      mutex = Mutex.create ();
+      file = None;
+      index = 0;
+      size = 0;
+    }
+  in
+  (* Never append to a segment from a previous incarnation — its tail
+     may be torn. Start fresh above the highest index on disk. *)
+  let next =
+    match List.rev (list_segments env) with
+    | (hi, _) :: _ -> hi + 1
+    | [] -> 0
+  in
+  open_segment_locked t next;
+  prune_locked t;
+  t
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 9) in
+  Varint.write b (String.length payload);
+  Buffer.add_string b payload;
+  let crc = Crc32c.string payload in
+  Buffer.add_char b (Char.chr (Int32.to_int (Int32.logand crc 0xffl)));
+  Buffer.add_char b
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 8) 0xffl)));
+  Buffer.add_char b
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 16) 0xffl)));
+  Buffer.add_char b
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 24) 0xffl)));
+  Buffer.contents b
+
+let append t payload =
+  let fr = frame payload in
+  Mutex.protect t.mutex (fun () ->
+      match t.file with
+      | None -> ()  (* closed: drop silently — observational data *)
+      | Some f ->
+        let f =
+          if t.size + String.length fr > t.segment_bytes && t.size > String.length magic
+          then begin
+            Env.close_file f;
+            open_segment_locked t (t.index + 1);
+            prune_locked t;
+            Option.get t.file
+          end
+          else f
+        in
+        Env.append f fr;
+        Env.fsync f;
+        t.size <- t.size + String.length fr)
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      match t.file with
+      | None -> ()
+      | Some f ->
+        Env.close_file f;
+        t.file <- None)
+
+type check = {
+  ck_records : int;
+  ck_valid_bytes : int;
+  ck_total_bytes : int;
+  ck_error : string option;
+}
+
+let scan_data data =
+  let total = String.length data in
+  let mlen = String.length magic in
+  if total < mlen || String.sub data 0 mlen <> magic then
+    ( [],
+      { ck_records = 0; ck_valid_bytes = 0; ck_total_bytes = total;
+        ck_error = Some "bad segment magic" } )
+  else begin
+    let records = ref [] in
+    let count = ref 0 in
+    let pos = ref mlen in
+    let error = ref None in
+    (try
+       while !pos < total do
+         let frame_start = !pos in
+         let len, next =
+           try Varint.read data !pos
+           with Invalid_argument _ ->
+             pos := frame_start;
+             raise Exit
+         in
+         if len < 0 || next + len + 4 > total then begin
+           pos := frame_start;
+           raise Exit
+         end;
+         let payload = String.sub data next len in
+         let crc_off = next + len in
+         let stored =
+           let b i = Int32.of_int (Char.code data.[crc_off + i]) in
+           Int32.logor (b 0)
+             (Int32.logor
+                (Int32.shift_left (b 1) 8)
+                (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+         in
+         if Crc32c.string payload <> stored then begin
+           pos := frame_start;
+           error := Some "bad record checksum";
+           raise Exit
+         end;
+         records := payload :: !records;
+         incr count;
+         pos := crc_off + 4
+       done
+     with Exit ->
+       if !error = None then error := Some "truncated record");
+    ( List.rev !records,
+      { ck_records = !count; ck_valid_bytes = !pos; ck_total_bytes = total;
+        ck_error = !error } )
+  end
+
+let read_segment env name =
+  match Env.read_all env name with
+  | data -> Some data
+  | exception _ -> None
+
+let records env name =
+  match read_segment env name with
+  | None -> []
+  | Some data -> fst (scan_data data)
+
+let replay env =
+  list_segments env |> List.concat_map (fun (_, name) -> records env name)
+
+let check env name =
+  match read_segment env name with
+  | None ->
+    { ck_records = 0; ck_valid_bytes = 0; ck_total_bytes = 0;
+      ck_error = Some "unreadable segment" }
+  | Some data -> snd (scan_data data)

@@ -1,0 +1,69 @@
+(** On-disk metrics journal: an append-only, CRC-framed record stream
+    under the environment's ["telemetry/"] namespace.
+
+    Layout: numbered segments ["telemetry/metrics_<n>.mj"], each
+    starting with a 6-byte magic followed by frames of
+
+    {v  varint(payload_len) · payload · CRC-32C(payload) LE32  v}
+
+    Every append is fsynced (appends happen at sampler cadence — ~1/s —
+    so durability is cheap), which bounds crash loss to the one frame
+    in flight. A writer never appends to a pre-existing segment: each
+    {!create} opens a fresh segment above the highest on disk, so a
+    torn tail from a crashed incarnation is confined to that
+    incarnation's last segment and {!replay} simply stops there.
+
+    Rotation: when a frame would push the current segment past
+    [segment_bytes] a new segment is started and the oldest segments
+    beyond [max_segments] are deleted — the journal is bounded
+    observational history, never a durability dependency. *)
+
+open Evendb_storage
+
+val segment_name : int -> string
+(** ["telemetry/metrics_<n>.mj"]. *)
+
+val parse_segment_name : string -> int option
+
+val list_segments : Env.t -> (int * string) list
+(** Journal segments present, ascending by index. *)
+
+(** {2 Writing} *)
+
+type t
+
+val create : Env.t -> segment_bytes:int -> max_segments:int -> t
+(** Open a fresh segment (above any already on disk) and prune old
+    ones. [max_segments >= 1]; [segment_bytes] is a rotation threshold,
+    not a hard cap (one oversized record still lands whole). *)
+
+val append : t -> string -> unit
+(** Frame, append and fsync one record; rotates first when the segment
+    is full. Raises {!Env.Io_error} on storage failure — callers that
+    must never stall an op path absorb it. *)
+
+val close : t -> unit
+(** Close the current segment file. Idempotent. *)
+
+(** {2 Reading} *)
+
+val records : Env.t -> string -> string list
+(** Valid record payloads of one segment, in append order, stopping at
+    the first undecodable byte (torn tail / corruption). Missing file
+    or bad header yields []. *)
+
+val replay : Env.t -> string list
+(** All valid records across every segment, oldest segment first. *)
+
+(** {2 Integrity (scrub)} *)
+
+type check = {
+  ck_records : int;  (** frames that decoded cleanly *)
+  ck_valid_bytes : int;  (** header + clean frames *)
+  ck_total_bytes : int;
+  ck_error : string option;
+      (** [None] when every byte decodes; otherwise what stopped the
+          parse (bad magic, truncated frame, bad record checksum) *)
+}
+
+val check : Env.t -> string -> check

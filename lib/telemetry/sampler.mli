@@ -1,0 +1,95 @@
+(** Windowed time-series sampler over one or more {!Evendb_obs.Obs.t}
+    registries.
+
+    Each {!tick} cuts one {!sample} covering the window since the
+    previous tick: counter {e deltas} (zero-change series omitted),
+    gauge/probe absolute values, and per-timer {e windowed} statistics
+    — count, mean, p50/p95/p99 and max computed from the timer's
+    histogram-bucket deltas, i.e. the latency distribution of just the
+    ops that completed inside the window, not the process lifetime.
+    Samples land in a bounded in-memory ring (served by [/series]) and,
+    optionally, in an on-disk {!Journal}.
+
+    {!start} runs ticks on a background domain at a fixed interval;
+    {!tick} may also be called directly (tests, [evendb top]'s
+    in-process mode). Both serialize through one mutex, so a manual
+    tick never races the background domain. *)
+
+type win = {
+  w_count : int;  (** ops completed in the window *)
+  w_mean_ns : float;
+  w_p50_ns : int;
+  w_p95_ns : int;
+  w_p99_ns : int;
+  w_max_ns : int;
+      (** upper bound of the highest bucket hit in the window — a
+          bucket-resolution estimate (≤ 2{^ -6} relative error), unlike
+          the lifetime max which is exact *)
+}
+
+type sample = {
+  s_seq : int;
+  s_wall_ns : int;  (** wall clock at the tick, for export *)
+  s_dur_ns : int;  (** window length: time since the previous tick *)
+  s_deltas : (string * int) list;  (** counter increments, sorted *)
+  s_gauges : (string * int) list;  (** gauge/probe values, sorted *)
+  s_timers : (string * win) list;
+      (** only timers with at least one op in the window *)
+}
+
+type t
+
+val create :
+  ?ring:int ->
+  ?journal:Journal.t ->
+  ?extra:(unit -> (string * int) list) ->
+  sources:(string * Evendb_obs.Obs.t) list ->
+  unit ->
+  t
+(** [sources] are [(prefix, registry)] pairs; metric names from each
+    registry are exported as [prefix ^ name] (use [""] for a single
+    store, ["shard3."] etc. for sharded ones). [ring] (default 512)
+    bounds the in-memory history. [extra], evaluated at each tick,
+    contributes additional gauges (e.g. uptime, hot-prefix counts); a
+    raising [extra] is absorbed. When [journal] is given, every sample
+    is appended to it as one JSON record; storage errors are absorbed
+    and counted ({!journal_errors}) — telemetry never takes the store
+    down. *)
+
+val tick : t -> sample
+
+val samples : ?last:int -> t -> sample list
+(** Retained samples, oldest first; [last] keeps only the newest [n]. *)
+
+val journal_errors : t -> int
+
+(** {2 Background domain} *)
+
+val start : t -> interval_ns:int -> unit
+(** Spawn the sampling domain (no-op if already running). It ticks
+    every [interval_ns], checking for {!stop} every ≤50ms. *)
+
+val stop : t -> unit
+(** Signal and join the sampling domain. Idempotent. *)
+
+val running : t -> bool
+
+(** {2 Serialization} *)
+
+val sample_to_json : sample -> string
+(** One JSON object: [{"seq","wall_ns","dur_ns","deltas":{..},
+    "gauges":{..},"timers":{"db.put":{"count","mean_ns","p50_ns",
+    "p95_ns","p99_ns","max_ns"},..}}] — also the journal record
+    format. *)
+
+val to_json : ?last:int -> t -> string
+(** [{"samples":[..]}], oldest first. *)
+
+val samples_of_json : string -> sample list
+(** Parse {!to_json} output (or a list of journal records wrapped the
+    same way) back into samples — the client side of [/series], used by
+    [evendb top --url]. Raises {!Tiny_json.Bad} on malformed input;
+    unknown fields are ignored. *)
+
+val sample_of_json : string -> sample option
+(** Parse one {!sample_to_json} record (journal replay). *)

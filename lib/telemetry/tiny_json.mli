@@ -1,0 +1,28 @@
+(** A minimal recursive-descent JSON reader — just enough for the
+    telemetry clients ([evendb top --url], journal replay, tests) to
+    consume the exporters' output without adding a dependency. Numbers
+    are floats; [\u] escapes outside ASCII decode to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+val parse : string -> t
+(** Raises {!Bad} on malformed input (with the failing offset). *)
+
+val parse_opt : string -> t option
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects too. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

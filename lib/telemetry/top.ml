@@ -1,0 +1,157 @@
+let clear_screen = "\027[H\027[2J"
+
+let g name s = List.assoc_opt name s.Sampler.s_gauges
+let d name s = match List.assoc_opt name s.Sampler.s_deltas with Some v -> v | None -> 0
+
+let fmt_ns ns =
+  if ns >= 1_000_000_000 then Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+let fmt_bytes n =
+  if n >= 1 lsl 30 then Printf.sprintf "%.1fGiB" (float_of_int n /. float_of_int (1 lsl 30))
+  else if n >= 1 lsl 20 then Printf.sprintf "%.1fMiB" (float_of_int n /. float_of_int (1 lsl 20))
+  else if n >= 1 lsl 10 then Printf.sprintf "%.1fKiB" (float_of_int n /. float_of_int (1 lsl 10))
+  else Printf.sprintf "%dB" n
+
+let fmt_count n =
+  if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fk" (float_of_int n /. 1e3)
+  else string_of_int n
+
+(* The hit/miss probes export lifetime totals (they mirror cache-layer
+   counters), so the windowed rate comes from the delta between the two
+   newest samples' gauges. *)
+let hit_rate cur prev ~hits ~misses =
+  match (prev, g hits cur, g misses cur) with
+  | Some p, Some h1, Some m1 -> (
+    match (g hits p, g misses p) with
+    | Some h0, Some m0 ->
+      let dh = h1 - h0 and dm = m1 - m0 in
+      if dh + dm > 0 then Some (float_of_int dh /. float_of_int (dh + dm), dh + dm)
+      else None
+    | _ -> None)
+  | _ -> None
+
+let attr_prefix = "attr.frac_ppm."
+let hot_prefix = "hot."
+
+let strip_prefix p s = String.sub s (String.length p) (String.length s - String.length p)
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let render samples =
+  match List.rev samples with
+  | [] -> "evendb top — no samples yet (waiting for the first tick)\n"
+  | cur :: rest ->
+    let prev = match rest with p :: _ -> Some p | [] -> None in
+    let b = Buffer.create 2048 in
+    let window_s = float_of_int cur.Sampler.s_dur_ns /. 1e9 in
+    let uptime =
+      match g "db.uptime_ns" cur with
+      | Some ns -> Printf.sprintf "  uptime %s" (fmt_ns ns)
+      | None -> ""
+    in
+    Printf.bprintf b "evendb top — sample #%d  window %.1fs%s\n\n" cur.Sampler.s_seq
+      window_s uptime;
+    (* Ops: one line per op-kind timer active in the window. *)
+    let op_timers =
+      List.filter
+        (fun (name, _) ->
+          List.mem name [ "db.put"; "db.get"; "db.delete"; "db.scan" ]
+          || List.exists
+               (fun k -> starts_with "shard" name && Filename.check_suffix name k)
+               [ "db.put"; "db.get"; "db.delete"; "db.scan" ])
+        cur.Sampler.s_timers
+    in
+    Buffer.add_string b "  OPS                ops/s     p50       p95       p99       max\n";
+    if op_timers = [] then Buffer.add_string b "  (no ops in window)\n"
+    else
+      List.iter
+        (fun (name, w) ->
+          let rate =
+            if window_s > 0. then float_of_int w.Sampler.w_count /. window_s else 0.
+          in
+          Printf.bprintf b "  %-18s %-9s %-9s %-9s %-9s %s\n" name
+            (Printf.sprintf "%.0f" rate)
+            (fmt_ns w.Sampler.w_p50_ns) (fmt_ns w.Sampler.w_p95_ns)
+            (fmt_ns w.Sampler.w_p99_ns) (fmt_ns w.Sampler.w_max_ns))
+        op_timers;
+    (* Stall causes: attr.frac_ppm.* gauges, descending, top 5. *)
+    let stalls =
+      cur.Sampler.s_gauges
+      |> List.filter_map (fun (name, v) ->
+             if starts_with attr_prefix name && v > 0 then
+               Some (strip_prefix attr_prefix name, v)
+             else None)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.filteri (fun i _ -> i < 5)
+    in
+    if stalls <> [] then begin
+      Buffer.add_string b "\n  STALL CAUSES (share of recent op time)\n";
+      List.iter
+        (fun (cause, ppm) ->
+          Printf.bprintf b "  %-22s %5.1f%%\n" cause (float_of_int ppm /. 10_000.))
+        stalls
+    end;
+    (* Caches. *)
+    let cache_lines =
+      List.filter_map
+        (fun (label, hits, misses) ->
+          match hit_rate cur prev ~hits ~misses with
+          | Some (r, lookups) ->
+            Some
+              (Printf.sprintf "  %-12s %5.1f%% hit  (%s lookups)\n" label (100. *. r)
+                 (fmt_count lookups))
+          | None -> None)
+        [
+          ("row cache", "cache.row.hits", "cache.row.misses");
+          ("munk LFU", "cache.lfu.hits", "cache.lfu.misses");
+          ("block cache", "blockcache.hits", "blockcache.misses");
+        ]
+    in
+    if cache_lines <> [] then begin
+      Buffer.add_string b "\n  CACHES (this window)\n";
+      List.iter (Buffer.add_string b) cache_lines
+    end;
+    (* Hot prefixes: hot.<prefix> gauges are window-independent sketch
+       counts; show the top ones. *)
+    let hot =
+      cur.Sampler.s_gauges
+      |> List.filter_map (fun (name, v) ->
+             if starts_with hot_prefix name then Some (strip_prefix hot_prefix name, v)
+             else None)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.filteri (fun i _ -> i < 8)
+    in
+    if hot <> [] then begin
+      Buffer.add_string b "\n  HOT PREFIXES (lifetime sketch)\n";
+      List.iter
+        (fun (p, v) -> Printf.bprintf b "  %-18s %s ops\n" p (fmt_count v))
+        hot
+    end;
+    (* Replication, when the repl gauges exist. *)
+    (match (g "repl.lag_records" cur, g "repl.applied_lsn" cur) with
+    | None, None -> ()
+    | lag, applied ->
+      Buffer.add_string b "\n  REPLICATION\n";
+      (match lag with
+      | Some l -> Printf.bprintf b "  lag %d records  (+%d shipped this window)\n" l
+          (d "repl.records_shipped" cur)
+      | None -> ());
+      (match applied with
+      | Some a -> Printf.bprintf b "  follower applied_lsn %d\n" a
+      | None -> ()));
+    (* Store shape. *)
+    (match (g "db.chunks" cur, g "db.munks" cur, g "db.log_bytes" cur) with
+    | Some chunks, Some munks, Some log_bytes ->
+      Printf.bprintf b "\n  STORE  %d chunks  %d munks  logs %s" chunks munks
+        (fmt_bytes log_bytes);
+      (match g "blockcache.bytes" cur with
+      | Some bytes -> Printf.bprintf b "  blockcache %s" (fmt_bytes bytes)
+      | None -> ());
+      Buffer.add_char b '\n'
+    | _ -> ());
+    Buffer.contents b

@@ -1,0 +1,16 @@
+(** Renderer behind [evendb top]: turns the tail of a sampler series
+    into one fixed-layout text frame — ops/s and windowed p50/p99 per
+    op kind, top stall causes, cache hit rates, hottest key prefixes,
+    replication lag and store shape. Pure string building; the CLI owns
+    the loop, the screen clearing and where the samples come from
+    (in-process sampler or [/series] over HTTP). *)
+
+val render : Sampler.sample list -> string
+(** Render from the newest sample (rates, windowed percentiles, stall
+    shares) plus the one before it (cache hit rates need gauge deltas —
+    the cache probes export lifetime totals). Oldest-first input, as
+    {!Sampler.samples} returns. An empty list renders a "no samples
+    yet" frame. *)
+
+val clear_screen : string
+(** ANSI home+clear prefix for live refresh. *)

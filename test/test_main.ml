@@ -32,4 +32,5 @@ let () =
          Test_crash_explorer.suite;
          Test_ycsb.suite;
          Test_attr.suite;
+         Test_sampler.suite;
        ])
